@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * fast Walsh–Hadamard restore vs the naive O(m²) matrix multiply,
+//! * LDPJoinSketch+ with vs without the non-target mass removal of Algorithm 5,
+//! * group-scaled vs paper-literal non-target subtraction,
+//! * median vs mean combining of the per-row estimators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldpjs_common::hadamard::{fwht_in_place, hadamard_multiply_naive};
+use ldpjs_common::stats::{mean, median};
+use ldpjs_core::protocol::build_private_sketch;
+use ldpjs_core::{Epsilon, SketchParams};
+use ldpjs_data::PaperDataset;
+use ldpjs_experiments::{estimate_join, Method, PlusKnobs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn eps(v: f64) -> Epsilon {
+    Epsilon::new(v).unwrap()
+}
+
+/// FWHT vs naive Hadamard multiplication on a single sketch row.
+fn bench_ablation_fwht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fwht");
+    for &m in &[256usize, 1024, 4096] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let row: Vec<f64> = (0..m).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        group.bench_with_input(BenchmarkId::new("fwht", m), &row, |b, row| {
+            b.iter(|| {
+                let mut copy = row.clone();
+                fwht_in_place(&mut copy);
+                black_box(copy)
+            })
+        });
+        // The naive multiply is O(m²); keep it to the smaller sizes so the bench finishes.
+        if m <= 1024 {
+            group.bench_with_input(BenchmarkId::new("naive", m), &row, |b, row| {
+                b.iter(|| black_box(hadamard_multiply_naive(row)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// LDPJoinSketch+ with group-scaled vs paper-literal non-target subtraction, and plain
+/// LDPJoinSketch as the "no separation at all" reference. Criterion reports runtime; the
+/// accuracy comparison is printed by the fig-level binaries and EXPERIMENTS.md.
+fn bench_ablation_fap(c: &mut Criterion) {
+    let workload = PaperDataset::Zipf { alpha: 1.1 }.generate_join(0.0001, 7);
+    let params = SketchParams::new(18, 1024).unwrap();
+    let mut group = c.benchmark_group("ablation_fap");
+    group.sample_size(10);
+    group.bench_function("plain_ldpjoinsketch", |b| {
+        b.iter(|| {
+            black_box(
+                estimate_join(Method::LdpJoinSketch, &workload, params, eps(4.0), PlusKnobs::default(), 3)
+                    .unwrap(),
+            )
+        })
+    });
+    for (label, literal) in [("plus_group_scaled", false), ("plus_paper_literal", true)] {
+        let knobs = PlusKnobs { sampling_rate: 0.1, threshold: 0.001, paper_literal_subtraction: literal };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &knobs, |b, &knobs| {
+            b.iter(|| {
+                black_box(
+                    estimate_join(Method::LdpJoinSketchPlus, &workload, params, eps(4.0), knobs, 3).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Median vs mean combining of the k per-row estimators (the paper uses the median; the mean
+/// is the natural ablation and is cheaper but not robust to heavy-tailed rows).
+fn bench_ablation_combiner(c: &mut Criterion) {
+    let workload = PaperDataset::Zipf { alpha: 1.5 }.generate_join(0.0001, 7);
+    let params = SketchParams::new(18, 1024).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let sa = build_private_sketch(&workload.table_a, params, eps(4.0), 3, &mut rng).unwrap();
+    let sb = build_private_sketch(&workload.table_b, params, eps(4.0), 3, &mut rng).unwrap();
+    let products = sa.row_products(&sb).unwrap();
+    c.bench_function("ablation_combiner/median", |b| {
+        b.iter(|| black_box(median(black_box(&products)).unwrap()))
+    });
+    c.bench_function("ablation_combiner/mean", |b| {
+        b.iter(|| black_box(mean(black_box(&products)).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ablation_fwht, bench_ablation_fap, bench_ablation_combiner
+);
+criterion_main!(benches);

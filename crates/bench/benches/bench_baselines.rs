@@ -1,0 +1,134 @@
+//! Throughput benches of the baseline mechanisms (k-RR, FLH, Apple-HCMS) and the non-private
+//! sketches, so the efficiency comparison of Fig. 13 has per-component backing numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldpjs_core::{Epsilon, SketchParams};
+use ldpjs_data::{ValueGenerator, ZipfGenerator};
+use ldpjs_ldp::{estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle};
+use ldpjs_sketch::{AgmsSketch, CountMeanSketch, CountMinSketch, FastAgmsSketch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn eps() -> Epsilon {
+    Epsilon::new(4.0).unwrap()
+}
+
+fn data(n: usize, domain: u64) -> Vec<u64> {
+    let gen = ZipfGenerator::new(1.3, domain);
+    let mut rng = StdRng::seed_from_u64(11);
+    gen.sample_many(n, &mut rng)
+}
+
+fn bench_oracle_collection(c: &mut Criterion) {
+    let values = data(20_000, 10_000);
+    let params = SketchParams::new(18, 1024).unwrap();
+    let mut group = c.benchmark_group("baselines_collect_20k_reports");
+    group.sample_size(10);
+    group.bench_function("k-RR", |b| {
+        b.iter(|| {
+            let mut oracle = KrrOracle::new(eps(), 10_000);
+            let mut rng = StdRng::seed_from_u64(1);
+            oracle.collect(black_box(&values), &mut rng);
+            black_box(oracle.estimate(0))
+        })
+    });
+    group.bench_function("FLH", |b| {
+        b.iter(|| {
+            let mut oracle = FlhOracle::new_fast(eps(), 2);
+            let mut rng = StdRng::seed_from_u64(1);
+            oracle.collect(black_box(&values), &mut rng);
+            black_box(oracle.estimate(0))
+        })
+    });
+    group.bench_function("Apple-HCMS", |b| {
+        b.iter(|| {
+            let mut oracle = HcmsOracle::new(params, eps(), 3);
+            let mut rng = StdRng::seed_from_u64(1);
+            oracle.collect(black_box(&values), &mut rng);
+            black_box(oracle.estimate(0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_oracle_join_estimation(c: &mut Criterion) {
+    let domain = 10_000u64;
+    let a = data(20_000, domain);
+    let b_vals = data(20_000, domain);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut krr_a = KrrOracle::new(eps(), domain);
+    let mut krr_b = KrrOracle::new(eps(), domain);
+    krr_a.collect(&a, &mut rng);
+    krr_b.collect(&b_vals, &mut rng);
+    c.bench_function("baselines_join_estimate/k-RR_domain_scan", |b| {
+        b.iter(|| black_box(estimate_join_from_oracles(&krr_a, &krr_b, domain)))
+    });
+}
+
+fn bench_nonprivate_sketches(c: &mut Criterion) {
+    let values = data(50_000, 50_000);
+    let params = SketchParams::new(18, 1024).unwrap();
+    let mut group = c.benchmark_group("nonprivate_sketch_build_50k");
+    group.sample_size(10);
+    group.bench_function("AGMS", |b| {
+        b.iter(|| {
+            let mut sk = AgmsSketch::new(18, 3);
+            sk.update_all(black_box(&values));
+            black_box(sk.second_moment())
+        })
+    });
+    group.bench_function("Fast-AGMS", |b| {
+        b.iter(|| {
+            let mut sk = FastAgmsSketch::new(params, 3);
+            sk.update_all(black_box(&values));
+            black_box(sk.frequency(0))
+        })
+    });
+    group.bench_function("Count-Min", |b| {
+        b.iter(|| {
+            let mut sk = CountMinSketch::new(params, 3);
+            sk.update_all(black_box(&values));
+            black_box(sk.frequency_upper_bound(0))
+        })
+    });
+    group.bench_function("Count-Mean", |b| {
+        b.iter(|| {
+            let mut sk = CountMeanSketch::new(params, 3);
+            sk.update_all(black_box(&values));
+            black_box(sk.frequency(0))
+        })
+    });
+    group.finish();
+}
+
+fn bench_domain_scan_scaling(c: &mut Criterion) {
+    // How frequency-oracle join estimation scales with the domain size — the efficiency issue
+    // the paper raises for the baselines.
+    let mut group = c.benchmark_group("baselines_domain_scan_scaling");
+    group.sample_size(10);
+    for domain in [1_000u64, 10_000, 100_000] {
+        let a = data(20_000, domain);
+        let b_vals = data(20_000, domain);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut oa = KrrOracle::new(eps(), domain);
+        let mut ob = KrrOracle::new(eps(), domain);
+        oa.collect(&a, &mut rng);
+        ob.collect(&b_vals, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(domain), &domain, |bch, &d| {
+            bch.iter(|| black_box(estimate_join_from_oracles(&oa, &ob, d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets =
+        bench_oracle_collection,
+        bench_oracle_join_estimation,
+        bench_nonprivate_sketches,
+        bench_domain_scan_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Microbenchmarks of the core LDPJoinSketch primitives: client-side encoding/perturbation,
+//! server-side report absorption, Hadamard restore, join-size and frequency estimation.
+//!
+//! These are the building blocks every figure-level experiment is composed of; tracking their
+//! throughput separately makes regressions attributable.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ldpjs_core::client::LdpJoinSketchClient;
+use ldpjs_core::protocol::build_private_sketch;
+use ldpjs_core::server::LdpJoinSketch;
+use ldpjs_core::{Epsilon, SketchParams};
+use ldpjs_data::{ValueGenerator, ZipfGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn params() -> SketchParams {
+    SketchParams::new(18, 1024).unwrap()
+}
+
+fn eps() -> Epsilon {
+    Epsilon::new(4.0).unwrap()
+}
+
+fn bench_client_perturb(c: &mut Criterion) {
+    let client = LdpJoinSketchClient::new(params(), eps(), 7);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut value = 0u64;
+    c.bench_function("core/client_perturb_one_value", |b| {
+        b.iter(|| {
+            value = value.wrapping_add(1) % 100_000;
+            black_box(client.perturb(black_box(value), &mut rng))
+        })
+    });
+}
+
+fn bench_server_absorb(c: &mut Criterion) {
+    let client = LdpJoinSketchClient::new(params(), eps(), 7);
+    let mut rng = StdRng::seed_from_u64(2);
+    let gen = ZipfGenerator::new(1.3, 100_000);
+    let values = gen.sample_many(10_000, &mut rng);
+    let reports = client.perturb_all(&values, &mut rng);
+    c.bench_function("core/server_absorb_10k_reports", |b| {
+        b.iter_batched(
+            || LdpJoinSketch::new(params(), eps(), 7),
+            |mut sketch| {
+                sketch.absorb_all(black_box(&reports)).unwrap();
+                black_box(sketch)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hadamard_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core/hadamard_restore");
+    for &m in &[256usize, 1024, 4096] {
+        let p = SketchParams::new(18, m).unwrap();
+        let client = LdpJoinSketchClient::new(p, eps(), 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen = ZipfGenerator::new(1.3, 50_000);
+        let values = gen.sample_many(20_000, &mut rng);
+        let reports = client.perturb_all(&values, &mut rng);
+        let mut sketch = LdpJoinSketch::new(p, eps(), 3);
+        sketch.absorb_all(&reports).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &sketch, |b, sketch| {
+            b.iter(|| black_box(sketch.restored_matrix()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let gen = ZipfGenerator::new(1.3, 50_000);
+    let mut rng = StdRng::seed_from_u64(4);
+    let a = gen.sample_many(50_000, &mut rng);
+    let b_vals = gen.sample_many(50_000, &mut rng);
+    let mut sa = build_private_sketch(&a, params(), eps(), 9, &mut rng).unwrap();
+    let mut sb = build_private_sketch(&b_vals, params(), eps(), 9, &mut rng).unwrap();
+    sa.finalize();
+    sb.finalize();
+    c.bench_function("core/join_size_estimate", |b| {
+        b.iter(|| black_box(sa.join_size(&sb).unwrap()))
+    });
+    c.bench_function("core/frequency_estimate_one_value", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 1000;
+            black_box(sa.frequency(black_box(v)))
+        })
+    });
+    let candidates: Vec<u64> = (0..10_000).collect();
+    c.bench_function("core/frequency_scan_10k_candidates", |b| {
+        b.iter(|| black_box(sa.frequencies(black_box(&candidates))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_client_perturb, bench_server_absorb, bench_hadamard_restore, bench_estimation
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benches of the workload generators (Table II): how fast each dataset stand-in produces
+//! rows and computes ground truth. Generation cost matters because every figure regenerates
+//! its workloads from seeds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldpjs_common::stats::exact_join_size;
+use ldpjs_data::{GaussianGenerator, PaperDataset, ValueGenerator, ZipfGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets_generate_20k_rows");
+    group.sample_size(20);
+    group.bench_function("zipf_1.1", |b| {
+        let gen = ZipfGenerator::new(1.1, 100_000);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(gen.sample_many(20_000, &mut rng))
+        })
+    });
+    group.bench_function("gaussian", |b| {
+        let gen = GaussianGenerator::centered(75_949);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(gen.sample_many(20_000, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_table2_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datasets_table2_workload");
+    group.sample_size(10);
+    for dataset in PaperDataset::figure5_suite() {
+        let name = dataset.info().name;
+        group.bench_with_input(BenchmarkId::from_parameter(&name), &dataset, |b, d| {
+            b.iter(|| black_box(d.generate_join(1e-9, 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ground_truth(c: &mut Criterion) {
+    let w = PaperDataset::Zipf { alpha: 1.1 }.generate_join(0.0005, 7);
+    c.bench_function("datasets_exact_join_size_20k", |b| {
+        b.iter(|| black_box(exact_join_size(black_box(&w.table_a), black_box(&w.table_b))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_generators, bench_table2_workloads, bench_ground_truth
+);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate: see the `benches/` directory. This library target exists only so the
+//! package has a compilation unit; all content lives in the Criterion benches.

@@ -1,0 +1,243 @@
+//! Walsh–Hadamard transform utilities.
+//!
+//! The Hadamard mechanism (Apple-HCMS, and Algorithm 1 of the paper) encodes a one-hot
+//! vector `v` with `v[h_j(d)] = ξ_j(d)`, multiplies it by the Hadamard matrix `H_m`, and
+//! samples a single coordinate of the result. Because `v` has a single non-zero entry the
+//! client never materialises `H_m`: the sampled coordinate is simply
+//! `w[l] = H_m[h_j(d), l] · ξ_j(d)` and an individual matrix entry is
+//! `H_m[a, b] = (-1)^{popcount(a & b)}`.
+//!
+//! The server, on the other hand, must undo the transform on whole sketch rows
+//! (`M ← M · H_mᵀ`, Algorithm 2 line 6). For that we provide an in-place
+//! **fast Walsh–Hadamard transform** ([`fwht_in_place`]) which runs in `O(m log m)` per row
+//! instead of the naive `O(m²)` matrix multiply (kept as [`hadamard_multiply_naive`] for
+//! tests and the ablation bench).
+//!
+//! All routines require `m` to be a power of two, matching the recursive definition of `H_m`.
+
+/// Returns `true` if `m` is a positive power of two (a valid Hadamard order).
+#[inline]
+pub fn is_valid_order(m: usize) -> bool {
+    m > 0 && m.is_power_of_two()
+}
+
+/// Entry `H_m[row, col] ∈ {-1, +1}` of the (non-normalised) Hadamard matrix of order `m`.
+///
+/// Uses the Sylvester construction identity `H[r, c] = (-1)^{popcount(r & c)}`.
+///
+/// # Panics
+/// Panics in debug builds if `row` or `col` is outside `[0, m)` or `m` is not a power of two.
+#[inline]
+pub fn hadamard_entry(m: usize, row: usize, col: usize) -> i64 {
+    debug_assert!(is_valid_order(m), "Hadamard order must be a power of two, got {m}");
+    debug_assert!(row < m && col < m, "Hadamard index ({row},{col}) out of range for order {m}");
+    if ((row & col).count_ones() & 1) == 1 {
+        -1
+    } else {
+        1
+    }
+}
+
+/// Entry `H_m[row, col]` as an `f64`.
+#[inline]
+pub fn hadamard_entry_f64(m: usize, row: usize, col: usize) -> f64 {
+    hadamard_entry(m, row, col) as f64
+}
+
+/// In-place fast Walsh–Hadamard transform of a length-`2^t` slice.
+///
+/// Computes `data ← data · H_m` (equivalently `H_m · data` since `H_m` is symmetric) without
+/// normalisation, in `O(m log m)` time and `O(1)` extra space.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fwht_in_place(data: &mut [f64]) {
+    let n = data.len();
+    assert!(is_valid_order(n), "FWHT length must be a power of two, got {n}");
+    let mut h = 1;
+    while h < n {
+        let mut i = 0;
+        while i < n {
+            for j in i..i + h {
+                let x = data[j];
+                let y = data[j + h];
+                data[j] = x + y;
+                data[j + h] = x - y;
+            }
+            i += h * 2;
+        }
+        h *= 2;
+    }
+}
+
+/// Naive `O(m²)` multiplication `out[c] = Σ_r data[r]·H_m[r, c]`.
+///
+/// Exists only as the reference implementation for tests and the FWHT ablation benchmark.
+pub fn hadamard_multiply_naive(data: &[f64]) -> Vec<f64> {
+    let m = data.len();
+    assert!(is_valid_order(m), "Hadamard order must be a power of two, got {m}");
+    let mut out = vec![0.0; m];
+    for (c, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (r, &v) in data.iter().enumerate() {
+            acc += v * hadamard_entry_f64(m, r, c);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Applies the inverse Hadamard transform in place: `data ← data · H_m / m`.
+///
+/// Because `H_m · H_m = m · I`, the inverse is the forward transform followed by a division
+/// by `m`. Provided for symmetry; the server-side sketch restore uses the un-normalised
+/// [`fwht_in_place`] because the paper's de-bias constants already account for scaling.
+pub fn fwht_inverse_in_place(data: &mut [f64]) {
+    let m = data.len() as f64;
+    fwht_in_place(data);
+    for v in data.iter_mut() {
+        *v /= m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn order_validation() {
+        assert!(is_valid_order(1));
+        assert!(is_valid_order(2));
+        assert!(is_valid_order(1024));
+        assert!(!is_valid_order(0));
+        assert!(!is_valid_order(3));
+        assert!(!is_valid_order(1000));
+    }
+
+    #[test]
+    fn h1_and_h2_match_definition() {
+        assert_eq!(hadamard_entry(1, 0, 0), 1);
+        // H_2 = [[1, 1], [1, -1]]
+        assert_eq!(hadamard_entry(2, 0, 0), 1);
+        assert_eq!(hadamard_entry(2, 0, 1), 1);
+        assert_eq!(hadamard_entry(2, 1, 0), 1);
+        assert_eq!(hadamard_entry(2, 1, 1), -1);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn h4_matches_recursive_definition() {
+        // H_4 from the paper's Example 1.
+        let expected = [
+            [1, 1, 1, 1],
+            [1, -1, 1, -1],
+            [1, 1, -1, -1],
+            [1, -1, -1, 1],
+        ];
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(hadamard_entry(4, r, c), expected[r][c], "H_4[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_are_orthogonal() {
+        let m = 32;
+        for r1 in 0..m {
+            for r2 in 0..m {
+                let dot: i64 = (0..m).map(|c| hadamard_entry(m, r1, c) * hadamard_entry(m, r2, c)).sum();
+                if r1 == r2 {
+                    assert_eq!(dot, m as i64);
+                } else {
+                    assert_eq!(dot, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fwht_matches_naive_on_one_hot() {
+        let m = 16;
+        for pos in 0..m {
+            let mut v = vec![0.0; m];
+            v[pos] = 1.0;
+            let naive = hadamard_multiply_naive(&v);
+            fwht_in_place(&mut v);
+            for c in 0..m {
+                assert_close(v[c], naive[c]);
+                assert_close(v[c], hadamard_entry_f64(m, pos, c));
+            }
+        }
+    }
+
+    #[test]
+    fn fwht_is_involution_up_to_scale() {
+        let m = 64;
+        let original: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
+        let mut v = original.clone();
+        fwht_in_place(&mut v);
+        fwht_inverse_in_place(&mut v);
+        for (a, b) in v.iter().zip(original.iter()) {
+            assert_close(*a, *b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fwht_rejects_non_power_of_two() {
+        let mut v = vec![0.0; 6];
+        fwht_in_place(&mut v);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fwht_matches_naive(pow in 0u32..8, seed in any::<u64>()) {
+            let m = 1usize << pow;
+            // Deterministic pseudo-random vector from the seed.
+            let data: Vec<f64> = (0..m)
+                .map(|i| {
+                    let x = seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                    ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+                .collect();
+            let naive = hadamard_multiply_naive(&data);
+            let mut fast = data.clone();
+            fwht_in_place(&mut fast);
+            for (a, b) in fast.iter().zip(naive.iter()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_entries_are_signs(pow in 0u32..10, r in any::<usize>(), c in any::<usize>()) {
+            let m = 1usize << pow;
+            let e = hadamard_entry(m, r % m, c % m);
+            prop_assert!(e == 1 || e == -1);
+            // Symmetry of the Sylvester construction.
+            prop_assert_eq!(e, hadamard_entry(m, c % m, r % m));
+        }
+
+        #[test]
+        fn prop_parseval(pow in 1u32..8, seed in any::<u64>()) {
+            // ||H v||² = m ||v||² for the unnormalised transform.
+            let m = 1usize << pow;
+            let data: Vec<f64> = (0..m)
+                .map(|i| {
+                    let x = seed.wrapping_mul(2862933555777941757).wrapping_add(i as u64 * 3037000493);
+                    ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                })
+                .collect();
+            let norm: f64 = data.iter().map(|v| v * v).sum();
+            let mut t = data.clone();
+            fwht_in_place(&mut t);
+            let tnorm: f64 = t.iter().map(|v| v * v).sum();
+            prop_assert!((tnorm - m as f64 * norm).abs() < 1e-6 * (1.0 + tnorm.abs()));
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Seeded hash families for sketching.
+//!
+//! Fast-AGMS style sketches need two hash functions per row `j`:
+//!
+//! * a **bucket hash** `h_j : D -> [m]` deciding which counter an update touches
+//!   (pairwise independence suffices), and
+//! * a **sign hash** `ξ_j : D -> {-1, +1}` drawn from a 4-wise independent family so that the
+//!   variance analysis of the inner-product estimator (Lemma 2–4 of the paper) holds.
+//!
+//! Both are implemented as polynomial hash functions over the Mersenne prime `p = 2^61 − 1`:
+//! a degree-1 polynomial gives pairwise independence, a degree-3 polynomial gives 4-wise
+//! independence. Coefficients are drawn from a seeded [`rand::rngs::StdRng`] so an entire
+//! family is reproducible from a single `u64` seed — the server and every client must agree
+//! on the family, which in the LDP protocol is public information.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Mersenne prime `2^61 − 1` used as the field modulus for polynomial hashing.
+pub const MERSENNE_P: u64 = (1 << 61) - 1;
+
+/// Reduce a 128-bit product modulo `2^61 − 1` using the standard Mersenne folding trick.
+#[inline]
+fn mod_mersenne(x: u128) -> u64 {
+    // x = hi * 2^61 + lo  ==>  x ≡ hi + lo (mod 2^61 - 1)
+    let lo = (x & (MERSENNE_P as u128)) as u64;
+    let hi = (x >> 61) as u64;
+    let mut r = lo.wrapping_add(hi);
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// Multiply two residues modulo `2^61 − 1`.
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_mersenne((a as u128) * (b as u128))
+}
+
+/// Add two residues modulo `2^61 − 1`.
+#[inline]
+fn add_mod(a: u64, b: u64) -> u64 {
+    let mut r = a.wrapping_add(b);
+    if r >= MERSENNE_P {
+        r -= MERSENNE_P;
+    }
+    r
+}
+
+/// A pairwise-independent bucket hash `h : u64 -> [m]`.
+///
+/// Implemented as `((a·x + b) mod p) mod m` with `a ∈ [1, p)`, `b ∈ [0, p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketHash {
+    a: u64,
+    b: u64,
+    m: usize,
+}
+
+impl BucketHash {
+    /// Draw a bucket hash with range `[0, m)` from `rng`.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, m: usize) -> Self {
+        assert!(m > 0, "bucket hash range must be non-empty");
+        BucketHash {
+            a: rng.gen_range(1..MERSENNE_P),
+            b: rng.gen_range(0..MERSENNE_P),
+            m,
+        }
+    }
+
+    /// Number of buckets `m`.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.m
+    }
+
+    /// Evaluate `h(x) ∈ [0, m)`.
+    #[inline]
+    pub fn hash(&self, x: u64) -> usize {
+        let v = add_mod(mul_mod(self.a, mod_mersenne(x as u128)), self.b);
+        (v % self.m as u64) as usize
+    }
+}
+
+/// A 4-wise independent sign hash `ξ : u64 -> {-1, +1}`.
+///
+/// Implemented as the low bit of a degree-3 polynomial over `GF(2^61 − 1)`:
+/// `ξ(x) = 2·((a₃x³ + a₂x² + a₁x + a₀ mod p) mod 2) − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignHash {
+    coeffs: [u64; 4],
+}
+
+impl SignHash {
+    /// Draw a sign hash from `rng`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut coeffs = [0u64; 4];
+        for c in &mut coeffs {
+            *c = rng.gen_range(0..MERSENNE_P);
+        }
+        // Ensure the polynomial is not identically constant in the degenerate all-zero case.
+        if coeffs.iter().all(|&c| c == 0) {
+            coeffs[1] = 1;
+        }
+        SignHash { coeffs }
+    }
+
+    /// Evaluate the polynomial at `x` (Horner's rule) and return the residue.
+    #[inline]
+    fn poly(&self, x: u64) -> u64 {
+        let x = mod_mersenne(x as u128);
+        let mut acc = self.coeffs[3];
+        for &c in [self.coeffs[2], self.coeffs[1], self.coeffs[0]].iter() {
+            acc = add_mod(mul_mod(acc, x), c);
+        }
+        acc
+    }
+
+    /// Evaluate `ξ(x) ∈ {-1, +1}`.
+    #[inline]
+    pub fn sign(&self, x: u64) -> i64 {
+        if self.poly(x) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Evaluate the sign as an `f64` (convenient for sketch arithmetic).
+    #[inline]
+    pub fn sign_f64(&self, x: u64) -> f64 {
+        self.sign(x) as f64
+    }
+}
+
+/// The `(h_j, ξ_j)` pair attached to one sketch row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPair {
+    /// Bucket hash `h_j : D -> [m]`.
+    pub bucket: BucketHash,
+    /// Sign hash `ξ_j : D -> {-1,+1}`.
+    pub sign: SignHash,
+}
+
+impl HashPair {
+    /// Draw a fresh `(h, ξ)` pair with `m` buckets from `rng`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, m: usize) -> Self {
+        HashPair { bucket: BucketHash::sample(rng, m), sign: SignHash::sample(rng) }
+    }
+
+    /// `h_j(x)`.
+    #[inline]
+    pub fn bucket_of(&self, x: u64) -> usize {
+        self.bucket.hash(x)
+    }
+
+    /// `ξ_j(x)` as `±1`.
+    #[inline]
+    pub fn sign_of(&self, x: u64) -> i64 {
+        self.sign.sign(x)
+    }
+}
+
+/// The full set of `k` hash pairs shared by clients and server for one sketch.
+///
+/// In the LDP protocol the hash family is public: the server publishes a seed, every client
+/// derives the same family deterministically, and only the reports themselves are perturbed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowHashes {
+    pairs: Vec<HashPair>,
+    m: usize,
+    seed: u64,
+}
+
+impl RowHashes {
+    /// Derive `k` hash pairs with `m` buckets from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `m == 0`.
+    pub fn from_seed(seed: u64, k: usize, m: usize) -> Self {
+        assert!(k > 0, "a sketch needs at least one row");
+        assert!(m > 0, "a sketch needs at least one column");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..k).map(|_| HashPair::sample(&mut rng, m)).collect();
+        RowHashes { pairs, m, seed }
+    }
+
+    /// Number of rows `k`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of columns `m`.
+    #[inline]
+    pub fn columns(&self) -> usize {
+        self.m
+    }
+
+    /// The seed the family was derived from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `(h_j, ξ_j)` pair of row `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= k`.
+    #[inline]
+    pub fn pair(&self, j: usize) -> &HashPair {
+        &self.pairs[j]
+    }
+
+    /// Iterate over all `(h_j, ξ_j)` pairs in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &HashPair> {
+        self.pairs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bucket_hash_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = BucketHash::sample(&mut rng, 64);
+        for x in 0..10_000u64 {
+            assert!(h.hash(x) < 64);
+        }
+    }
+
+    #[test]
+    fn bucket_hash_is_deterministic() {
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let h1 = BucketHash::sample(&mut rng1, 1024);
+        let h2 = BucketHash::sample(&mut rng2, 1024);
+        for x in [0u64, 1, 42, u64::MAX, 1 << 40] {
+            assert_eq!(h1.hash(x), h2.hash(x));
+        }
+    }
+
+    #[test]
+    fn bucket_hash_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = 16;
+        let h = BucketHash::sample(&mut rng, m);
+        let n = 160_000u64;
+        let mut counts = vec![0u64; m];
+        for x in 0..n {
+            counts[h.hash(x)] += 1;
+        }
+        let expected = n as f64 / m as f64;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.1, "bucket count {c} deviates {dev} from uniform {expected}");
+        }
+    }
+
+    #[test]
+    fn sign_hash_is_plus_minus_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = SignHash::sample(&mut rng);
+        for x in 0..1000u64 {
+            let v = s.sign(x);
+            assert!(v == 1 || v == -1);
+            assert_eq!(v as f64, s.sign_f64(x));
+        }
+    }
+
+    #[test]
+    fn sign_hash_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = SignHash::sample(&mut rng);
+        let n = 100_000u64;
+        let sum: i64 = (0..n).map(|x| s.sign(x)).sum();
+        // Mean should be close to 0; allow 4 standard deviations (sqrt(n)).
+        assert!((sum as f64).abs() < 4.0 * (n as f64).sqrt(), "sum = {sum}");
+    }
+
+    #[test]
+    fn sign_hash_pairs_are_roughly_uncorrelated() {
+        // 2-wise (and empirically 4-wise) independence implies E[ξ(x)ξ(y)] ≈ 0 for x != y.
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = SignHash::sample(&mut rng);
+        let n = 50_000u64;
+        let sum: i64 = (0..n).map(|x| s.sign(2 * x) * s.sign(2 * x + 1)).sum();
+        assert!((sum as f64).abs() < 4.0 * (n as f64).sqrt(), "sum = {sum}");
+    }
+
+    #[test]
+    fn row_hashes_shape_and_determinism() {
+        let f1 = RowHashes::from_seed(99, 18, 1024);
+        let f2 = RowHashes::from_seed(99, 18, 1024);
+        assert_eq!(f1.rows(), 18);
+        assert_eq!(f1.columns(), 1024);
+        assert_eq!(f1.seed(), 99);
+        assert_eq!(f1, f2);
+        let f3 = RowHashes::from_seed(100, 18, 1024);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn row_hashes_rows_are_distinct() {
+        let f = RowHashes::from_seed(4, 8, 256);
+        // Different rows should (with overwhelming probability) hash at least one value differently.
+        let mut all_same = true;
+        for j in 1..f.rows() {
+            for x in 0..64u64 {
+                if f.pair(0).bucket_of(x) != f.pair(j).bucket_of(x)
+                    || f.pair(0).sign_of(x) != f.pair(j).sign_of(x)
+                {
+                    all_same = false;
+                }
+            }
+        }
+        assert!(!all_same);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn row_hashes_rejects_zero_rows() {
+        let _ = RowHashes::from_seed(0, 0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn row_hashes_rejects_zero_columns() {
+        let _ = RowHashes::from_seed(0, 4, 0);
+    }
+
+    #[test]
+    fn mod_mersenne_matches_naive() {
+        for &x in &[0u128, 1, MERSENNE_P as u128, (MERSENNE_P as u128) * 5 + 17, u128::from(u64::MAX) * 3] {
+            assert_eq!(mod_mersenne(x) as u128, x % (MERSENNE_P as u128));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mod_mersenne_matches_naive(x in any::<u128>()) {
+            // Restrict to products of two 61-bit residues, the only inputs we ever feed it.
+            let x = x % ((MERSENNE_P as u128) * (MERSENNE_P as u128));
+            prop_assert_eq!(mod_mersenne(x) as u128, x % (MERSENNE_P as u128));
+        }
+
+        #[test]
+        fn prop_mul_mod_matches_naive(a in 0..MERSENNE_P, b in 0..MERSENNE_P) {
+            let expected = ((a as u128) * (b as u128)) % (MERSENNE_P as u128);
+            prop_assert_eq!(mul_mod(a, b) as u128, expected);
+        }
+
+        #[test]
+        fn prop_bucket_hash_in_range(seed in any::<u64>(), m in 1usize..5000, x in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = BucketHash::sample(&mut rng, m);
+            prop_assert!(h.hash(x) < m);
+        }
+
+        #[test]
+        fn prop_sign_hash_valid(seed in any::<u64>(), x in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = SignHash::sample(&mut rng);
+            let v = s.sign(x);
+            prop_assert!(v == 1 || v == -1);
+        }
+
+        #[test]
+        fn prop_row_hashes_deterministic(seed in any::<u64>(), k in 1usize..8, m_pow in 1u32..8, x in any::<u64>()) {
+            let m = 1usize << m_pow;
+            let a = RowHashes::from_seed(seed, k, m);
+            let b = RowHashes::from_seed(seed, k, m);
+            for j in 0..k {
+                prop_assert_eq!(a.pair(j).bucket_of(x), b.pair(j).bucket_of(x));
+                prop_assert_eq!(a.pair(j).sign_of(x), b.pair(j).sign_of(x));
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # ldpjs-common
+//!
+//! Shared substrates used by every other crate in the LDPJoinSketch workspace:
+//!
+//! * [`hash`] — seeded pairwise / 4-wise independent hash families. The fast-AGMS
+//!   construction (and therefore LDPJoinSketch) needs, for every sketch row `j`, a bucket
+//!   hash `h_j : D -> [m]` and a 4-wise independent sign hash `ξ_j : D -> {-1,+1}`.
+//! * [`hadamard`] — Walsh–Hadamard matrix entries and the in-place fast Walsh–Hadamard
+//!   transform used by the Hadamard mechanism on both the client and the server side.
+//! * [`rr`] — the binary randomized-response primitive and the de-bias constant
+//!   `c_ε = (e^ε + 1)/(e^ε − 1)`.
+//! * [`privacy`] — the validated privacy-budget type [`privacy::Epsilon`].
+//! * [`stats`] — medians, means and frequency-moment helpers shared by the estimators
+//!   and the evaluation harness.
+//! * [`error`] — the workspace-wide error type.
+//!
+//! Everything here is pure computation with deterministic, seedable randomness so that
+//! experiments and property tests are reproducible.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod hadamard;
+pub mod hash;
+pub mod privacy;
+pub mod rr;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use hash::{HashPair, RowHashes, SignHash, BucketHash};
+pub use privacy::Epsilon;
+
+/// The type of a private join-attribute value.
+///
+/// The paper treats join values as elements of a large discrete domain `D`; we follow the
+/// common LDP-literature convention of identifying `D` with `{0, 1, …, |D|-1}` and encode
+/// every value as a `u64`.
+pub type Value = u64;

@@ -1,0 +1,108 @@
+//! Analytical error bounds (Theorems 4 and 5).
+//!
+//! The paper bounds the variance of each per-row estimator by
+//! `Var[M_A[j]·M_B[j]] ≤ (2/m)·(F1(A) + (k·c_ε²−1)/2)²·(F1(B) + (k·c_ε²−1)/2)²`
+//! and the error of the median-combined estimate by
+//! `Pr[|Est − |A⋈B|| ≥ (4/√m)·(F1(A)+(k·c_ε²−1)/2)·(F1(B)+(k·c_ε²−1)/2)] ≤ δ`
+//! with `k = 4·log(1/δ)`.
+//!
+//! These quantities are useful for choosing `(k, m)` given table sizes and for sanity-checking
+//! measured errors in the experiments (EXPERIMENTS.md reports both).
+
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_sketch::SketchParams;
+
+/// The "privacy inflation" term `(k·c_ε² − 1)/2` that LDP adds to each table's `F1` in the
+/// bounds. The paper notes it is much smaller than `F1` for realistic table sizes.
+pub fn privacy_inflation(params: SketchParams, eps: Epsilon) -> f64 {
+    let c = eps.c_eps();
+    (params.rows() as f64 * c * c - 1.0) / 2.0
+}
+
+/// Upper bound on the variance of one per-row estimator (Theorem 4).
+pub fn row_estimator_variance_bound(
+    params: SketchParams,
+    eps: Epsilon,
+    f1_a: f64,
+    f1_b: f64,
+) -> f64 {
+    let infl = privacy_inflation(params, eps);
+    let m = params.columns() as f64;
+    (2.0 / m) * (f1_a + infl).powi(2) * (f1_b + infl).powi(2)
+}
+
+/// The error radius of Theorem 5: with probability at least `1 − δ` (for `k = 4·log(1/δ)`)
+/// the absolute estimation error stays below `(4/√m)·(F1(A)+infl)·(F1(B)+infl)`.
+pub fn error_bound(params: SketchParams, eps: Epsilon, f1_a: f64, f1_b: f64) -> f64 {
+    let infl = privacy_inflation(params, eps);
+    let m = params.columns() as f64;
+    (4.0 / m.sqrt()) * (f1_a + infl) * (f1_b + infl)
+}
+
+/// The failure probability `δ = e^{-k/4}` implied by the number of rows `k` (inverse of the
+/// `k = 4·log(1/δ)` relation used in Theorem 5 and in Fig. 9(e)–(h)'s parameter grid).
+pub fn failure_probability(params: SketchParams) -> f64 {
+    (-(params.rows() as f64) / 4.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(k: usize, m: usize) -> SketchParams {
+        SketchParams::new(k, m).unwrap()
+    }
+
+    fn e(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    #[test]
+    fn inflation_shrinks_with_epsilon() {
+        // c_ε → 1 as ε → ∞, so the inflation tends to (k−1)/2.
+        let params = p(18, 1024);
+        let large = privacy_inflation(params, e(10.0));
+        let small = privacy_inflation(params, e(0.5));
+        assert!(large < small);
+        assert!(large >= (18.0 - 1.0) / 2.0 - 1.0);
+        assert!((privacy_inflation(params, e(50.0)) - 8.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn inflation_is_negligible_for_large_tables() {
+        // The paper's claim: (k·c_ε²−1)/2 << F1 in realistic settings.
+        let infl = privacy_inflation(p(18, 1024), e(4.0));
+        assert!(infl < 100.0, "inflation {infl}");
+        assert!(infl / 40_000_000.0 < 1e-4);
+    }
+
+    #[test]
+    fn error_bound_decreases_with_m() {
+        let f1 = 1.0e6;
+        let b_small = error_bound(p(18, 1024), e(4.0), f1, f1);
+        let b_large = error_bound(p(18, 16384), e(4.0), f1, f1);
+        assert!(b_large < b_small);
+        // Quadrupling m halves the bound (1/√m scaling).
+        let b_4x = error_bound(p(18, 4096), e(4.0), f1, f1);
+        assert!((b_small / b_4x - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_bound_matches_formula() {
+        let params = p(9, 256);
+        let eps = e(2.0);
+        let infl = privacy_inflation(params, eps);
+        let expected = (2.0 / 256.0) * (1000.0 + infl).powi(2) * (2000.0 + infl).powi(2);
+        assert!((row_estimator_variance_bound(params, eps, 1000.0, 2000.0) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failure_probability_matches_k() {
+        // k = 4·log(1/δ) ⇒ δ = e^{-k/4}.
+        assert!((failure_probability(p(9, 64)) - (-2.25f64).exp()).abs() < 1e-12);
+        assert!(failure_probability(p(36, 64)) < failure_probability(p(18, 64)));
+        // k = 18 corresponds to δ ≈ 0.011, matching the paper's δ ∈ {…, 0.01, …} grid.
+        let delta_18 = failure_probability(p(18, 64));
+        assert!(delta_18 > 0.005 && delta_18 < 0.02);
+    }
+}

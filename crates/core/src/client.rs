@@ -1,0 +1,270 @@
+//! Client-side of LDPJoinSketch (Algorithm 1).
+//!
+//! Given a private join value `d`, the client
+//!
+//! 1. samples a sketch row `j ∈ [k]` and a Hadamard coordinate `l ∈ [m]` uniformly,
+//! 2. encodes `d` as the one-hot vector `v` with `v[h_j(d)] = ξ_j(d)`,
+//! 3. takes the Hadamard transform `w = v·H_m` — because `v` has a single non-zero entry this
+//!    is just `w[l] = H_m[h_j(d), l]·ξ_j(d)`,
+//! 4. flips the sign of `w[l]` with probability `1/(e^ε+1)` (binary randomized response), and
+//! 5. reports `(y, j, l)`.
+//!
+//! The only difference from Apple-HCMS's client is step 2: HCMS encodes `v[h_j(d)] = 1`,
+//! LDPJoinSketch encodes the fast-AGMS sign `ξ_j(d)` so that sketch *products* estimate join
+//! sizes (Theorem 1 proves the output distribution still satisfies ε-LDP).
+
+use ldpjs_common::hadamard::hadamard_entry_f64;
+use ldpjs_common::hash::RowHashes;
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::rr::sample_sign_bit;
+use ldpjs_sketch::SketchParams;
+use rand::{Rng, RngCore};
+use std::sync::Arc;
+
+/// One perturbed client report `(y, j, l)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientReport {
+    /// The perturbed Hadamard coefficient, always ±1.
+    pub y: f64,
+    /// The sampled sketch row `j ∈ [k]`.
+    pub row: usize,
+    /// The sampled Hadamard coordinate `l ∈ [m]`.
+    pub col: usize,
+}
+
+impl ClientReport {
+    /// Size of the compact wire encoding in bytes.
+    pub const WIRE_SIZE: usize = 5;
+
+    /// Encode the report into the 5-byte wire format actually shipped to the aggregator:
+    /// one sign byte followed by the row and column as little-endian `u16`s.
+    ///
+    /// # Panics
+    /// Panics if `row` or `col` does not fit in 16 bits (sketches that large are outside the
+    /// supported parameter range — the Hadamard order is capped well below 2¹⁶ in practice).
+    pub fn to_wire(&self) -> [u8; Self::WIRE_SIZE] {
+        assert!(self.row <= u16::MAX as usize, "row {} does not fit the wire format", self.row);
+        assert!(self.col <= u16::MAX as usize, "col {} does not fit the wire format", self.col);
+        let row = (self.row as u16).to_le_bytes();
+        let col = (self.col as u16).to_le_bytes();
+        [if self.y >= 0.0 { 1 } else { 0 }, row[0], row[1], col[0], col[1]]
+    }
+
+    /// Decode a report from its wire encoding. The caller (the server) still validates the
+    /// indices against its sketch dimensions when absorbing the report.
+    pub fn from_wire(bytes: [u8; Self::WIRE_SIZE]) -> Self {
+        ClientReport {
+            y: if bytes[0] != 0 { 1.0 } else { -1.0 },
+            row: u16::from_le_bytes([bytes[1], bytes[2]]) as usize,
+            col: u16::from_le_bytes([bytes[3], bytes[4]]) as usize,
+        }
+    }
+}
+
+/// The client-side encoder/perturber of LDPJoinSketch.
+///
+/// The hash family is public protocol state shared with the server, so it is held behind an
+/// [`Arc`] and can be cloned cheaply into many simulated clients.
+#[derive(Debug, Clone)]
+pub struct LdpJoinSketchClient {
+    params: SketchParams,
+    eps: Epsilon,
+    hashes: Arc<RowHashes>,
+}
+
+impl LdpJoinSketchClient {
+    /// Create a client for the sketch described by `params`, privacy budget `eps`, and the
+    /// public hash-family seed `seed`.
+    pub fn new(params: SketchParams, eps: Epsilon, seed: u64) -> Self {
+        let hashes = Arc::new(RowHashes::from_seed(seed, params.rows(), params.columns()));
+        LdpJoinSketchClient { params, eps, hashes }
+    }
+
+    /// Create a client that shares an already-derived hash family (used by the server and by
+    /// FAP so that every participant agrees on `(h_j, ξ_j)`).
+    pub fn with_hashes(params: SketchParams, eps: Epsilon, hashes: Arc<RowHashes>) -> Self {
+        debug_assert_eq!(hashes.rows(), params.rows());
+        debug_assert_eq!(hashes.columns(), params.columns());
+        LdpJoinSketchClient { params, eps, hashes }
+    }
+
+    /// Sketch parameters `(k, m)`.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// The privacy budget ε.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The shared public hash family.
+    #[inline]
+    pub fn hashes(&self) -> &Arc<RowHashes> {
+        &self.hashes
+    }
+
+    /// Algorithm 1: encode and perturb one private value.
+    pub fn perturb(&self, value: u64, rng: &mut dyn RngCore) -> ClientReport {
+        let k = self.params.rows();
+        let m = self.params.columns();
+        // Line 1: sample j ~ U[k], l ~ U[m].
+        let row = rng.gen_range(0..k);
+        let col = rng.gen_range(0..m);
+        // Lines 2–4: v[h_j(d)] = ξ_j(d); w = v·H_m; keep only w[l].
+        let pair = self.hashes.pair(row);
+        let bucket = pair.bucket_of(value);
+        let sign = pair.sign_of(value) as f64;
+        let w_l = hadamard_entry_f64(m, bucket, col) * sign;
+        // Lines 5–6: randomized response on the sampled coefficient.
+        let y = sample_sign_bit(rng, self.eps) * w_l;
+        ClientReport { y, row, col }
+    }
+
+    /// Perturb a whole slice of values (one simulated client per element).
+    pub fn perturb_all(&self, values: &[u64], rng: &mut dyn RngCore) -> Vec<ClientReport> {
+        values.iter().map(|&v| self.perturb(v, rng)).collect()
+    }
+
+    /// Communication cost of one report in bits: the perturbed bit plus the `(j, l)` indices.
+    pub fn report_bits(&self) -> u64 {
+        let k_bits = (self.params.rows().max(2) as f64).log2().ceil() as u64;
+        let m_bits = (self.params.columns().max(2) as f64).log2().ceil() as u64;
+        1 + k_bits + m_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn client(k: usize, m: usize, eps: f64, seed: u64) -> LdpJoinSketchClient {
+        LdpJoinSketchClient::new(
+            SketchParams::new(k, m).unwrap(),
+            Epsilon::new(eps).unwrap(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn reports_have_valid_shape() {
+        let c = client(18, 1024, 4.0, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in 0..500u64 {
+            let r = c.perturb(v, &mut rng);
+            assert!(r.y == 1.0 || r.y == -1.0, "y must be a sign, got {}", r.y);
+            assert!(r.row < 18);
+            assert!(r.col < 1024);
+        }
+    }
+
+    #[test]
+    fn rows_and_columns_are_sampled_uniformly() {
+        let c = client(4, 8, 4.0, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut row_counts = [0u32; 4];
+        let mut col_counts = [0u32; 8];
+        let n = 40_000;
+        for _ in 0..n {
+            let r = c.perturb(123, &mut rng);
+            row_counts[r.row] += 1;
+            col_counts[r.col] += 1;
+        }
+        for &c in &row_counts {
+            assert!((c as f64 - n as f64 / 4.0).abs() < 0.05 * n as f64);
+        }
+        for &c in &col_counts {
+            assert!((c as f64 - n as f64 / 8.0).abs() < 0.05 * n as f64);
+        }
+    }
+
+    #[test]
+    fn unperturbed_signal_dominates_for_large_epsilon() {
+        // With ε = 12 the flip probability is ≈ 6e-6, so the report essentially always equals
+        // H[h_j(d), l]·ξ_j(d); reconstructing that product must match the hash family.
+        let c = client(6, 64, 12.0, 11);
+        let mut rng = StdRng::seed_from_u64(4);
+        for v in 0..100u64 {
+            let r = c.perturb(v, &mut rng);
+            let pair = c.hashes().pair(r.row);
+            let expected = ldpjs_common::hadamard::hadamard_entry_f64(64, pair.bucket_of(v), r.col)
+                * pair.sign_of(v) as f64;
+            assert_eq!(r.y, expected);
+        }
+    }
+
+    #[test]
+    fn empirical_ldp_ratio_is_bounded() {
+        // Empirical check of Theorem 1: for two different inputs, the probability of any
+        // specific output (y, j, l) differs by at most a factor e^ε (up to sampling noise).
+        let eps = 1.0;
+        let c = client(2, 4, eps, 5);
+        let trials = 300_000;
+        let mut hist_a: HashMap<(i8, usize, usize), u64> = HashMap::new();
+        let mut hist_b: HashMap<(i8, usize, usize), u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..trials {
+            let ra = c.perturb(1, &mut rng);
+            *hist_a.entry((ra.y as i8, ra.row, ra.col)).or_insert(0) += 1;
+            let rb = c.perturb(2, &mut rng);
+            *hist_b.entry((rb.y as i8, rb.row, rb.col)).or_insert(0) += 1;
+        }
+        let bound = eps.exp() * 1.25; // slack for sampling noise
+        for (key, &ca) in &hist_a {
+            let cb = hist_b.get(key).copied().unwrap_or(0).max(1);
+            let ratio = ca as f64 / cb as f64;
+            assert!(
+                ratio < bound && ratio > 1.0 / bound,
+                "output {key:?} has probability ratio {ratio}, outside e^±ε"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_all_matches_length_and_bits() {
+        let c = client(18, 1024, 4.0, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let reports = c.perturb_all(&[1, 2, 3, 4, 5], &mut rng);
+        assert_eq!(reports.len(), 5);
+        // 1 + ceil(log2 18) + log2 1024 = 1 + 5 + 10.
+        assert_eq!(c.report_bits(), 16);
+    }
+
+    #[test]
+    fn wire_format_roundtrips() {
+        let c = client(18, 1024, 4.0, 3);
+        let mut rng = StdRng::seed_from_u64(12);
+        for v in 0..200u64 {
+            let report = c.perturb(v, &mut rng);
+            let decoded = ClientReport::from_wire(report.to_wire());
+            assert_eq!(report, decoded);
+        }
+        // The wire format is exactly five bytes, matching the documented size.
+        assert_eq!(ClientReport { y: -1.0, row: 17, col: 1023 }.to_wire().len(), ClientReport::WIRE_SIZE);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit the wire format")]
+    fn wire_format_rejects_oversized_indices() {
+        let _ = ClientReport { y: 1.0, row: 70_000, col: 0 }.to_wire();
+    }
+
+    #[test]
+    fn shared_hash_family_produces_identical_deterministic_encoding() {
+        let params = SketchParams::new(8, 256).unwrap();
+        let eps = Epsilon::new(20.0).unwrap(); // negligible flip probability
+        let c1 = LdpJoinSketchClient::new(params, eps, 42);
+        let c2 = LdpJoinSketchClient::with_hashes(params, eps, Arc::clone(c1.hashes()));
+        // Same RNG stream -> identical (j, l) samples and identical unperturbed signal.
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        for v in 0..50u64 {
+            assert_eq!(c1.perturb(v, &mut rng1), c2.perturb(v, &mut rng2));
+        }
+    }
+}

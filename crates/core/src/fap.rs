@@ -1,0 +1,263 @@
+//! Frequency-Aware Perturbation (FAP, Algorithm 4).
+//!
+//! Phase 2 of LDPJoinSketch+ estimates the join size of high-frequency and low-frequency items
+//! separately. FAP makes that possible without leaking which group a user belongs to:
+//!
+//! * **Target** values (the group the sketch is supposed to summarise) are encoded exactly as
+//!   in Algorithm 1: `v[h_j(d)] = ξ_j(d)`.
+//! * **Non-target** values are encoded *independently of their true value*: a uniformly random
+//!   position `r ∈ [m]` is set to `1` (`v[r] = 1`). Their expected contribution to every
+//!   restored counter is therefore `|NT|/m` (Theorem 8), which the server can subtract.
+//!
+//! Both branches finish with the same Hadamard sampling and randomized response, so the server
+//! cannot distinguish a target report from a non-target one (Theorem 6: FAP satisfies ε-LDP).
+
+use ldpjs_common::hadamard::hadamard_entry_f64;
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::rr::sample_sign_bit;
+use ldpjs_sketch::SketchParams;
+use rand::{Rng, RngCore};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::client::{ClientReport, LdpJoinSketchClient};
+
+/// Which group of values the sketch being built is *targeting* (the `mode` argument of
+/// Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FapMode {
+    /// `mode == H`: the sketch summarises high-frequency items; values outside the frequent
+    /// item set are non-targets and get the randomised encoding.
+    HighFrequency,
+    /// `mode == L`: the sketch summarises low-frequency items; values *inside* the frequent
+    /// item set are non-targets.
+    LowFrequency,
+}
+
+impl FapMode {
+    /// Returns `true` if a value with the given membership in the frequent-item set is a
+    /// non-target under this mode — the condition `(mode == H) == (d ∉ FI)` of Algorithm 4.
+    #[inline]
+    pub fn is_non_target(self, in_frequent_set: bool) -> bool {
+        match self {
+            FapMode::HighFrequency => !in_frequent_set,
+            FapMode::LowFrequency => in_frequent_set,
+        }
+    }
+}
+
+/// The FAP client: wraps an [`LdpJoinSketchClient`] and re-routes non-target values through
+/// the value-independent random encoding.
+#[derive(Debug, Clone)]
+pub struct FapClient {
+    inner: LdpJoinSketchClient,
+    mode: FapMode,
+    frequent_items: Arc<HashSet<u64>>,
+}
+
+impl FapClient {
+    /// Create a FAP client.
+    ///
+    /// `inner` carries the sketch parameters, privacy budget and public hash family;
+    /// `frequent_items` is the set `FI` broadcast by the server after phase 1.
+    pub fn new(inner: LdpJoinSketchClient, mode: FapMode, frequent_items: Arc<HashSet<u64>>) -> Self {
+        FapClient { inner, mode, frequent_items }
+    }
+
+    /// The targeting mode.
+    #[inline]
+    pub fn mode(&self) -> FapMode {
+        self.mode
+    }
+
+    /// The frequent item set `FI`.
+    #[inline]
+    pub fn frequent_items(&self) -> &Arc<HashSet<u64>> {
+        &self.frequent_items
+    }
+
+    /// Sketch parameters.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.inner.params()
+    }
+
+    /// Privacy budget.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.inner.epsilon()
+    }
+
+    /// Returns `true` if `value` would be encoded with the non-target branch.
+    #[inline]
+    pub fn is_non_target(&self, value: u64) -> bool {
+        self.mode.is_non_target(self.frequent_items.contains(&value))
+    }
+
+    /// Algorithm 4: encode and perturb one private value.
+    pub fn perturb(&self, value: u64, rng: &mut dyn RngCore) -> ClientReport {
+        if self.is_non_target(value) {
+            self.perturb_non_target(rng)
+        } else {
+            // Target branch: exactly the LDPJoinSketch client (Algorithm 4, line 10).
+            self.inner.perturb(value, rng)
+        }
+    }
+
+    /// Perturb a whole group of values.
+    pub fn perturb_all(&self, values: &[u64], rng: &mut dyn RngCore) -> Vec<ClientReport> {
+        values.iter().map(|&v| self.perturb(v, rng)).collect()
+    }
+
+    /// The non-target branch (Algorithm 4, lines 2–8): encode `v[r] = 1` at a random position
+    /// `r`, Hadamard-sample coordinate `l`, and apply randomized response. The output carries
+    /// no information about the true value.
+    fn perturb_non_target(&self, rng: &mut dyn RngCore) -> ClientReport {
+        let params = self.inner.params();
+        let (k, m) = (params.rows(), params.columns());
+        let row = rng.gen_range(0..k);
+        let col = rng.gen_range(0..m);
+        let r = rng.gen_range(0..m);
+        let w_l = hadamard_entry_f64(m, r, col);
+        let y = sample_sign_bit(rng, self.inner.epsilon()) * w_l;
+        ClientReport { y, row, col }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::LdpJoinSketch;
+    use ldpjs_common::Epsilon;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn setup(mode: FapMode, fi: &[u64], eps: f64) -> FapClient {
+        let params = SketchParams::new(8, 256).unwrap();
+        let inner = LdpJoinSketchClient::new(params, Epsilon::new(eps).unwrap(), 17);
+        FapClient::new(inner, mode, Arc::new(fi.iter().copied().collect()))
+    }
+
+    #[test]
+    fn non_target_condition_matches_algorithm_4() {
+        assert!(FapMode::HighFrequency.is_non_target(false));
+        assert!(!FapMode::HighFrequency.is_non_target(true));
+        assert!(FapMode::LowFrequency.is_non_target(true));
+        assert!(!FapMode::LowFrequency.is_non_target(false));
+
+        let client = setup(FapMode::HighFrequency, &[1, 2, 3], 4.0);
+        assert!(!client.is_non_target(1));
+        assert!(client.is_non_target(99));
+        let client = setup(FapMode::LowFrequency, &[1, 2, 3], 4.0);
+        assert!(client.is_non_target(1));
+        assert!(!client.is_non_target(99));
+    }
+
+    #[test]
+    fn reports_have_valid_shape() {
+        let client = setup(FapMode::HighFrequency, &[5], 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for v in 0..100u64 {
+            let r = client.perturb(v, &mut rng);
+            assert!(r.y == 1.0 || r.y == -1.0);
+            assert!(r.row < 8);
+            assert!(r.col < 256);
+        }
+    }
+
+    #[test]
+    fn target_values_contribute_their_frequency() {
+        // mode = H, all values frequent: behaves exactly like LDPJoinSketch.
+        let params = SketchParams::new(12, 256).unwrap();
+        let eps = Epsilon::new(6.0).unwrap();
+        let inner = LdpJoinSketchClient::new(params, eps, 23);
+        let client = FapClient::new(inner, FapMode::HighFrequency, Arc::new([7u64].into_iter().collect()));
+        let n = 50_000usize;
+        let mut rng = StdRng::seed_from_u64(5);
+        let reports = client.perturb_all(&vec![7u64; n], &mut rng);
+        let mut sketch = LdpJoinSketch::new(params, eps, 23);
+        sketch.absorb_all(&reports).unwrap();
+        let est = sketch.frequency(7);
+        assert!((est - n as f64).abs() < 0.1 * n as f64, "target frequency estimate {est}");
+    }
+
+    #[test]
+    fn non_target_values_spread_uniformly_and_cancel() {
+        // mode = H, no value frequent: every report is non-target. The expected contribution
+        // to any counter is |NT|/m, and the frequency estimate of any value (after removing
+        // |NT|/m per counter) should be near zero — here we check the raw estimate is near
+        // |NT|/m ≈ n/m times a small factor, i.e. the value-specific signal is gone.
+        let params = SketchParams::new(12, 256).unwrap();
+        let eps = Epsilon::new(6.0).unwrap();
+        let inner = LdpJoinSketchClient::new(params, eps, 31);
+        let client = FapClient::new(inner, FapMode::HighFrequency, Arc::new(HashSet::new()));
+        let n = 80_000usize;
+        let mut rng = StdRng::seed_from_u64(6);
+        // Everybody holds value 7, but 7 is not frequent so it is a non-target.
+        let reports = client.perturb_all(&vec![7u64; n], &mut rng);
+        let mut sketch = LdpJoinSketch::new(params, eps, 31);
+        sketch.absorb_all(&reports).unwrap();
+        let est = sketch.frequency(7);
+        // If the value leaked, the estimate would be ≈ n = 80000. It must instead be on the
+        // order of the collision mass n/m ≈ 312 (plus noise).
+        assert!(
+            est.abs() < 0.1 * n as f64,
+            "non-target value leaked into the sketch: estimate {est}"
+        );
+    }
+
+    #[test]
+    fn non_target_mass_matches_theorem_8() {
+        // The average restored counter should be |NT|/m for a sketch of pure non-targets
+        // (Theorem 8). Per-row means fluctuate (each is driven by ~n/(k·m) reports), so we
+        // check the mean over the whole sketch, whose standard error is √k smaller.
+        let params = SketchParams::new(8, 128).unwrap();
+        let eps = Epsilon::new(8.0).unwrap();
+        let inner = LdpJoinSketchClient::new(params, eps, 41);
+        let client = FapClient::new(inner, FapMode::HighFrequency, Arc::new(HashSet::new()));
+        let n = 120_000usize;
+        let mut rng = StdRng::seed_from_u64(7);
+        let reports = client.perturb_all(&vec![3u64; n], &mut rng);
+        let mut sketch = LdpJoinSketch::new(params, eps, 41);
+        sketch.absorb_all(&reports).unwrap();
+        let restored = sketch.restored_matrix();
+        let expected = n as f64 / 128.0;
+        let overall_mean: f64 = restored.iter().sum::<f64>() / restored.len() as f64;
+        assert!(
+            (overall_mean - expected).abs() < 0.15 * expected,
+            "mean counter {overall_mean}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn empirical_ldp_ratio_between_target_and_non_target() {
+        // Theorem 6: the server cannot distinguish a target report from a non-target report.
+        // Compare the output distributions of a frequent value (target) and a rare value
+        // (non-target) under mode = H.
+        let params = SketchParams::new(2, 4).unwrap();
+        let eps_val = 1.0;
+        let inner = LdpJoinSketchClient::new(params, Epsilon::new(eps_val).unwrap(), 2);
+        let client =
+            FapClient::new(inner, FapMode::HighFrequency, Arc::new([1u64].into_iter().collect()));
+        let trials = 300_000;
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut hist_target: HashMap<(i8, usize, usize), u64> = HashMap::new();
+        let mut hist_nontarget: HashMap<(i8, usize, usize), u64> = HashMap::new();
+        for _ in 0..trials {
+            let rt = client.perturb(1, &mut rng); // frequent -> target
+            *hist_target.entry((rt.y as i8, rt.row, rt.col)).or_insert(0) += 1;
+            let rn = client.perturb(9, &mut rng); // rare -> non-target
+            *hist_nontarget.entry((rn.y as i8, rn.row, rn.col)).or_insert(0) += 1;
+        }
+        let bound = eps_val.exp() * 1.25;
+        for (key, &ct) in &hist_target {
+            let cn = hist_nontarget.get(key).copied().unwrap_or(0).max(1);
+            let ratio = ct as f64 / cn as f64;
+            assert!(
+                ratio < bound && ratio > 1.0 / bound,
+                "output {key:?} separates target from non-target: ratio {ratio}"
+            );
+        }
+    }
+}

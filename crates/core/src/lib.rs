@@ -1,0 +1,41 @@
+//! # ldpjs-core
+//!
+//! The paper's primary contribution: **LDPJoinSketch** and **LDPJoinSketch+**, sketch-based
+//! join size estimation under local differential privacy.
+//!
+//! * [`client`] — Algorithm 1, the client-side encode-and-perturb pipeline.
+//! * [`server`] — Algorithm 2 (`PriSk`), server-side sketch construction, the join-size
+//!   estimator of Eq. 5 and the frequency estimator of Theorem 7.
+//! * [`fap`] — Algorithm 4, the Frequency-Aware Perturbation mechanism.
+//! * [`plus`] — Algorithm 3 + 5, the two-phase LDPJoinSketch+ protocol (frequent-item
+//!   discovery, high/low-frequency separation, non-target mass removal).
+//! * [`multiway`] — Section VI, the COMPASS-style extension to multi-way chain joins.
+//! * [`bounds`] — the analytical error bound of Theorem 5.
+//! * [`protocol`] — end-to-end convenience runners used by the examples and the experiment
+//!   harness (simulate all clients, build the sketches, return the estimate).
+//!
+//! The crate is purely computational: "clients" are simulated by iterating over the values of
+//! a table and perturbing each with a caller-supplied RNG, which is exactly how the paper's
+//! evaluation is run.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bounds;
+pub mod client;
+pub mod fap;
+pub mod multiway;
+pub mod plus;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientReport, LdpJoinSketchClient};
+pub use fap::{FapClient, FapMode};
+pub use plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
+pub use protocol::{ldp_join_estimate, ldp_join_plus_estimate};
+pub use server::LdpJoinSketch;
+
+/// Re-export of the shared sketch dimensioning type.
+pub use ldpjs_sketch::SketchParams;
+/// Re-export of the validated privacy budget.
+pub use ldpjs_common::Epsilon;

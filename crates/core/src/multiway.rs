@@ -1,0 +1,459 @@
+//! Multi-way chain joins under LDP (Section VI).
+//!
+//! The construction mirrors COMPASS: every join attribute carries a public hash family
+//! ([`JoinAttribute`]); single-attribute tables are summarised with ordinary LDPJoinSketches,
+//! and a two-attribute table `T(A, B)` is summarised with a two-dimensional sketch whose
+//! client encodes each tuple `(a, b)` as
+//!
+//! `y = H_{m_A}[h_A(a), l_1] · ξ_A(a)·ξ_B(b) · H_{m_B}[l_2, h_B(b)]`
+//!
+//! for uniformly sampled coordinates `(l_1, l_2)`, flips the sign with probability
+//! `1/(e^ε+1)`, and reports `(y, j, l_1, l_2)` (with `j` the sampled replica). The server
+//! accumulates `k·c_ε·y` and restores each replica with a two-dimensional Hadamard transform.
+//! The chain size is estimated by contracting the sketches along shared attributes and taking
+//! the median over replicas (Eq. 27).
+
+use ldpjs_common::error::{Error, Result};
+use ldpjs_common::hadamard::{fwht_in_place, hadamard_entry_f64};
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::rr::sample_sign_bit;
+use ldpjs_common::stats::median;
+use ldpjs_sketch::compass::JoinAttribute;
+use rand::{Rng, RngCore};
+
+/// One perturbed report for a two-attribute table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeReport {
+    /// The perturbed encoded value (±1).
+    pub y: f64,
+    /// The sampled replica `j ∈ [k]`.
+    pub replica: usize,
+    /// The sampled Hadamard coordinate of the first attribute.
+    pub col_a: usize,
+    /// The sampled Hadamard coordinate of the second attribute.
+    pub col_b: usize,
+}
+
+/// Client-side encoder for a two-attribute table.
+#[derive(Debug, Clone)]
+pub struct LdpEdgeSketchClient {
+    attr_a: JoinAttribute,
+    attr_b: JoinAttribute,
+    eps: Epsilon,
+}
+
+impl LdpEdgeSketchClient {
+    /// Create an edge client over attributes `(attr_a, attr_b)` with privacy budget `eps`.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if the attributes disagree on the replica count.
+    pub fn new(attr_a: JoinAttribute, attr_b: JoinAttribute, eps: Epsilon) -> Result<Self> {
+        if attr_a.replicas() != attr_b.replicas() {
+            return Err(Error::IncompatibleSketches(format!(
+                "edge client attributes must share the replica count: {} vs {}",
+                attr_a.replicas(),
+                attr_b.replicas()
+            )));
+        }
+        Ok(LdpEdgeSketchClient { attr_a, attr_b, eps })
+    }
+
+    /// Encode and perturb one tuple `(a, b)`.
+    pub fn perturb(&self, a: u64, b: u64, rng: &mut dyn RngCore) -> EdgeReport {
+        let k = self.attr_a.replicas();
+        let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
+        let replica = rng.gen_range(0..k);
+        let col_a = rng.gen_range(0..ma);
+        let col_b = rng.gen_range(0..mb);
+        let ha = self.attr_a.bucket_of(replica, a);
+        let hb = self.attr_b.bucket_of(replica, b);
+        let sign = self.attr_a.sign_of(replica, a) * self.attr_b.sign_of(replica, b);
+        let encoded =
+            hadamard_entry_f64(ma, ha, col_a) * sign * hadamard_entry_f64(mb, col_b, hb);
+        let y = sample_sign_bit(rng, self.eps) * encoded;
+        EdgeReport { y, replica, col_a, col_b }
+    }
+
+    /// Perturb a whole table of tuples.
+    pub fn perturb_all(&self, tuples: &[(u64, u64)], rng: &mut dyn RngCore) -> Vec<EdgeReport> {
+        tuples.iter().map(|&(a, b)| self.perturb(a, b, rng)).collect()
+    }
+}
+
+/// Server-side two-dimensional LDP sketch for a two-attribute table.
+#[derive(Debug, Clone)]
+pub struct LdpEdgeSketch {
+    attr_a: JoinAttribute,
+    attr_b: JoinAttribute,
+    eps: Epsilon,
+    /// `k × m_A × m_B` accumulated counters (Hadamard domain).
+    raw: Vec<f64>,
+    reports: u64,
+}
+
+impl LdpEdgeSketch {
+    /// Create an empty edge sketch.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if the attributes disagree on the replica count.
+    pub fn new(attr_a: JoinAttribute, attr_b: JoinAttribute, eps: Epsilon) -> Result<Self> {
+        if attr_a.replicas() != attr_b.replicas() {
+            return Err(Error::IncompatibleSketches(
+                "edge sketch attributes must share the replica count".into(),
+            ));
+        }
+        let len = attr_a.replicas() * attr_a.buckets() * attr_b.buckets();
+        Ok(LdpEdgeSketch { attr_a, attr_b, eps, raw: vec![0.0; len], reports: 0 })
+    }
+
+    /// The first join attribute.
+    #[inline]
+    pub fn attribute_a(&self) -> &JoinAttribute {
+        &self.attr_a
+    }
+
+    /// The second join attribute.
+    #[inline]
+    pub fn attribute_b(&self) -> &JoinAttribute {
+        &self.attr_b
+    }
+
+    /// Number of absorbed reports.
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Absorb one report: `M[j, l_1, l_2] += k·c_ε·y`.
+    ///
+    /// # Errors
+    /// Returns [`Error::ReportOutOfRange`] if the report indices do not fit the sketch.
+    pub fn absorb(&mut self, report: EdgeReport) -> Result<()> {
+        let k = self.attr_a.replicas();
+        let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
+        if report.replica >= k || report.col_a >= ma || report.col_b >= mb {
+            return Err(Error::ReportOutOfRange {
+                row: report.replica,
+                col: report.col_a * mb + report.col_b,
+                rows: k,
+                cols: ma * mb,
+            });
+        }
+        let scale = k as f64 * self.eps.c_eps();
+        let idx = (report.replica * ma + report.col_a) * mb + report.col_b;
+        self.raw[idx] += scale * report.y;
+        self.reports += 1;
+        Ok(())
+    }
+
+    /// Absorb a batch of reports.
+    pub fn absorb_all(&mut self, reports: &[EdgeReport]) -> Result<()> {
+        for &r in reports {
+            self.absorb(r)?;
+        }
+        Ok(())
+    }
+
+    /// Restore one replica: apply the Hadamard transform along both dimensions
+    /// (`M̃ = H_{m_A}ᵀ · M · H_{m_B}ᵀ`). Returns a row-major `m_A × m_B` matrix.
+    pub fn restored_replica(&self, j: usize) -> Vec<f64> {
+        let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
+        let per = ma * mb;
+        let mut out = self.raw[j * per..(j + 1) * per].to_vec();
+        // Transform along the second dimension (rows of the matrix).
+        for row in 0..ma {
+            fwht_in_place(&mut out[row * mb..(row + 1) * mb]);
+        }
+        // Transform along the first dimension (columns of the matrix).
+        let mut column = vec![0.0; ma];
+        for col in 0..mb {
+            for row in 0..ma {
+                column[row] = out[row * mb + col];
+            }
+            fwht_in_place(&mut column);
+            for row in 0..ma {
+                out[row * mb + col] = column[row];
+            }
+        }
+        out
+    }
+}
+
+fn check_shared(left: &JoinAttribute, right: &JoinAttribute, what: &str) -> Result<()> {
+    if left != right {
+        return Err(Error::IncompatibleSketches(format!(
+            "{what} must use the same public hash family on both sides of the join"
+        )));
+    }
+    Ok(())
+}
+
+/// Estimate the 3-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B)|` from LDP sketches.
+///
+/// `t1` and `t3` are plain [`crate::server::LdpJoinSketch`]es built over the hash families of
+/// attributes A and B respectively; `t2` is the two-dimensional edge sketch. The attribute
+/// hash families must match across the sketches.
+pub fn ldp_chain_join_3(
+    t1: &crate::server::LdpJoinSketch,
+    attr_a: &JoinAttribute,
+    t2: &LdpEdgeSketch,
+    t3: &crate::server::LdpJoinSketch,
+    attr_b: &JoinAttribute,
+) -> Result<f64> {
+    check_shared(attr_a, t2.attribute_a(), "attribute A")?;
+    check_shared(attr_b, t2.attribute_b(), "attribute B")?;
+    if t1.hashes().as_ref() != attr_a.hashes() || t3.hashes().as_ref() != attr_b.hashes() {
+        return Err(Error::IncompatibleSketches(
+            "vertex sketches must be built over the chain's attribute hash families".into(),
+        ));
+    }
+    let k = attr_a.replicas();
+    let (ma, mb) = (attr_a.buckets(), attr_b.buckets());
+    let m1 = t1.restored_matrix();
+    let m3 = t3.restored_matrix();
+    let mut per_replica = Vec::with_capacity(k);
+    for j in 0..k {
+        let v1 = &m1[j * ma..(j + 1) * ma];
+        let v3 = &m3[j * mb..(j + 1) * mb];
+        let e = t2.restored_replica(j);
+        let mut acc = 0.0;
+        for la in 0..ma {
+            if v1[la] == 0.0 {
+                continue;
+            }
+            let row = &e[la * mb..(la + 1) * mb];
+            let inner: f64 = row.iter().zip(v3.iter()).map(|(x, y)| x * y).sum();
+            acc += v1[la] * inner;
+        }
+        per_replica.push(acc);
+    }
+    median(&per_replica).ok_or_else(|| Error::EmptyInput("no replicas".into()))
+}
+
+/// Estimate the 4-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B,C) ⋈ T4(C)|` from LDP sketches.
+#[allow(clippy::too_many_arguments)]
+pub fn ldp_chain_join_4(
+    t1: &crate::server::LdpJoinSketch,
+    attr_a: &JoinAttribute,
+    t2: &LdpEdgeSketch,
+    t3: &LdpEdgeSketch,
+    t4: &crate::server::LdpJoinSketch,
+    attr_b: &JoinAttribute,
+    attr_c: &JoinAttribute,
+) -> Result<f64> {
+    check_shared(attr_a, t2.attribute_a(), "attribute A")?;
+    check_shared(attr_b, t2.attribute_b(), "attribute B")?;
+    check_shared(attr_b, t3.attribute_a(), "attribute B")?;
+    check_shared(attr_c, t3.attribute_b(), "attribute C")?;
+    if t1.hashes().as_ref() != attr_a.hashes() || t4.hashes().as_ref() != attr_c.hashes() {
+        return Err(Error::IncompatibleSketches(
+            "vertex sketches must be built over the chain's attribute hash families".into(),
+        ));
+    }
+    let k = attr_a.replicas();
+    let (ma, mb, mc) = (attr_a.buckets(), attr_b.buckets(), attr_c.buckets());
+    let m1 = t1.restored_matrix();
+    let m4 = t4.restored_matrix();
+    let mut per_replica = Vec::with_capacity(k);
+    for j in 0..k {
+        let v1 = &m1[j * ma..(j + 1) * ma];
+        let v4 = &m4[j * mc..(j + 1) * mc];
+        let e2 = t2.restored_replica(j);
+        let e3 = t3.restored_replica(j);
+        // w[lb] = Σ_lc e3[lb, lc] · v4[lc]
+        let mut w = vec![0.0; mb];
+        for lb in 0..mb {
+            let row = &e3[lb * mc..(lb + 1) * mc];
+            w[lb] = row.iter().zip(v4.iter()).map(|(x, y)| x * y).sum();
+        }
+        let mut acc = 0.0;
+        for la in 0..ma {
+            if v1[la] == 0.0 {
+                continue;
+            }
+            let row = &e2[la * mb..(la + 1) * mb];
+            let inner: f64 = row.iter().zip(w.iter()).map(|(x, y)| x * y).sum();
+            acc += v1[la] * inner;
+        }
+        per_replica.push(acc);
+    }
+    median(&per_replica).ok_or_else(|| Error::EmptyInput("no replicas".into()))
+}
+
+/// Convenience: build an [`crate::server::LdpJoinSketch`] for a single-attribute table over a
+/// chain attribute's hash family (the LDP analogue of a COMPASS vertex sketch).
+pub fn build_vertex_sketch(
+    values: &[u64],
+    attr: &JoinAttribute,
+    eps: Epsilon,
+    rng: &mut dyn RngCore,
+) -> Result<crate::server::LdpJoinSketch> {
+    use crate::client::LdpJoinSketchClient;
+    use crate::server::LdpJoinSketch;
+    use ldpjs_sketch::SketchParams;
+    use std::sync::Arc;
+
+    let params = SketchParams::new(attr.replicas(), attr.buckets())?;
+    let hashes = Arc::new(attr.hashes().clone());
+    let client = LdpJoinSketchClient::with_hashes(params, eps, Arc::clone(&hashes));
+    let reports = client.perturb_all(values, rng);
+    let mut sketch = LdpJoinSketch::with_hashes(params, eps, hashes);
+    sketch.absorb_all(&reports)?;
+    sketch.finalize();
+    Ok(sketch)
+}
+
+/// Convenience: build an [`LdpEdgeSketch`] for a two-attribute table.
+pub fn build_edge_sketch(
+    tuples: &[(u64, u64)],
+    attr_a: &JoinAttribute,
+    attr_b: &JoinAttribute,
+    eps: Epsilon,
+    rng: &mut dyn RngCore,
+) -> Result<LdpEdgeSketch> {
+    let client = LdpEdgeSketchClient::new(attr_a.clone(), attr_b.clone(), eps)?;
+    let reports = client.perturb_all(tuples, rng);
+    let mut sketch = LdpEdgeSketch::new(attr_a.clone(), attr_b.clone(), eps)?;
+    sketch.absorb_all(&reports)?;
+    Ok(sketch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpjs_common::stats::{exact_chain_join_3, exact_chain_join_4};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn skewed(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                ((u.powf(-1.3) - 1.0) as u64).min(domain - 1)
+            })
+            .collect()
+    }
+
+    fn skewed_pairs(n: usize, da: u64, db: u64, seed: u64) -> Vec<(u64, u64)> {
+        skewed(n, da, seed).into_iter().zip(skewed(n, db, seed.wrapping_add(1))).collect()
+    }
+
+    #[test]
+    fn edge_client_rejects_mismatched_replicas() {
+        let a = JoinAttribute::from_seed(1, 5, 64);
+        let b = JoinAttribute::from_seed(2, 6, 64);
+        assert!(LdpEdgeSketchClient::new(a.clone(), b.clone(), eps(1.0)).is_err());
+        assert!(LdpEdgeSketch::new(a, b, eps(1.0)).is_err());
+    }
+
+    #[test]
+    fn edge_reports_have_valid_shape() {
+        let a = JoinAttribute::from_seed(1, 5, 64);
+        let b = JoinAttribute::from_seed(2, 5, 32);
+        let client = LdpEdgeSketchClient::new(a, b, eps(2.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..200u64 {
+            let r = client.perturb(i, i * 3, &mut rng);
+            assert!(r.y == 1.0 || r.y == -1.0);
+            assert!(r.replica < 5);
+            assert!(r.col_a < 64);
+            assert!(r.col_b < 32);
+        }
+    }
+
+    #[test]
+    fn edge_sketch_rejects_out_of_range_reports() {
+        let a = JoinAttribute::from_seed(1, 4, 16);
+        let b = JoinAttribute::from_seed(2, 4, 16);
+        let mut sk = LdpEdgeSketch::new(a, b, eps(1.0)).unwrap();
+        assert!(sk.absorb(EdgeReport { y: 1.0, replica: 4, col_a: 0, col_b: 0 }).is_err());
+        assert!(sk.absorb(EdgeReport { y: 1.0, replica: 0, col_a: 16, col_b: 0 }).is_err());
+        assert!(sk.absorb(EdgeReport { y: 1.0, replica: 3, col_a: 15, col_b: 15 }).is_ok());
+        assert_eq!(sk.reports(), 1);
+    }
+
+    #[test]
+    fn restored_edge_sketch_recovers_single_tuple_mass() {
+        // With ε large and a single repeated tuple, the restored replica concentrates the mass
+        // (times the tuple's sign product) at [h_A(a), h_B(b)].
+        let a = JoinAttribute::from_seed(7, 4, 32);
+        let b = JoinAttribute::from_seed(8, 4, 32);
+        let e = eps(12.0);
+        let n = 40_000usize;
+        let tuples = vec![(3u64, 9u64); n];
+        let mut rng = StdRng::seed_from_u64(5);
+        let sketch = build_edge_sketch(&tuples, &a, &b, e, &mut rng).unwrap();
+        for j in 0..4 {
+            let restored = sketch.restored_replica(j);
+            let target = a.bucket_of(j, 3) * 32 + b.bucket_of(j, 9);
+            let sign = a.sign_of(j, 3) * b.sign_of(j, 9);
+            let got = restored[target] * sign;
+            assert!(
+                (got - n as f64).abs() < 0.2 * n as f64,
+                "replica {j}: recovered mass {got} far from {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn ldp_chain_3_tracks_truth() {
+        let t1v = skewed(40_000, 500, 1);
+        let t2v = skewed_pairs(40_000, 500, 500, 2);
+        let t3v = skewed(40_000, 500, 4);
+        let truth = exact_chain_join_3(&t1v, &t2v, &t3v) as f64;
+        let attr_a = JoinAttribute::from_seed(100, 9, 256);
+        let attr_b = JoinAttribute::from_seed(101, 9, 256);
+        let e = eps(4.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s1 = build_vertex_sketch(&t1v, &attr_a, e, &mut rng).unwrap();
+        let s2 = build_edge_sketch(&t2v, &attr_a, &attr_b, e, &mut rng).unwrap();
+        let s3 = build_vertex_sketch(&t3v, &attr_b, e, &mut rng).unwrap();
+        let est = ldp_chain_join_3(&s1, &attr_a, &s2, &s3, &attr_b).unwrap();
+        let re = (est - truth).abs() / truth;
+        assert!(re < 0.5, "relative error {re} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn ldp_chain_4_is_finite_and_positive_on_correlated_data() {
+        let t1v = skewed(20_000, 200, 11);
+        let t2v = skewed_pairs(20_000, 200, 200, 12);
+        let t3v = skewed_pairs(20_000, 200, 200, 14);
+        let t4v = skewed(20_000, 200, 16);
+        let truth = exact_chain_join_4(&t1v, &t2v, &t3v, &t4v) as f64;
+        let attr_a = JoinAttribute::from_seed(200, 7, 128);
+        let attr_b = JoinAttribute::from_seed(201, 7, 128);
+        let attr_c = JoinAttribute::from_seed(202, 7, 128);
+        let e = eps(4.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let s1 = build_vertex_sketch(&t1v, &attr_a, e, &mut rng).unwrap();
+        let s2 = build_edge_sketch(&t2v, &attr_a, &attr_b, e, &mut rng).unwrap();
+        let s3 = build_edge_sketch(&t3v, &attr_b, &attr_c, e, &mut rng).unwrap();
+        let s4 = build_vertex_sketch(&t4v, &attr_c, e, &mut rng).unwrap();
+        let est =
+            ldp_chain_join_4(&s1, &attr_a, &s2, &s3, &s4, &attr_b, &attr_c).unwrap();
+        assert!(est.is_finite());
+        // 4-way estimates are noisier; require the right order of magnitude rather than a
+        // tight relative error.
+        assert!(est > 0.0, "estimate should be positive, got {est}");
+        let ratio = est / truth;
+        assert!(ratio > 0.2 && ratio < 5.0, "estimate {est} vs truth {truth} (ratio {ratio})");
+    }
+
+    #[test]
+    fn chain_3_rejects_mismatched_attribute_families() {
+        let attr_a = JoinAttribute::from_seed(1, 5, 64);
+        let attr_a2 = JoinAttribute::from_seed(9, 5, 64);
+        let attr_b = JoinAttribute::from_seed(2, 5, 64);
+        let e = eps(2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s1 = build_vertex_sketch(&[1, 2, 3], &attr_a2, e, &mut rng).unwrap();
+        let s2 = build_edge_sketch(&[(1, 2)], &attr_a, &attr_b, e, &mut rng).unwrap();
+        let s3 = build_vertex_sketch(&[2, 3], &attr_b, e, &mut rng).unwrap();
+        assert!(ldp_chain_join_3(&s1, &attr_a, &s2, &s3, &attr_b).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! LDPJoinSketch+ — the two-phase framework of Algorithm 3 with the `JoinEst` post-processing
+//! of Algorithm 5.
+//!
+//! **Phase 1** samples an `r`-fraction of the users of each attribute, builds plain
+//! LDPJoinSketches from them, and extracts the frequent item set
+//! `FI = {d : f̃_A(d) > θ·|S_A|} ∪ {d : f̃_B(d) > θ·|S_B|}` by scanning the public candidate
+//! domain.
+//!
+//! **Phase 2** splits the remaining users of each attribute into two halves. One half builds a
+//! sketch targeting *low-frequency* values, the other targeting *high-frequency* values, both
+//! through the [FAP](crate::fap) mechanism so that non-target values contribute only a uniform
+//! `|NT|/m` per counter. `JoinEst` removes that mass (Theorem 8), estimates the two partial
+//! join sizes, rescales each by the group sizes, and sums them.
+//!
+//! ### Non-target mass scaling
+//!
+//! Algorithm 5 as printed subtracts `HighFreq_A/m`, where `HighFreq_A` is the *full-table*
+//! high-frequency mass. The mass actually present in group `A1` is `HighFreq_A·|A1|/|A|`
+//! (Theorem 8 counts the non-target values *in the group the sketch summarises*), so this
+//! implementation scales by the group fraction. Set
+//! [`PlusConfig::paper_literal_subtraction`] to `true` to reproduce the unscaled variant; the
+//! ablation bench compares both.
+
+use ldpjs_common::error::{Error, Result};
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_sketch::SketchParams;
+use rand::seq::SliceRandom;
+use rand::RngCore;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::client::LdpJoinSketchClient;
+use crate::fap::{FapClient, FapMode};
+use crate::server::LdpJoinSketch;
+
+/// Configuration of the LDPJoinSketch+ protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct PlusConfig {
+    /// Sketch dimensions used in both phases.
+    pub params: SketchParams,
+    /// Privacy budget ε. Each user participates in exactly one sketch, so the whole budget is
+    /// spent on that single report (the composition argument of Section V-A).
+    pub eps: Epsilon,
+    /// Phase-1 sampling rate `r ∈ (0, 1)`.
+    pub sampling_rate: f64,
+    /// Frequent-item threshold `θ ∈ (0, 1)`: a value is frequent if its estimated share of the
+    /// table exceeds `θ`.
+    pub threshold: f64,
+    /// Seed for the public hash families (phase 1, low sketch and high sketch derive distinct
+    /// families from it).
+    pub seed: u64,
+    /// Reproduce Algorithm 5 exactly as printed (subtract the full-table high-frequency mass
+    /// instead of the group-scaled mass). See the module documentation.
+    pub paper_literal_subtraction: bool,
+}
+
+impl PlusConfig {
+    /// A reasonable default configuration matching the paper's experiments:
+    /// `(k, m) = (18, 1024)`, `ε = 4`, `r = 0.1`, `θ = 0.001`.
+    pub fn new(params: SketchParams, eps: Epsilon) -> Self {
+        PlusConfig {
+            params,
+            eps,
+            sampling_rate: 0.1,
+            threshold: 0.001,
+            seed: 0xC0FFEE,
+            paper_literal_subtraction: false,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(self.sampling_rate > 0.0 && self.sampling_rate < 1.0) {
+            return Err(Error::InvalidWorkload(format!(
+                "phase-1 sampling rate must lie in (0, 1), got {}",
+                self.sampling_rate
+            )));
+        }
+        if !(self.threshold > 0.0 && self.threshold < 1.0) {
+            return Err(Error::InvalidWorkload(format!(
+                "frequent-item threshold must lie in (0, 1), got {}",
+                self.threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The result of one LDPJoinSketch+ run.
+#[derive(Debug, Clone)]
+pub struct PlusEstimate {
+    /// The final join-size estimate (scaled `HEst + LEst`, Algorithm 3 phase 2 line 6).
+    pub join_size: f64,
+    /// The frequent item set discovered in phase 1.
+    pub frequent_items: Vec<u64>,
+    /// The low-frequency partial estimate `LEst` before rescaling.
+    pub low_estimate: f64,
+    /// The high-frequency partial estimate `HEst` before rescaling.
+    pub high_estimate: f64,
+    /// Number of phase-1 sample users for attributes A and B.
+    pub phase1_users: (usize, usize),
+    /// Sizes of the phase-2 groups `(|A1|, |A2|, |B1|, |B2|)`.
+    pub group_sizes: (usize, usize, usize, usize),
+    /// Total client→server communication in bits across both phases.
+    pub communication_bits: u64,
+}
+
+/// The LDPJoinSketch+ estimator.
+#[derive(Debug, Clone)]
+pub struct LdpJoinSketchPlus {
+    config: PlusConfig,
+}
+
+impl LdpJoinSketchPlus {
+    /// Create an estimator from a configuration.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidWorkload`] if the sampling rate or threshold is out of range.
+    pub fn new(config: PlusConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(LdpJoinSketchPlus { config })
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> &PlusConfig {
+        &self.config
+    }
+
+    /// Run the full two-phase protocol over the private values of the two join attributes.
+    ///
+    /// `domain` is the public candidate domain scanned for frequent items in phase 1 (join
+    /// attribute domains are public metadata; only the *values held by users* are private).
+    ///
+    /// # Errors
+    /// Returns an error if either table is too small to populate the phase-1 sample and both
+    /// phase-2 groups.
+    pub fn estimate(
+        &self,
+        table_a: &[u64],
+        table_b: &[u64],
+        domain: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> Result<PlusEstimate> {
+        let cfg = &self.config;
+        if table_a.len() < 4 || table_b.len() < 4 {
+            return Err(Error::InvalidWorkload(
+                "LDPJoinSketch+ needs at least 4 users per attribute to form its groups".into(),
+            ));
+        }
+        let params = cfg.params;
+        let m = params.columns() as f64;
+
+        // --- Phase 1: sample users and find frequent items -------------------------------
+        let (sample_a, rest_a) = split_sample(table_a, cfg.sampling_rate, rng);
+        let (sample_b, rest_b) = split_sample(table_b, cfg.sampling_rate, rng);
+        let phase1_seed = cfg.seed;
+        let client_p1 = LdpJoinSketchClient::new(params, cfg.eps, phase1_seed);
+        let sketch_a = build_sketch(&client_p1, &sample_a, params, cfg.eps, phase1_seed, rng)?;
+        let sketch_b = build_sketch(&client_p1, &sample_b, params, cfg.eps, phase1_seed, rng)?;
+
+        let fi_a = sketch_a.frequent_items(domain, cfg.threshold, sample_a.len() as f64);
+        let fi_b = sketch_b.frequent_items(domain, cfg.threshold, sample_b.len() as f64);
+        let mut fi: Vec<u64> = fi_a.into_iter().chain(fi_b).collect();
+        fi.sort_unstable();
+        fi.dedup();
+        let fi_set: Arc<HashSet<u64>> = Arc::new(fi.iter().copied().collect());
+
+        // Estimated full-table mass of the frequent items (Algorithm 5, lines 1–4), clamped to
+        // the physically possible range [0, |X|].
+        let scale_a = table_a.len() as f64 / sample_a.len().max(1) as f64;
+        let scale_b = table_b.len() as f64 / sample_b.len().max(1) as f64;
+        let high_freq_a: f64 = fi
+            .iter()
+            .map(|&d| sketch_a.frequency(d) * scale_a)
+            .sum::<f64>()
+            .clamp(0.0, table_a.len() as f64);
+        let high_freq_b: f64 = fi
+            .iter()
+            .map(|&d| sketch_b.frequency(d) * scale_b)
+            .sum::<f64>()
+            .clamp(0.0, table_b.len() as f64);
+
+        // --- Phase 2: two groups per attribute, FAP-encoded sketches ---------------------
+        let (a1, a2) = split_half(&rest_a, rng);
+        let (b1, b2) = split_half(&rest_b, rng);
+        if a1.is_empty() || a2.is_empty() || b1.is_empty() || b2.is_empty() {
+            return Err(Error::InvalidWorkload(
+                "phase-2 groups are empty; decrease the sampling rate or use larger tables".into(),
+            ));
+        }
+
+        let low_seed = cfg.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let high_seed = cfg.seed ^ 0x5851_F42D_4C95_7F2D;
+        let client_low = LdpJoinSketchClient::new(params, cfg.eps, low_seed);
+        let client_high = LdpJoinSketchClient::new(params, cfg.eps, high_seed);
+        let fap_low = FapClient::new(client_low, FapMode::LowFrequency, Arc::clone(&fi_set));
+        let fap_high = FapClient::new(client_high, FapMode::HighFrequency, Arc::clone(&fi_set));
+
+        let m_la = build_fap_sketch(&fap_low, &a1, params, cfg.eps, low_seed, rng)?;
+        let m_lb = build_fap_sketch(&fap_low, &b1, params, cfg.eps, low_seed, rng)?;
+        let m_ha = build_fap_sketch(&fap_high, &a2, params, cfg.eps, high_seed, rng)?;
+        let m_hb = build_fap_sketch(&fap_high, &b2, params, cfg.eps, high_seed, rng)?;
+
+        // --- JoinEst (Algorithm 5): remove non-target mass, estimate, rescale ------------
+        let group_fraction = |group_len: usize, table_len: usize| {
+            if cfg.paper_literal_subtraction {
+                1.0
+            } else {
+                group_len as f64 / table_len as f64
+            }
+        };
+        // mode == L: the non-targets are the high-frequency values.
+        let nt_la = high_freq_a * group_fraction(a1.len(), table_a.len());
+        let nt_lb = high_freq_b * group_fraction(b1.len(), table_b.len());
+        let low_est = m_la.join_size_shifted(&m_lb, nt_la / m, nt_lb / m)?;
+        // mode == H: the non-targets are the low-frequency values.
+        let nt_ha = (table_a.len() as f64 - high_freq_a) * group_fraction(a2.len(), table_a.len());
+        let nt_hb = (table_b.len() as f64 - high_freq_b) * group_fraction(b2.len(), table_b.len());
+        let high_est = m_ha.join_size_shifted(&m_hb, nt_ha / m, nt_hb / m)?;
+
+        let scale_low =
+            (table_a.len() as f64 * table_b.len() as f64) / (a1.len() as f64 * b1.len() as f64);
+        let scale_high =
+            (table_a.len() as f64 * table_b.len() as f64) / (a2.len() as f64 * b2.len() as f64);
+        let join_size = scale_low * low_est + scale_high * high_est;
+
+        let bits_per_report = client_p1.report_bits();
+        let communication_bits = bits_per_report * (table_a.len() + table_b.len()) as u64;
+
+        Ok(PlusEstimate {
+            join_size,
+            frequent_items: fi,
+            low_estimate: low_est,
+            high_estimate: high_est,
+            phase1_users: (sample_a.len(), sample_b.len()),
+            group_sizes: (a1.len(), a2.len(), b1.len(), b2.len()),
+            communication_bits,
+        })
+    }
+}
+
+/// Split a table into a phase-1 sample of (approximately) `rate·n` users and the remainder.
+/// The split is a random partition, mirroring the random user sampling of the protocol.
+fn split_sample(table: &[u64], rate: f64, rng: &mut dyn RngCore) -> (Vec<u64>, Vec<u64>) {
+    let mut shuffled: Vec<u64> = table.to_vec();
+    shuffled.shuffle(rng);
+    let cut = ((table.len() as f64 * rate).round() as usize).clamp(1, table.len().saturating_sub(2).max(1));
+    let rest = shuffled.split_off(cut);
+    (shuffled, rest)
+}
+
+/// Split the remaining users into two halves (groups `X1` and `X2` of phase 2).
+fn split_half(rest: &[u64], rng: &mut dyn RngCore) -> (Vec<u64>, Vec<u64>) {
+    let mut shuffled: Vec<u64> = rest.to_vec();
+    shuffled.shuffle(rng);
+    let cut = shuffled.len() / 2;
+    let second = shuffled.split_off(cut);
+    (shuffled, second)
+}
+
+fn build_sketch(
+    client: &LdpJoinSketchClient,
+    values: &[u64],
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng: &mut dyn RngCore,
+) -> Result<LdpJoinSketch> {
+    let reports = client.perturb_all(values, rng);
+    let mut sketch = LdpJoinSketch::new(params, eps, seed);
+    sketch.absorb_all(&reports)?;
+    sketch.finalize();
+    Ok(sketch)
+}
+
+fn build_fap_sketch(
+    client: &FapClient,
+    values: &[u64],
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng: &mut dyn RngCore,
+) -> Result<LdpJoinSketch> {
+    let reports = client.perturb_all(values, rng);
+    let mut sketch = LdpJoinSketch::new(params, eps, seed);
+    sketch.absorb_all(&reports)?;
+    sketch.finalize();
+    Ok(sketch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpjs_common::stats::exact_join_size;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                ((u.powf(-1.3) - 1.0) as u64).min(domain - 1)
+            })
+            .collect()
+    }
+
+    fn config(eps: f64) -> PlusConfig {
+        let mut c = PlusConfig::new(
+            SketchParams::new(12, 512).unwrap(),
+            Epsilon::new(eps).unwrap(),
+        );
+        c.sampling_rate = 0.15;
+        c.threshold = 0.01;
+        c
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        let mut c = config(4.0);
+        c.sampling_rate = 0.0;
+        assert!(LdpJoinSketchPlus::new(c).is_err());
+        let mut c = config(4.0);
+        c.sampling_rate = 1.0;
+        assert!(LdpJoinSketchPlus::new(c).is_err());
+        let mut c = config(4.0);
+        c.threshold = 0.0;
+        assert!(LdpJoinSketchPlus::new(c).is_err());
+        assert!(LdpJoinSketchPlus::new(config(4.0)).is_ok());
+    }
+
+    #[test]
+    fn rejects_tiny_tables() {
+        let est = LdpJoinSketchPlus::new(config(4.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let domain: Vec<u64> = (0..10).collect();
+        assert!(est.estimate(&[1, 2], &[1, 2, 3, 4], &domain, &mut rng).is_err());
+    }
+
+    #[test]
+    fn estimate_tracks_truth_on_skewed_data() {
+        let a = skewed(120_000, 20_000, 1);
+        let b = skewed(120_000, 20_000, 2);
+        let truth = exact_join_size(&a, &b) as f64;
+        let est = LdpJoinSketchPlus::new(config(4.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let domain: Vec<u64> = (0..20_000).collect();
+        let result = est.estimate(&a, &b, &domain, &mut rng).unwrap();
+        let re = (result.join_size - truth).abs() / truth;
+        assert!(re < 0.35, "relative error {re} (est {}, truth {truth})", result.join_size);
+        // Diagnostics must be populated.
+        assert!(result.phase1_users.0 > 0 && result.phase1_users.1 > 0);
+        let (a1, a2, b1, b2) = result.group_sizes;
+        assert!(a1 > 0 && a2 > 0 && b1 > 0 && b2 > 0);
+        assert_eq!(
+            result.phase1_users.0 + a1 + a2,
+            a.len(),
+            "phase-1 sample and groups must partition table A"
+        );
+        assert_eq!(result.phase1_users.1 + b1 + b2, b.len());
+        assert!(result.communication_bits > 0);
+    }
+
+    #[test]
+    fn frequent_items_contain_the_heaviest_value() {
+        // Value 0 holds ≳ 40% of the mass under the skewed generator, far above θ = 1%.
+        let a = skewed(80_000, 5_000, 7);
+        let b = skewed(80_000, 5_000, 8);
+        let est = LdpJoinSketchPlus::new(config(4.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let domain: Vec<u64> = (0..5_000).collect();
+        let result = est.estimate(&a, &b, &domain, &mut rng).unwrap();
+        assert!(
+            result.frequent_items.contains(&0),
+            "FI {:?} should contain the heaviest value 0",
+            &result.frequent_items[..result.frequent_items.len().min(10)]
+        );
+    }
+
+    #[test]
+    fn partial_estimates_sum_to_total() {
+        let a = skewed(60_000, 2_000, 11);
+        let b = skewed(60_000, 2_000, 12);
+        let est = LdpJoinSketchPlus::new(config(6.0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let domain: Vec<u64> = (0..2_000).collect();
+        let r = est.estimate(&a, &b, &domain, &mut rng).unwrap();
+        let (a1, a2, b1, b2) = r.group_sizes;
+        let scale_low = (a.len() * b.len()) as f64 / (a1 * b1) as f64;
+        let scale_high = (a.len() * b.len()) as f64 / (a2 * b2) as f64;
+        let recomposed = scale_low * r.low_estimate + scale_high * r.high_estimate;
+        assert!((recomposed - r.join_size).abs() < 1e-6 * r.join_size.abs().max(1.0));
+    }
+
+    #[test]
+    fn paper_literal_subtraction_gives_a_different_answer() {
+        let a = skewed(60_000, 2_000, 21);
+        let b = skewed(60_000, 2_000, 22);
+        let domain: Vec<u64> = (0..2_000).collect();
+        let mut cfg = config(4.0);
+        cfg.paper_literal_subtraction = false;
+        let scaled = LdpJoinSketchPlus::new(cfg).unwrap();
+        let mut cfg2 = config(4.0);
+        cfg2.paper_literal_subtraction = true;
+        let literal = LdpJoinSketchPlus::new(cfg2).unwrap();
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let e1 = scaled.estimate(&a, &b, &domain, &mut rng1).unwrap();
+        let e2 = literal.estimate(&a, &b, &domain, &mut rng2).unwrap();
+        // Same randomness, different subtraction rule -> different (but finite) answers.
+        assert!(e1.join_size.is_finite() && e2.join_size.is_finite());
+        assert_ne!(e1.join_size, e2.join_size);
+        // The group-scaled variant should be at least as accurate on this workload.
+        let truth = exact_join_size(&a, &b) as f64;
+        assert!(
+            (e1.join_size - truth).abs() <= (e2.join_size - truth).abs() * 1.5,
+            "group-scaled error {} vs literal error {}",
+            (e1.join_size - truth).abs(),
+            (e2.join_size - truth).abs()
+        );
+    }
+}

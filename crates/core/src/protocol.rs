@@ -1,0 +1,130 @@
+//! End-to-end protocol runners.
+//!
+//! The examples and the experiment harness repeatedly need the same three-step dance:
+//! simulate every client of both attributes, build the two server-side sketches, estimate.
+//! These helpers bundle that up so call sites stay readable; the individual pieces remain
+//! available for callers that need finer control (e.g. streaming report ingestion).
+
+use ldpjs_common::error::Result;
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_sketch::SketchParams;
+use rand::RngCore;
+
+use crate::client::LdpJoinSketchClient;
+use crate::plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
+use crate::server::LdpJoinSketch;
+
+/// Build an [`LdpJoinSketch`] summarising `values` under `(params, eps, seed)` by simulating
+/// one client per value.
+pub fn build_private_sketch(
+    values: &[u64],
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng: &mut dyn RngCore,
+) -> Result<LdpJoinSketch> {
+    let client = LdpJoinSketchClient::new(params, eps, seed);
+    let reports = client.perturb_all(values, rng);
+    let mut sketch = LdpJoinSketch::new(params, eps, seed);
+    sketch.absorb_all(&reports)?;
+    sketch.finalize();
+    Ok(sketch)
+}
+
+/// Run the full LDPJoinSketch protocol: perturb both attributes' values (with a shared public
+/// hash family derived from `seed`), build both sketches, and return the join-size estimate.
+pub fn ldp_join_estimate(
+    table_a: &[u64],
+    table_b: &[u64],
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng: &mut dyn RngCore,
+) -> Result<f64> {
+    let sketch_a = build_private_sketch(table_a, params, eps, seed, rng)?;
+    let sketch_b = build_private_sketch(table_b, params, eps, seed, rng)?;
+    sketch_a.join_size(&sketch_b)
+}
+
+/// Run the full LDPJoinSketch+ protocol with an explicit configuration and candidate domain.
+pub fn ldp_join_plus_estimate(
+    table_a: &[u64],
+    table_b: &[u64],
+    domain: &[u64],
+    config: PlusConfig,
+    rng: &mut dyn RngCore,
+) -> Result<PlusEstimate> {
+    LdpJoinSketchPlus::new(config)?.estimate(table_a, table_b, domain, rng)
+}
+
+/// Per-user communication cost of the LDPJoinSketch client in bits (1 perturbed bit plus the
+/// `(j, l)` indices) — the quantity plotted in Fig. 7.
+pub fn report_bits(params: SketchParams) -> u64 {
+    let k_bits = (params.rows().max(2) as f64).log2().ceil() as u64;
+    let m_bits = (params.columns().max(2) as f64).log2().ceil() as u64;
+    1 + k_bits + m_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpjs_common::stats::exact_join_size;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                ((u.powf(-1.2) - 1.0) as u64).min(domain - 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn end_to_end_estimate_is_close_to_truth() {
+        let a = skewed(100_000, 10_000, 1);
+        let b = skewed(100_000, 10_000, 2);
+        let truth = exact_join_size(&a, &b) as f64;
+        let params = SketchParams::new(12, 512).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = ldp_join_estimate(&a, &b, params, eps, 99, &mut rng).unwrap();
+        let re = (est - truth).abs() / truth;
+        assert!(re < 0.3, "relative error {re} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn plus_wrapper_matches_direct_use() {
+        let a = skewed(50_000, 2_000, 5);
+        let b = skewed(50_000, 2_000, 6);
+        let domain: Vec<u64> = (0..2_000).collect();
+        let params = SketchParams::new(10, 256).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let mut cfg = PlusConfig::new(params, eps);
+        cfg.sampling_rate = 0.2;
+        cfg.threshold = 0.01;
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let via_wrapper = ldp_join_plus_estimate(&a, &b, &domain, cfg, &mut rng1).unwrap();
+        let direct = LdpJoinSketchPlus::new(cfg).unwrap().estimate(&a, &b, &domain, &mut rng2).unwrap();
+        assert_eq!(via_wrapper.join_size, direct.join_size);
+        assert_eq!(via_wrapper.frequent_items, direct.frequent_items);
+    }
+
+    #[test]
+    fn report_bits_matches_parameters() {
+        assert_eq!(report_bits(SketchParams::new(18, 1024).unwrap()), 1 + 5 + 10);
+        assert_eq!(report_bits(SketchParams::new(2, 2).unwrap()), 3);
+    }
+
+    #[test]
+    fn build_private_sketch_counts_reports() {
+        let params = SketchParams::new(4, 64).unwrap();
+        let eps = Epsilon::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sketch = build_private_sketch(&[1, 2, 3, 4, 5], params, eps, 0, &mut rng).unwrap();
+        assert_eq!(sketch.reports(), 5);
+    }
+}

@@ -1,0 +1,535 @@
+//! Server-side of LDPJoinSketch: sketch construction (Algorithm 2, `PriSk`), the join-size
+//! estimator of Eq. 5, and the frequency estimator of Theorem 7.
+//!
+//! For every client report `(y, j, l)` the server adds `k·c_ε·y` to the counter `[j, l]`
+//! (the factor `k` de-biases the uniform row sampling, `c_ε = (e^ε+1)/(e^ε−1)` de-biases the
+//! randomized response). After all reports are absorbed, each row is pushed back through the
+//! Hadamard transform (`M ← M·H_mᵀ`, computed with the fast Walsh–Hadamard transform).
+//!
+//! The restored sketch behaves like a noisy fast-AGMS sketch of the users' values:
+//! * `median_j Σ_x M_A[j,x]·M_B[j,x]` estimates the join size (Theorem 3),
+//! * `mean_j M[j,h_j(d)]·ξ_j(d)` is an unbiased frequency estimate (Theorem 7).
+
+use ldpjs_common::error::{Error, Result};
+use ldpjs_common::hadamard::fwht_in_place;
+use ldpjs_common::hash::RowHashes;
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::stats::{mean, median};
+use ldpjs_sketch::SketchParams;
+use std::sync::Arc;
+
+use crate::client::ClientReport;
+
+/// The server-side LDPJoinSketch.
+#[derive(Debug, Clone)]
+pub struct LdpJoinSketch {
+    params: SketchParams,
+    eps: Epsilon,
+    hashes: Arc<RowHashes>,
+    /// Accumulated counters, still in the Hadamard domain (row-major `k × m`).
+    raw: Vec<f64>,
+    /// Restored counters (`raw · H_mᵀ` per row), computed lazily and invalidated on updates.
+    restored: Option<Vec<f64>>,
+    /// Number of absorbed reports.
+    reports: u64,
+}
+
+impl LdpJoinSketch {
+    /// Create an empty sketch with a hash family derived from `seed`.
+    ///
+    /// The same `(params, seed)` pair must be used by the matching
+    /// [`crate::client::LdpJoinSketchClient`]s.
+    pub fn new(params: SketchParams, eps: Epsilon, seed: u64) -> Self {
+        let hashes = Arc::new(RowHashes::from_seed(seed, params.rows(), params.columns()));
+        Self::with_hashes(params, eps, hashes)
+    }
+
+    /// Create an empty sketch around an existing shared hash family.
+    pub fn with_hashes(params: SketchParams, eps: Epsilon, hashes: Arc<RowHashes>) -> Self {
+        debug_assert_eq!(hashes.rows(), params.rows());
+        debug_assert_eq!(hashes.columns(), params.columns());
+        LdpJoinSketch {
+            params,
+            eps,
+            hashes,
+            raw: vec![0.0; params.counters()],
+            restored: None,
+            reports: 0,
+        }
+    }
+
+    /// Construct a sketch directly from a batch of client reports (`PriSk` in Algorithm 2).
+    pub fn from_reports(
+        params: SketchParams,
+        eps: Epsilon,
+        seed: u64,
+        reports: &[ClientReport],
+    ) -> Result<Self> {
+        let mut sketch = Self::new(params, eps, seed);
+        sketch.absorb_all(reports)?;
+        Ok(sketch)
+    }
+
+    /// Sketch parameters `(k, m)`.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Privacy budget the absorbed reports were perturbed with.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The shared public hash family.
+    #[inline]
+    pub fn hashes(&self) -> &Arc<RowHashes> {
+        &self.hashes
+    }
+
+    /// Number of absorbed reports.
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Absorb one client report (Algorithm 2, line 4).
+    ///
+    /// # Errors
+    /// Returns [`Error::ReportOutOfRange`] if the report's indices do not fit this sketch.
+    pub fn absorb(&mut self, report: ClientReport) -> Result<()> {
+        let (k, m) = (self.params.rows(), self.params.columns());
+        if report.row >= k || report.col >= m {
+            return Err(Error::ReportOutOfRange { row: report.row, col: report.col, rows: k, cols: m });
+        }
+        let scale = k as f64 * self.eps.c_eps();
+        self.raw[report.row * m + report.col] += scale * report.y;
+        self.restored = None;
+        self.reports += 1;
+        Ok(())
+    }
+
+    /// Absorb a batch of reports.
+    pub fn absorb_all(&mut self, reports: &[ClientReport]) -> Result<()> {
+        for &r in reports {
+            self.absorb(r)?;
+        }
+        Ok(())
+    }
+
+    /// Restore the sketch from the Hadamard domain (Algorithm 2, line 6) and cache the result.
+    pub fn finalize(&mut self) {
+        if self.restored.is_none() {
+            self.restored = Some(self.restored_matrix());
+        }
+    }
+
+    /// The restored `k × m` counter matrix (row-major). Computes it on the fly if the cached
+    /// copy was invalidated by new reports.
+    pub fn restored_matrix(&self) -> Vec<f64> {
+        if let Some(r) = &self.restored {
+            return r.clone();
+        }
+        let m = self.params.columns();
+        let mut restored = self.raw.clone();
+        for j in 0..self.params.rows() {
+            fwht_in_place(&mut restored[j * m..(j + 1) * m]);
+        }
+        restored
+    }
+
+    /// Per-row inner products with another sketch, optionally shifting every counter of each
+    /// sketch by a constant first (used by LDPJoinSketch+'s Algorithm 5 to remove the expected
+    /// non-target mass `|NT|/m`).
+    pub fn row_products_shifted(
+        &self,
+        other: &Self,
+        shift_self: f64,
+        shift_other: f64,
+    ) -> Result<Vec<f64>> {
+        self.check_compatible(other)?;
+        let (k, m) = (self.params.rows(), self.params.columns());
+        let a = self.restored_matrix();
+        let b = other.restored_matrix();
+        Ok((0..k)
+            .map(|j| {
+                let mut acc = 0.0;
+                for x in 0..m {
+                    acc += (a[j * m + x] - shift_self) * (b[j * m + x] - shift_other);
+                }
+                acc
+            })
+            .collect())
+    }
+
+    /// Per-row inner products `Σ_x M_A[j,x]·M_B[j,x]`.
+    pub fn row_products(&self, other: &Self) -> Result<Vec<f64>> {
+        self.row_products_shifted(other, 0.0, 0.0)
+    }
+
+    /// Join-size estimate `median_j Σ_x M_A[j,x]·M_B[j,x]` (Eq. 5).
+    pub fn join_size(&self, other: &Self) -> Result<f64> {
+        let products = self.row_products(other)?;
+        median(&products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))
+    }
+
+    /// Join-size estimate after subtracting a uniform per-counter shift from each sketch
+    /// (Algorithm 5: `M ← M − {NT/m}` then `Est = M_A·M_B`).
+    pub fn join_size_shifted(&self, other: &Self, shift_self: f64, shift_other: f64) -> Result<f64> {
+        let products = self.row_products_shifted(other, shift_self, shift_other)?;
+        median(&products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))
+    }
+
+    /// Frequency estimate `f̃(d) = mean_j M[j, h_j(d)]·ξ_j(d)` (Theorem 7).
+    pub fn frequency(&self, value: u64) -> f64 {
+        let m = self.params.columns();
+        let restored = self.restored_matrix();
+        let estimates: Vec<f64> = (0..self.params.rows())
+            .map(|j| {
+                let pair = self.hashes.pair(j);
+                restored[j * m + pair.bucket_of(value)] * pair.sign_of(value) as f64
+            })
+            .collect();
+        mean(&estimates).unwrap_or(0.0)
+    }
+
+    /// Frequency estimates for a whole candidate domain (shares the restored matrix across
+    /// queries; prefer this over repeated [`LdpJoinSketch::frequency`] calls for large scans).
+    pub fn frequencies(&self, candidates: &[u64]) -> Vec<f64> {
+        let m = self.params.columns();
+        let k = self.params.rows();
+        let restored = self.restored_matrix();
+        candidates
+            .iter()
+            .map(|&d| {
+                let mut acc = 0.0;
+                for j in 0..k {
+                    let pair = self.hashes.pair(j);
+                    acc += restored[j * m + pair.bucket_of(d)] * pair.sign_of(d) as f64;
+                }
+                acc / k as f64
+            })
+            .collect()
+    }
+
+    /// The frequent-item set `FI = {d ∈ domain : f̃(d) > θ·total}` used by phase 1 of
+    /// LDPJoinSketch+ (`total` is the number of users the sketch claims to summarise, after
+    /// any scaling the caller applies for sampling).
+    pub fn frequent_items(&self, domain: &[u64], theta: f64, total: f64) -> Vec<u64> {
+        let threshold = theta * total;
+        let freqs = self.frequencies(domain);
+        domain
+            .iter()
+            .zip(freqs.iter())
+            .filter_map(|(&d, &f)| if f > threshold { Some(d) } else { None })
+            .collect()
+    }
+
+    /// Merge another partial sketch into this one.
+    ///
+    /// LDPJoinSketch is linear in its reports, so an aggregator can be sharded: each shard
+    /// absorbs a subset of the client reports and the shards are merged counter-wise before
+    /// estimation. Both sketches must share `(k, m)`, the hash seed, and the privacy budget
+    /// (the de-bias scale is baked into the accumulated counters).
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if parameters, hash seed or ε differ.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        self.check_compatible(other)?;
+        if (self.eps.value() - other.eps.value()).abs() > f64::EPSILON {
+            return Err(Error::IncompatibleSketches(format!(
+                "cannot merge sketches built with different privacy budgets: {} vs {}",
+                self.eps, other.eps
+            )));
+        }
+        for (a, b) in self.raw.iter_mut().zip(other.raw.iter()) {
+            *a += b;
+        }
+        self.reports += other.reports;
+        self.restored = None;
+        Ok(())
+    }
+
+    fn check_compatible(&self, other: &Self) -> Result<()> {
+        if self.params != other.params || self.hashes.seed() != other.hashes.seed() {
+            return Err(Error::IncompatibleSketches(format!(
+                "LDPJoinSketches differ: {} seed {} vs {} seed {}",
+                self.params,
+                self.hashes.seed(),
+                other.params,
+                other.hashes.seed()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LdpJoinSketchClient;
+    use ldpjs_common::stats::{exact_join_size, frequency_table};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn params(k: usize, m: usize) -> SketchParams {
+        SketchParams::new(k, m).unwrap()
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    /// Heavily skewed synthetic stream so that the join signal dominates the sketch noise even
+    /// at unit-test scale.
+    fn skewed_stream(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                ((u.powf(-1.2) - 1.0) as u64).min(domain - 1)
+            })
+            .collect()
+    }
+
+    fn build_sketch(
+        values: &[u64],
+        p: SketchParams,
+        e: Epsilon,
+        seed: u64,
+        rng_seed: u64,
+    ) -> LdpJoinSketch {
+        let client = LdpJoinSketchClient::new(p, e, seed);
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let reports = client.perturb_all(values, &mut rng);
+        let mut sketch = LdpJoinSketch::new(p, e, seed);
+        sketch.absorb_all(&reports).unwrap();
+        sketch.finalize();
+        sketch
+    }
+
+    #[test]
+    fn rejects_out_of_range_reports() {
+        let mut sketch = LdpJoinSketch::new(params(4, 64), eps(1.0), 0);
+        let bad = ClientReport { y: 1.0, row: 4, col: 0 };
+        assert!(matches!(sketch.absorb(bad), Err(Error::ReportOutOfRange { .. })));
+        let bad = ClientReport { y: 1.0, row: 0, col: 64 };
+        assert!(sketch.absorb(bad).is_err());
+        let good = ClientReport { y: -1.0, row: 3, col: 63 };
+        assert!(sketch.absorb(good).is_ok());
+        assert_eq!(sketch.reports(), 1);
+    }
+
+    #[test]
+    fn rejects_incompatible_sketches() {
+        let a = LdpJoinSketch::new(params(4, 64), eps(1.0), 0);
+        let b = LdpJoinSketch::new(params(4, 64), eps(1.0), 1);
+        assert!(a.join_size(&b).is_err());
+        let c = LdpJoinSketch::new(params(4, 128), eps(1.0), 0);
+        assert!(a.join_size(&c).is_err());
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let a = LdpJoinSketch::new(params(6, 64), eps(2.0), 5);
+        let b = LdpJoinSketch::new(params(6, 64), eps(2.0), 5);
+        assert_eq!(a.join_size(&b).unwrap(), 0.0);
+        assert_eq!(a.frequency(3), 0.0);
+    }
+
+    #[test]
+    fn frequency_estimate_tracks_single_value_count() {
+        // All users hold the same value; the frequency estimate should be close to n.
+        let p = params(12, 256);
+        let e = eps(4.0);
+        let n = 60_000usize;
+        let values = vec![7u64; n];
+        let sketch = build_sketch(&values, p, e, 42, 1);
+        let est = sketch.frequency(7);
+        assert!(
+            (est - n as f64).abs() < 0.1 * n as f64,
+            "frequency estimate {est} far from {n}"
+        );
+        // A value held by nobody should estimate near zero.
+        let est_absent = sketch.frequency(1234);
+        assert!(est_absent.abs() < 0.1 * n as f64, "absent value estimate {est_absent}");
+    }
+
+    #[test]
+    fn frequency_estimates_track_heavy_hitters_on_skewed_data() {
+        let p = params(18, 1024);
+        let e = eps(4.0);
+        let values = skewed_stream(150_000, 10_000, 3);
+        let table = frequency_table(&values);
+        let sketch = build_sketch(&values, p, e, 9, 2);
+        // Check the three heaviest values.
+        let mut heavy: Vec<(u64, u64)> = table.iter().map(|(&v, &c)| (v, c)).collect();
+        heavy.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        for &(v, c) in heavy.iter().take(3) {
+            let est = sketch.frequency(v);
+            assert!(
+                (est - c as f64).abs() < 0.15 * values.len() as f64,
+                "value {v}: estimate {est}, truth {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_size_estimate_tracks_truth() {
+        let p = params(12, 512);
+        let e = eps(4.0);
+        let a = skewed_stream(150_000, 50_000, 10);
+        let b = skewed_stream(150_000, 50_000, 11);
+        let truth = exact_join_size(&a, &b) as f64;
+        let sa = build_sketch(&a, p, e, 77, 20);
+        let sb = build_sketch(&b, p, e, 77, 21);
+        let est = sa.join_size(&sb).unwrap();
+        let re = (est - truth).abs() / truth;
+        assert!(re < 0.3, "relative error {re} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn join_size_better_with_larger_epsilon() {
+        // Average over a few repetitions: ε = 0.2 must be worse than ε = 8 on the same data.
+        let p = params(10, 256);
+        let a = skewed_stream(40_000, 5_000, 30);
+        let b = skewed_stream(40_000, 5_000, 31);
+        let truth = exact_join_size(&a, &b) as f64;
+        let err = |e_val: f64| -> f64 {
+            (0..3)
+                .map(|i| {
+                    let sa = build_sketch(&a, p, eps(e_val), 50 + i, 100 + i);
+                    let sb = build_sketch(&b, p, eps(e_val), 50 + i, 200 + i);
+                    (sa.join_size(&sb).unwrap() - truth).abs()
+                })
+                .sum::<f64>()
+                / 3.0
+        };
+        let err_low = err(0.2);
+        let err_high = err(8.0);
+        assert!(
+            err_high < err_low,
+            "ε=8 should estimate better than ε=0.2: {err_high} vs {err_low}"
+        );
+    }
+
+    #[test]
+    fn shifted_join_removes_uniform_mass() {
+        // Build a sketch, then check that shifting by c is equivalent to subtracting c from
+        // every restored counter (sanity for the Algorithm 5 implementation).
+        let p = params(6, 128);
+        let e = eps(6.0);
+        let a = skewed_stream(20_000, 100, 1);
+        let b = skewed_stream(20_000, 100, 2);
+        let sa = build_sketch(&a, p, e, 5, 3);
+        let sb = build_sketch(&b, p, e, 5, 4);
+        let shifted = sa.join_size_shifted(&sb, 2.5, 1.5).unwrap();
+        // Manual computation from the restored matrices.
+        let (k, m) = (p.rows(), p.columns());
+        let ma = sa.restored_matrix();
+        let mb = sb.restored_matrix();
+        let mut products = Vec::new();
+        for j in 0..k {
+            let mut acc = 0.0;
+            for x in 0..m {
+                acc += (ma[j * m + x] - 2.5) * (mb[j * m + x] - 1.5);
+            }
+            products.push(acc);
+        }
+        let expected = ldpjs_common::stats::median(&products).unwrap();
+        assert!((shifted - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frequent_items_finds_heavy_hitters() {
+        let p = params(18, 1024);
+        let e = eps(4.0);
+        let n = 120_000usize;
+        // Two heavy values (30% and 20%) plus a uniform tail over 5000 values.
+        let mut rng = StdRng::seed_from_u64(8);
+        let values: Vec<u64> = (0..n)
+            .map(|i| match i % 10 {
+                0..=2 => 1,
+                3..=4 => 2,
+                _ => 10 + rng.gen_range(0..5000),
+            })
+            .collect();
+        let sketch = build_sketch(&values, p, e, 13, 6);
+        let domain: Vec<u64> = (0..5010).collect();
+        let fi = sketch.frequent_items(&domain, 0.05, n as f64);
+        assert!(fi.contains(&1), "FI should contain the 30% value, got {fi:?}");
+        assert!(fi.contains(&2), "FI should contain the 20% value, got {fi:?}");
+        assert!(fi.len() <= 10, "FI should not be flooded with tail values, got {} items", fi.len());
+    }
+
+    #[test]
+    fn frequencies_batch_matches_single_queries() {
+        let p = params(8, 256);
+        let e = eps(4.0);
+        let values = skewed_stream(30_000, 500, 9);
+        let sketch = build_sketch(&values, p, e, 21, 7);
+        let candidates: Vec<u64> = (0..50).collect();
+        let batch = sketch.frequencies(&candidates);
+        for (i, &d) in candidates.iter().enumerate() {
+            assert!((batch[i] - sketch.frequency(d)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merged_shards_equal_single_aggregator() {
+        // Sharded aggregation: two shards each absorb half the reports; merging them must be
+        // identical (bit for bit) to one aggregator absorbing everything.
+        let p = params(8, 128);
+        let e = eps(3.0);
+        let client = LdpJoinSketchClient::new(p, e, 77);
+        let mut rng = StdRng::seed_from_u64(5);
+        let values = skewed_stream(5_000, 200, 8);
+        let reports = client.perturb_all(&values, &mut rng);
+        let (first, second) = reports.split_at(reports.len() / 2);
+
+        let mut shard_a = LdpJoinSketch::new(p, e, 77);
+        shard_a.absorb_all(first).unwrap();
+        let mut shard_b = LdpJoinSketch::new(p, e, 77);
+        shard_b.absorb_all(second).unwrap();
+        shard_a.merge(&shard_b).unwrap();
+
+        let mut single = LdpJoinSketch::new(p, e, 77);
+        single.absorb_all(&reports).unwrap();
+
+        assert_eq!(shard_a.reports(), single.reports());
+        for (m, s) in shard_a.restored_matrix().iter().zip(single.restored_matrix().iter()) {
+            assert!((m - s).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incompatible_shards() {
+        let p = params(4, 64);
+        let mut a = LdpJoinSketch::new(p, eps(2.0), 1);
+        let b = LdpJoinSketch::new(p, eps(2.0), 2);
+        assert!(a.merge(&b).is_err(), "different hash seeds must not merge");
+        let c = LdpJoinSketch::new(params(4, 128), eps(2.0), 1);
+        assert!(a.merge(&c).is_err(), "different shapes must not merge");
+        let d = LdpJoinSketch::new(p, eps(4.0), 1);
+        assert!(a.merge(&d).is_err(), "different privacy budgets must not merge");
+        let ok = LdpJoinSketch::new(p, eps(2.0), 1);
+        assert!(a.merge(&ok).is_ok());
+    }
+
+    #[test]
+    fn from_reports_equals_incremental_absorption() {
+        let p = params(6, 64);
+        let e = eps(2.0);
+        let client = LdpJoinSketchClient::new(p, e, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let reports = client.perturb_all(&[1, 2, 3, 4, 5, 6, 7, 8], &mut rng);
+        let batch = LdpJoinSketch::from_reports(p, e, 3, &reports).unwrap();
+        let mut incremental = LdpJoinSketch::new(p, e, 3);
+        for &r in &reports {
+            incremental.absorb(r).unwrap();
+        }
+        assert_eq!(batch.restored_matrix(), incremental.restored_matrix());
+        assert_eq!(batch.reports(), incremental.reports());
+    }
+}

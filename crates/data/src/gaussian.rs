@@ -1,0 +1,132 @@
+//! Discretised Gaussian value generator.
+//!
+//! The paper's Gaussian dataset draws join values from `N(µ, σ²)` and treats them as discrete
+//! attribute values over a domain of 75,949 items (Table II). We sample with the Box–Muller
+//! transform, round to the nearest integer, and clamp to the domain — values in the tails
+//! therefore pile up slightly at the domain edges, mirroring what happens when continuous
+//! measurements are bucketed into a bounded attribute domain.
+
+use crate::ValueGenerator;
+use rand::{Rng, RngCore};
+
+/// A Gaussian generator over `{0, …, domain−1}` with configurable mean and standard deviation.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianGenerator {
+    domain: u64,
+    mean: f64,
+    std_dev: f64,
+}
+
+impl GaussianGenerator {
+    /// Create a Gaussian generator with explicit mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0` or `std_dev` is not strictly positive and finite.
+    pub fn new(domain: u64, mean: f64, std_dev: f64) -> Self {
+        assert!(domain > 0, "Gaussian domain must be non-empty");
+        assert!(std_dev.is_finite() && std_dev > 0.0, "standard deviation must be positive");
+        GaussianGenerator { domain, mean, std_dev }
+    }
+
+    /// The paper-style default: mean at the centre of the domain, σ = domain/8, so nearly all
+    /// mass stays inside the domain while the centre values dominate.
+    pub fn centered(domain: u64) -> Self {
+        Self::new(domain, domain as f64 / 2.0, (domain as f64 / 8.0).max(1.0))
+    }
+
+    /// The configured mean.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The configured standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl ValueGenerator for GaussianGenerator {
+    fn domain_size(&self) -> u64 {
+        self.domain
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        // Box–Muller transform; one sample per call keeps the generator stateless.
+        let u1: f64 = rng.gen::<f64>().max(1e-300);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let value = self.mean + self.std_dev * z;
+        value.round().clamp(0.0, (self.domain - 1) as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn centered_defaults_match_domain() {
+        let g = GaussianGenerator::centered(80_000);
+        assert_eq!(g.domain_size(), 80_000);
+        assert_eq!(g.mean(), 40_000.0);
+        assert_eq!(g.std_dev(), 10_000.0);
+    }
+
+    #[test]
+    fn sample_mean_and_spread_are_plausible() {
+        let g = GaussianGenerator::centered(10_000);
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let samples = g.sample_many(n, &mut rng);
+        let mean: f64 = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        assert!((mean - 5_000.0).abs() < 100.0, "sample mean {mean}");
+        let var: f64 =
+            samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let std = var.sqrt();
+        assert!((std - 1_250.0).abs() < 100.0, "sample std {std}");
+    }
+
+    #[test]
+    fn centre_values_are_most_frequent() {
+        let g = GaussianGenerator::centered(1_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = g.sample_many(100_000, &mut rng);
+        let mut counts = vec![0u64; 1_000];
+        for &s in &samples {
+            counts[s as usize] += 1;
+        }
+        let centre: u64 = counts[450..550].iter().sum();
+        let edge: u64 = counts[0..100].iter().sum::<u64>() + counts[900..1000].iter().sum::<u64>();
+        assert!(centre > 10 * edge.max(1), "centre {centre} vs edges {edge}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_domain() {
+        let _ = GaussianGenerator::new(0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_std_dev() {
+        let _ = GaussianGenerator::new(10, 5.0, 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_samples_in_domain(domain in 1u64..100_000, seed in any::<u64>()) {
+            let g = GaussianGenerator::centered(domain);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(g.sample(&mut rng) < domain);
+            }
+        }
+    }
+}

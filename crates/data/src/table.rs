@@ -1,0 +1,190 @@
+//! Join workloads: pairs (and chains) of private tables plus their ground truth.
+//!
+//! The paper's query template is `SELECT COUNT(*) FROM T1 JOIN T2 ON T1.A = T2.B` with both
+//! join attributes private. A [`JoinWorkload`] holds the two value columns, the public domain
+//! size, and the exact join size (computed once, since every error metric needs it).
+//! [`ChainWorkload`] is the multi-way analogue used by Fig. 15.
+
+use crate::ValueGenerator;
+use ldpjs_common::stats::{exact_chain_join_3, exact_chain_join_4, exact_join_size, f1, f2};
+use rand::RngCore;
+
+/// A two-table join workload over a shared attribute domain.
+#[derive(Debug, Clone)]
+pub struct JoinWorkload {
+    /// Human-readable name (dataset + parameters), used by the reporting harness.
+    pub name: String,
+    /// Public size of the join-attribute domain.
+    pub domain_size: u64,
+    /// Private values of attribute `T1.A` (one entry per user/row).
+    pub table_a: Vec<u64>,
+    /// Private values of attribute `T2.B`.
+    pub table_b: Vec<u64>,
+    /// Exact join size `|T1 ⋈ T2|`.
+    pub true_join_size: u64,
+}
+
+impl JoinWorkload {
+    /// Generate a workload by drawing both tables independently from `generator`.
+    pub fn generate<G: ValueGenerator + ?Sized>(
+        name: impl Into<String>,
+        generator: &G,
+        rows_per_table: usize,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        let table_a = generator.sample_many(rows_per_table, rng);
+        let table_b = generator.sample_many(rows_per_table, rng);
+        Self::from_tables(name, generator.domain_size(), table_a, table_b)
+    }
+
+    /// Build a workload from explicit tables (used by tests and by callers with their own
+    /// data pipeline).
+    pub fn from_tables(
+        name: impl Into<String>,
+        domain_size: u64,
+        table_a: Vec<u64>,
+        table_b: Vec<u64>,
+    ) -> Self {
+        let true_join_size = exact_join_size(&table_a, &table_b);
+        JoinWorkload { name: name.into(), domain_size, table_a, table_b, true_join_size }
+    }
+
+    /// The candidate domain `{0, …, |D|−1}` as a vector (phase 1 of LDPJoinSketch+ and the
+    /// frequency-oracle baselines scan it).
+    pub fn domain(&self) -> Vec<u64> {
+        (0..self.domain_size).collect()
+    }
+
+    /// `F1` of table A (its row count).
+    pub fn f1_a(&self) -> u64 {
+        f1(&self.table_a)
+    }
+
+    /// `F1` of table B.
+    pub fn f1_b(&self) -> u64 {
+        f1(&self.table_b)
+    }
+
+    /// `F2` of table A (its self-join size).
+    pub fn f2_a(&self) -> u64 {
+        f2(&self.table_a)
+    }
+
+    /// `F2` of table B.
+    pub fn f2_b(&self) -> u64 {
+        f2(&self.table_b)
+    }
+}
+
+/// A chain-join workload for the multi-way experiments (Fig. 15).
+///
+/// The 3-way query is `T1(A) ⋈ T2(A,B) ⋈ T3(B)`; the 4-way query appends `⋈ T4(C)` through a
+/// second two-attribute table `T3(B,C)` (so `tables` holds T1, T2, T3 as pairs and T4).
+#[derive(Debug, Clone)]
+pub struct ChainWorkload {
+    /// Workload name.
+    pub name: String,
+    /// Domain size shared by every join attribute.
+    pub domain_size: u64,
+    /// Single-attribute table `T1(A)`.
+    pub t1: Vec<u64>,
+    /// Two-attribute table `T2(A, B)`.
+    pub t2: Vec<(u64, u64)>,
+    /// Two-attribute table `T3(B, C)` (only the `B` column is used for the 3-way query).
+    pub t3: Vec<(u64, u64)>,
+    /// Single-attribute table `T4(C)`.
+    pub t4: Vec<u64>,
+    /// Exact 3-way chain join size `|T1 ⋈ T2 ⋈ π_B(T3)|`.
+    pub true_join_3: u64,
+    /// Exact 4-way chain join size `|T1 ⋈ T2 ⋈ T3 ⋈ T4|`.
+    pub true_join_4: u64,
+}
+
+impl ChainWorkload {
+    /// Generate a chain workload with all attributes drawn independently from `generator`.
+    pub fn generate<G: ValueGenerator + ?Sized>(
+        name: impl Into<String>,
+        generator: &G,
+        rows_per_table: usize,
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        let t1 = generator.sample_many(rows_per_table, rng);
+        let t2: Vec<(u64, u64)> = generator
+            .sample_many(rows_per_table, rng)
+            .into_iter()
+            .zip(generator.sample_many(rows_per_table, rng))
+            .collect();
+        let t3: Vec<(u64, u64)> = generator
+            .sample_many(rows_per_table, rng)
+            .into_iter()
+            .zip(generator.sample_many(rows_per_table, rng))
+            .collect();
+        let t4 = generator.sample_many(rows_per_table, rng);
+        let t3_b: Vec<u64> = t3.iter().map(|&(b, _)| b).collect();
+        let true_join_3 = exact_chain_join_3(&t1, &t2, &t3_b);
+        let true_join_4 = exact_chain_join_4(&t1, &t2, &t3, &t4);
+        ChainWorkload {
+            name: name.into(),
+            domain_size: generator.domain_size(),
+            t1,
+            t2,
+            t3,
+            t4,
+            true_join_3,
+            true_join_4,
+        }
+    }
+
+    /// The `B` column of `T3`, i.e. the third table of the 3-way query.
+    pub fn t3_b_column(&self) -> Vec<u64> {
+        self.t3.iter().map(|&(b, _)| b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::ZipfGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_tables_computes_ground_truth() {
+        let w = JoinWorkload::from_tables("toy", 10, vec![1, 1, 2], vec![1, 2, 2]);
+        assert_eq!(w.true_join_size, 2 + 2);
+        assert_eq!(w.f1_a(), 3);
+        assert_eq!(w.f1_b(), 3);
+        assert_eq!(w.f2_a(), 4 + 1);
+        assert_eq!(w.f2_b(), 1 + 4);
+        assert_eq!(w.domain(), (0..10).collect::<Vec<u64>>());
+        assert_eq!(w.name, "toy");
+    }
+
+    #[test]
+    fn generated_workload_has_consistent_shape() {
+        let g = ZipfGenerator::new(1.1, 500);
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = JoinWorkload::generate("zipf", &g, 5_000, &mut rng);
+        assert_eq!(w.table_a.len(), 5_000);
+        assert_eq!(w.table_b.len(), 5_000);
+        assert_eq!(w.domain_size, 500);
+        assert!(w.table_a.iter().all(|&v| v < 500));
+        // Skewed tables of this size always share their heavy values, so the join is non-empty.
+        assert!(w.true_join_size > 0);
+        assert_eq!(w.true_join_size, exact_join_size(&w.table_a, &w.table_b));
+    }
+
+    #[test]
+    fn chain_workload_ground_truths_are_consistent() {
+        let g = ZipfGenerator::new(1.3, 200);
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = ChainWorkload::generate("chain", &g, 2_000, &mut rng);
+        assert_eq!(w.t1.len(), 2_000);
+        assert_eq!(w.t2.len(), 2_000);
+        assert_eq!(w.t3.len(), 2_000);
+        assert_eq!(w.t4.len(), 2_000);
+        assert_eq!(w.true_join_3, exact_chain_join_3(&w.t1, &w.t2, &w.t3_b_column()));
+        assert_eq!(w.true_join_4, exact_chain_join_4(&w.t1, &w.t2, &w.t3, &w.t4));
+        assert!(w.true_join_3 > 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Zipf-distributed value generator.
+//!
+//! The paper generates synthetic join attributes from the Zipf distribution with probability
+//! mass `f(x | α, N) = (1/x^α) / Σ_{n=1..N} (1/n^α)` where `x` is the rank of the item
+//! (Section VII-A). Values are identified with ranks, zero-indexed: value `v` has rank `v+1`.
+//!
+//! Sampling uses the precomputed cumulative distribution and binary search, so drawing a value
+//! is `O(log N)` and building the generator is `O(N)`.
+
+use crate::ValueGenerator;
+use rand::{Rng, RngCore};
+
+/// A Zipf(α) generator over the domain `{0, …, N−1}`.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    alpha: f64,
+    cdf: Vec<f64>,
+}
+
+impl ZipfGenerator {
+    /// Create a Zipf generator with skew `alpha >= 0` over `domain` values.
+    ///
+    /// # Panics
+    /// Panics if `domain == 0` or `alpha` is negative or non-finite.
+    pub fn new(alpha: f64, domain: u64) -> Self {
+        assert!(domain > 0, "Zipf domain must be non-empty");
+        assert!(alpha.is_finite() && alpha >= 0.0, "Zipf skew must be a non-negative finite number");
+        let mut cdf = Vec::with_capacity(domain as usize);
+        let mut acc = 0.0;
+        for rank in 1..=domain {
+            acc += 1.0 / (rank as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfGenerator { alpha, cdf }
+    }
+
+    /// The skew parameter α.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Exact probability of value `v` under the distribution.
+    pub fn probability(&self, v: u64) -> f64 {
+        if v as usize >= self.cdf.len() {
+            return 0.0;
+        }
+        let hi = self.cdf[v as usize];
+        let lo = if v == 0 { 0.0 } else { self.cdf[v as usize - 1] };
+        hi - lo
+    }
+}
+
+impl ValueGenerator for ZipfGenerator {
+    fn domain_size(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> u64 {
+        let u: f64 = rng.gen();
+        // First index whose cumulative mass reaches u.
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one_and_decay() {
+        let g = ZipfGenerator::new(1.5, 1000);
+        let total: f64 = (0..1000).map(|v| g.probability(v)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(g.probability(0) > g.probability(1));
+        assert!(g.probability(1) > g.probability(10));
+        assert_eq!(g.probability(1000), 0.0);
+        assert_eq!(g.alpha(), 1.5);
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let g = ZipfGenerator::new(1.1, 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) < 64);
+        }
+    }
+
+    #[test]
+    fn empirical_frequency_matches_pmf() {
+        let g = ZipfGenerator::new(1.2, 100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let samples = g.sample_many(n, &mut rng);
+        let mut counts = vec![0u64; 100];
+        for &s in &samples {
+            counts[s as usize] += 1;
+        }
+        for v in 0..5u64 {
+            let expected = g.probability(v) * n as f64;
+            let got = counts[v as usize] as f64;
+            assert!(
+                (got - expected).abs() < 0.05 * expected + 50.0,
+                "value {v}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_alpha_is_more_skewed() {
+        let flat = ZipfGenerator::new(0.5, 1000);
+        let steep = ZipfGenerator::new(2.0, 1000);
+        assert!(steep.probability(0) > flat.probability(0));
+        assert!(steep.probability(999) < flat.probability(999));
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let g = ZipfGenerator::new(0.0, 10);
+        for v in 0..10u64 {
+            assert!((g.probability(v) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_domain() {
+        let _ = ZipfGenerator::new(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_alpha() {
+        let _ = ZipfGenerator::new(-1.0, 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_samples_in_domain(alpha in 0.0f64..3.0, domain in 1u64..5000, seed in any::<u64>()) {
+            let g = ZipfGenerator::new(alpha, domain);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                prop_assert!(g.sample(&mut rng) < domain);
+            }
+        }
+
+        #[test]
+        fn prop_pmf_is_monotone_decreasing(alpha in 0.1f64..3.0, domain in 2u64..2000) {
+            let g = ZipfGenerator::new(alpha, domain);
+            let mut prev = g.probability(0);
+            for v in 1..domain.min(50) {
+                let p = g.probability(v);
+                prop_assert!(p <= prev + 1e-15);
+                prev = p;
+            }
+        }
+    }
+}

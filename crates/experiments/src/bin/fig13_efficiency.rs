@@ -1,0 +1,55 @@
+//! Fig. 13: running time, split into offline (collection + sketch construction) and online
+//! (answering the join query) components.
+//!
+//! Paper setting: Zipf(α = 1.1), Gaussian and Twitter datasets, all methods. Expected shape:
+//! the online time of every sketch-based method is negligible; the sketch methods pay a
+//! modest extra offline cost compared with k-RR/FLH but orders of magnitude better accuracy
+//! (Fig. 5).
+
+use ldpjs_core::{Epsilon, SketchParams};
+use ldpjs_data::PaperDataset;
+use ldpjs_experiments::{run_trials, ExpArgs, Method, PlusKnobs};
+use ldpjs_metrics::report::{csv_line, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let params = SketchParams::new(18, 1024).expect("paper sketch parameters");
+    let eps = Epsilon::new(args.eps).expect("valid epsilon");
+    let datasets = if args.quick {
+        vec![PaperDataset::Zipf { alpha: 1.1 }]
+    } else {
+        vec![PaperDataset::Zipf { alpha: 1.1 }, PaperDataset::Gaussian, PaperDataset::Twitter]
+    };
+    let methods = Method::all();
+
+    for dataset in datasets {
+        let workload = dataset.generate_join(args.scale, args.seed);
+        let mut table = Table::new(
+            format!("Fig. 13 — running time on {} (seconds)", workload.name),
+            &["method", "offline (s)", "online (s)"],
+        );
+        for &method in &methods {
+            let summary =
+                run_trials(method, &workload, params, eps, PlusKnobs::default(), args.seed, 1);
+            table.add_row(vec![
+                method.name().to_string(),
+                format!("{:.4}", summary.mean_offline_seconds),
+                format!("{:.6}", summary.mean_online_seconds),
+            ]);
+            println!(
+                "{}",
+                csv_line(
+                    "fig13",
+                    &[
+                        workload.name.clone(),
+                        method.name().to_string(),
+                        format!("{:.6}", summary.mean_offline_seconds),
+                        format!("{:.6}", summary.mean_online_seconds),
+                    ]
+                )
+            );
+        }
+        println!("\n{}", table.render());
+    }
+    println!("(Online time should be near zero for all sketch-based methods.)");
+}

@@ -1,0 +1,60 @@
+//! Fig. 5: relative error of join-size estimation across all six datasets.
+//!
+//! Paper setting: ε = 4, (k, m) = (18, 1024), every competitor. Expected shape: k-RR and FLH
+//! orders of magnitude worse than the sketch methods; LDPJoinSketch within a small factor of
+//! the non-private FAGMS; LDPJoinSketch+ at least as good as LDPJoinSketch on skewed data.
+
+use ldpjs_core::{Epsilon, SketchParams};
+use ldpjs_data::PaperDataset;
+use ldpjs_experiments::{run_trials, ExpArgs, Method, PlusKnobs};
+use ldpjs_metrics::report::{csv_line, sci, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let params = SketchParams::new(18, 1024).expect("paper sketch parameters");
+    let eps = Epsilon::new(args.eps).expect("valid epsilon");
+    let methods = Method::all();
+
+    let mut table = Table::new(
+        format!("Fig. 5 — RE of join size estimation (ε = {}, k = 18, m = 1024)", args.eps),
+        &["dataset", "FAGMS", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"],
+    );
+
+    let datasets = if args.quick {
+        vec![PaperDataset::Zipf { alpha: 1.1 }, PaperDataset::Facebook]
+    } else {
+        PaperDataset::figure5_suite()
+    };
+
+    for dataset in datasets {
+        let workload = dataset.generate_join(args.scale, args.seed);
+        let mut row = vec![workload.name.clone()];
+        for &method in &methods {
+            let summary = run_trials(
+                method,
+                &workload,
+                params,
+                eps,
+                PlusKnobs::default(),
+                args.seed,
+                args.effective_trials(),
+            );
+            row.push(sci(summary.mean_relative_error));
+            println!(
+                "{}",
+                csv_line(
+                    "fig5",
+                    &[
+                        workload.name.clone(),
+                        method.name().to_string(),
+                        format!("{:.6e}", summary.mean_relative_error),
+                        format!("{:.6e}", summary.mean_absolute_error),
+                    ]
+                )
+            );
+        }
+        table.add_row(row);
+    }
+    println!("\n{}", table.render());
+    println!("(Lower is better; compare column ordering with the paper's Fig. 5.)");
+}

@@ -1,0 +1,72 @@
+//! Fig. 8: impact of the privacy budget ε.
+//!
+//! Paper setting: ε ∈ {0.1, 1, 2, …, 10}, (k, m) = (18, 1024), four datasets
+//! (Zipf α=1.5, Gaussian, MovieLens, Twitter). Expected shape: AE decreases as ε grows, the
+//! sketch methods flatten out once the sketch error dominates, and the proposed methods win at
+//! small ε.
+
+use ldpjs_core::{Epsilon, SketchParams};
+use ldpjs_data::PaperDataset;
+use ldpjs_experiments::{run_trials, ExpArgs, Method, PlusKnobs};
+use ldpjs_metrics::report::{csv_line, sci, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let params = SketchParams::new(18, 1024).expect("paper sketch parameters");
+
+    let datasets = if args.quick {
+        vec![PaperDataset::Zipf { alpha: 1.5 }]
+    } else {
+        vec![
+            PaperDataset::Zipf { alpha: 1.5 },
+            PaperDataset::Gaussian,
+            PaperDataset::MovieLens,
+            PaperDataset::Twitter,
+        ]
+    };
+    let eps_grid: Vec<f64> = if args.quick {
+        vec![0.1, 1.0, 4.0, 10.0]
+    } else {
+        vec![0.1, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    };
+    let methods = Method::all();
+
+    for dataset in datasets {
+        let workload = dataset.generate_join(args.scale, args.seed);
+        let mut table = Table::new(
+            format!("Fig. 8 — AE vs ε on {}", workload.name),
+            &["eps", "FAGMS", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"],
+        );
+        for &eps_val in &eps_grid {
+            let eps = Epsilon::new(eps_val).expect("valid epsilon");
+            let mut row = vec![format!("{eps_val}")];
+            for &method in &methods {
+                let summary = run_trials(
+                    method,
+                    &workload,
+                    params,
+                    eps,
+                    PlusKnobs::default(),
+                    args.seed,
+                    args.effective_trials(),
+                );
+                row.push(sci(summary.mean_absolute_error));
+                println!(
+                    "{}",
+                    csv_line(
+                        "fig8",
+                        &[
+                            workload.name.clone(),
+                            format!("{eps_val}"),
+                            method.name().to_string(),
+                            format!("{:.6e}", summary.mean_absolute_error),
+                        ]
+                    )
+                );
+            }
+            table.add_row(row);
+        }
+        println!("\n{}", table.render());
+    }
+    println!("(AE should fall as ε grows and flatten for the sketch-based methods.)");
+}

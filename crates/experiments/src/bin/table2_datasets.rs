@@ -1,0 +1,46 @@
+//! Table II: dataset inventory.
+//!
+//! Prints, for every dataset of the evaluation, the paper-reported domain and row count next
+//! to the row count actually generated at the requested `--scale`, plus the generated tables'
+//! frequency moments and exact join size (the ground truth every other experiment divides by).
+
+use ldpjs_experiments::ExpArgs;
+use ldpjs_data::PaperDataset;
+use ldpjs_metrics::report::{csv_line, Table};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut table = Table::new(
+        format!("Table II — datasets (scale = {})", args.scale),
+        &["dataset", "domain", "paper rows", "generated rows", "F2(A)", "F2(B)", "true |A⋈B|"],
+    );
+    let mut datasets = PaperDataset::figure5_suite();
+    datasets.push(PaperDataset::Zipf { alpha: 1.5 });
+    datasets.push(PaperDataset::Zipf { alpha: 2.0 });
+    for dataset in datasets {
+        let info = dataset.info();
+        let workload = dataset.generate_join(args.scale, args.seed);
+        table.add_row(vec![
+            info.name.clone(),
+            info.domain.to_string(),
+            info.paper_rows.to_string(),
+            workload.table_a.len().to_string(),
+            workload.f2_a().to_string(),
+            workload.f2_b().to_string(),
+            workload.true_join_size.to_string(),
+        ]);
+        println!(
+            "{}",
+            csv_line(
+                "table2",
+                &[
+                    info.name,
+                    info.domain.to_string(),
+                    workload.table_a.len().to_string(),
+                    workload.true_join_size.to_string(),
+                ]
+            )
+        );
+    }
+    println!("\n{}", table.render());
+}

@@ -1,0 +1,28 @@
+//! # ldpjs-experiments
+//!
+//! The evaluation harness: shared plumbing for the per-figure experiment binaries in
+//! `src/bin/`.
+//!
+//! * [`config`] — a tiny flag parser (`--scale`, `--trials`, `--seed`, `--eps`, `--quick`)
+//!   shared by all binaries, so every figure can be regenerated at paper scale or at a
+//!   laptop-friendly default.
+//! * [`methods`] — the competitor registry: FAGMS (non-private), k-RR, Apple-HCMS, FLH,
+//!   LDPJoinSketch and LDPJoinSketch+, each exposed through one `estimate_join` entry point
+//!   (plus timed variants for Fig. 13).
+//! * [`runner`] — trial loops (optionally parallel across trials via crossbeam scoped
+//!   threads) that feed [`ldpjs_metrics::TrialErrors`].
+//!
+//! Every binary prints a human-readable table mirroring the paper figure plus `csv,`-prefixed
+//! lines for downstream plotting; EXPERIMENTS.md records the measured shapes next to the
+//! paper's.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod methods;
+pub mod runner;
+
+pub use config::ExpArgs;
+pub use methods::{estimate_join, Method, MethodOutcome, PlusKnobs};
+pub use runner::{run_trials, MethodSummary};

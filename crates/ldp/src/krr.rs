@@ -1,0 +1,164 @@
+//! k-ary Randomized Response (k-RR), the direct-encoding baseline.
+//!
+//! Each user reports its true value with probability `p = e^ε/(e^ε + |D| − 1)` and a uniformly
+//! random *other* value otherwise. The server counts reports per value and de-biases:
+//! `f̃(d) = (c(d) − n·q)/(p − q)` with `q = 1/(e^ε + |D| − 1)`.
+//!
+//! With large domains (the paper's challenge I) `p ≈ q`, the de-bias factor explodes and the
+//! estimates become extremely noisy — exactly the behaviour the evaluation shows in Fig. 5
+//! and Fig. 8. The implementation stores a dense count vector over the domain, which is
+//! practical for the domains in Table II (≤ a few million values).
+
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::rr::{krr_debias, krr_perturb};
+use rand::RngCore;
+
+use crate::oracle::FrequencyOracle;
+
+/// The k-RR frequency oracle.
+#[derive(Debug, Clone)]
+pub struct KrrOracle {
+    eps: Epsilon,
+    domain: u64,
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl KrrOracle {
+    /// Create a k-RR oracle over the domain `{0, …, domain−1}` with privacy budget `eps`.
+    ///
+    /// # Panics
+    /// Panics if `domain < 2` (randomized response needs at least two values).
+    pub fn new(eps: Epsilon, domain: u64) -> Self {
+        assert!(domain >= 2, "k-RR needs a domain of at least two values");
+        KrrOracle { eps, domain, counts: vec![0; domain as usize], n: 0 }
+    }
+
+    /// The domain size `|D|`.
+    #[inline]
+    pub fn domain(&self) -> u64 {
+        self.domain
+    }
+
+    /// The privacy budget.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// Perturb a single value client-side (exposed for tests and the communication harness).
+    pub fn perturb(&self, value: u64, rng: &mut dyn RngCore) -> u64 {
+        krr_perturb(rng, self.eps, self.domain, value)
+    }
+}
+
+impl FrequencyOracle for KrrOracle {
+    fn name(&self) -> &'static str {
+        "k-RR"
+    }
+
+    fn collect(&mut self, values: &[u64], rng: &mut dyn RngCore) {
+        for &v in values {
+            let report = krr_perturb(rng, self.eps, self.domain, v);
+            self.counts[report as usize] += 1;
+            self.n += 1;
+        }
+    }
+
+    fn estimate(&self, value: u64) -> f64 {
+        if value >= self.domain {
+            return 0.0;
+        }
+        krr_debias(
+            self.counts[value as usize] as f64,
+            self.n as f64,
+            self.domain as usize,
+            self.eps,
+        )
+    }
+
+    fn total_reports(&self) -> u64 {
+        self.n
+    }
+
+    fn report_bits(&self) -> u64 {
+        // A report is one value out of |D|.
+        (self.domain.max(2) as f64).log2().ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimates_are_unbiased_on_small_domain() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let mut oracle = KrrOracle::new(eps, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        // 60% value 0, 40% value 9.
+        let values: Vec<u64> = (0..100_000).map(|i| if i % 5 < 3 { 0 } else { 9 }).collect();
+        oracle.collect(&values, &mut rng);
+        assert_eq!(oracle.total_reports(), 100_000);
+        let e0 = oracle.estimate(0);
+        let e9 = oracle.estimate(9);
+        let e5 = oracle.estimate(5);
+        assert!((e0 - 60_000.0).abs() < 2_000.0, "estimate of 0: {e0}");
+        assert!((e9 - 40_000.0).abs() < 2_000.0, "estimate of 9: {e9}");
+        assert!(e5.abs() < 2_000.0, "estimate of 5: {e5}");
+    }
+
+    #[test]
+    fn large_domain_estimates_are_much_noisier() {
+        // The same data, but embedded in a much larger domain: the noise floor grows with |D|,
+        // which is the paper's motivation for sketch-based approaches.
+        let eps = Epsilon::new(1.0).unwrap();
+        let values: Vec<u64> = (0..20_000).map(|i| if i % 2 == 0 { 0 } else { 1 }).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+
+        let mut small = KrrOracle::new(eps, 16);
+        small.collect(&values, &mut rng);
+        let mut large = KrrOracle::new(eps, 65_536);
+        large.collect(&values, &mut rng);
+
+        // Noise on an *unoccupied* value: measure the absolute de-biased estimate.
+        let small_noise: f64 = (2..12).map(|v| small.estimate(v).abs()).sum();
+        let large_noise: f64 = (2..12).map(|v| large.estimate(v).abs()).sum();
+        assert!(
+            large_noise > small_noise,
+            "expected more noise with the larger domain: {large_noise} vs {small_noise}"
+        );
+    }
+
+    #[test]
+    fn report_bits_grows_logarithmically() {
+        let eps = Epsilon::new(4.0).unwrap();
+        assert_eq!(KrrOracle::new(eps, 1024).report_bits(), 10);
+        assert_eq!(KrrOracle::new(eps, 1_048_576).report_bits(), 20);
+        assert_eq!(KrrOracle::new(eps, 3).report_bits(), 2);
+    }
+
+    #[test]
+    fn out_of_domain_estimate_is_zero() {
+        let eps = Epsilon::new(4.0).unwrap();
+        let oracle = KrrOracle::new(eps, 8);
+        assert_eq!(oracle.estimate(9), 0.0);
+    }
+
+    #[test]
+    fn perturb_keeps_value_with_high_probability_for_large_eps() {
+        let eps = Epsilon::new(10.0).unwrap();
+        let oracle = KrrOracle::new(eps, 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let kept = (0..1000).filter(|_| oracle.perturb(7, &mut rng) == 7).count();
+        assert!(kept > 950, "kept only {kept}/1000 with ε=10");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two values")]
+    fn rejects_degenerate_domain() {
+        let _ = KrrOracle::new(Epsilon::new(1.0).unwrap(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Optimal Local Hashing (OLH) and its heuristic fast variant FLH.
+//!
+//! OLH (Wang et al.) maps each user's value through a per-user random hash `H : D -> [g]`
+//! with `g = ⌊e^ε⌋ + 1`, then applies k-RR over the hashed domain `[g]`. The server's support
+//! count of a candidate value `d` is the number of reports `(H_i, y_i)` with `H_i(d) = y_i`,
+//! de-biased by `f̃(d) = (C(d) − n/g)/(p − 1/g)`.
+//!
+//! **FLH** (the variant the paper benchmarks) trades accuracy for speed by restricting the
+//! per-user hash to a fixed pool of `k'` functions. The server then only needs a `k' × g`
+//! count matrix and evaluates each candidate value against `k'` hashes instead of `n`.
+//!
+//! The hash pool is derived from a seed shared by clients and server (public information in
+//! the LDP protocol, like the sketch hash families).
+
+use ldpjs_common::hash::BucketHash;
+use ldpjs_common::privacy::Epsilon;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::oracle::FrequencyOracle;
+
+/// Which flavour of local hashing an [`FlhOracle`] simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OlhVariant {
+    /// A large hash pool approximating per-user hashing (accuracy-oriented).
+    OptimalLike,
+    /// The fast heuristic with a small, fixed hash pool (the paper's FLH competitor).
+    Fast,
+}
+
+/// The FLH / OLH-like frequency oracle.
+#[derive(Debug, Clone)]
+pub struct FlhOracle {
+    eps: Epsilon,
+    g: u64,
+    variant: OlhVariant,
+    hashes: Vec<BucketHash>,
+    /// `hash_count × g` matrix of report counts, row-major.
+    counts: Vec<u64>,
+    n: u64,
+}
+
+impl FlhOracle {
+    /// Default pool size of the fast variant (the heuristic the FLH paper recommends is in the
+    /// thousands; we default to a value that keeps the scaled-down experiments fast).
+    pub const DEFAULT_FAST_POOL: usize = 512;
+
+    /// Create an FLH oracle with an explicit hash-pool size.
+    ///
+    /// # Panics
+    /// Panics if `hash_count == 0`.
+    pub fn with_pool(eps: Epsilon, hash_count: usize, seed: u64, variant: OlhVariant) -> Self {
+        assert!(hash_count > 0, "FLH needs at least one hash function");
+        let g = (eps.exp().floor() as u64 + 1).max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let hashes = (0..hash_count).map(|_| BucketHash::sample(&mut rng, g as usize)).collect();
+        FlhOracle { eps, g, variant, hashes, counts: vec![0; hash_count * g as usize], n: 0 }
+    }
+
+    /// Create the paper's FLH competitor with the default pool size.
+    pub fn new_fast(eps: Epsilon, seed: u64) -> Self {
+        Self::with_pool(eps, Self::DEFAULT_FAST_POOL, seed, OlhVariant::Fast)
+    }
+
+    /// Create an OLH-like oracle with a large pool (slower, closer to per-user hashing).
+    pub fn new_optimal_like(eps: Epsilon, seed: u64) -> Self {
+        Self::with_pool(eps, 8192, seed, OlhVariant::OptimalLike)
+    }
+
+    /// The hashed-domain size `g = ⌊e^ε⌋ + 1`.
+    #[inline]
+    pub fn g(&self) -> u64 {
+        self.g
+    }
+
+    /// Number of hash functions in the pool.
+    #[inline]
+    pub fn pool_size(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// The keep probability of the inner k-RR over `[g]`.
+    fn keep_probability(&self) -> f64 {
+        self.eps.krr_keep_probability(self.g as usize)
+    }
+}
+
+impl FrequencyOracle for FlhOracle {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            OlhVariant::OptimalLike => "OLH",
+            OlhVariant::Fast => "FLH",
+        }
+    }
+
+    fn collect(&mut self, values: &[u64], rng: &mut dyn RngCore) {
+        let p = self.keep_probability();
+        for &v in values {
+            let hash_idx = rng.gen_range(0..self.hashes.len());
+            let hashed = self.hashes[hash_idx].hash(v) as u64;
+            // k-RR over [g].
+            let report = if rng.gen_bool(p) {
+                hashed
+            } else {
+                let r = rng.gen_range(0..self.g - 1);
+                if r >= hashed {
+                    r + 1
+                } else {
+                    r
+                }
+            };
+            self.counts[hash_idx * self.g as usize + report as usize] += 1;
+            self.n += 1;
+        }
+    }
+
+    fn estimate(&self, value: u64) -> f64 {
+        // Support count: reports whose hash maps the candidate value onto the reported cell.
+        let mut support = 0u64;
+        for (idx, h) in self.hashes.iter().enumerate() {
+            let cell = h.hash(value);
+            support += self.counts[idx * self.g as usize + cell];
+        }
+        let n = self.n as f64;
+        let p = self.keep_probability();
+        let q = 1.0 / self.g as f64;
+        (support as f64 - n * q) / (p - q)
+    }
+
+    fn total_reports(&self) -> u64 {
+        self.n
+    }
+
+    fn report_bits(&self) -> u64 {
+        // A report is the hash-function index plus a value in [g].
+        let g_bits = (self.g.max(2) as f64).log2().ceil() as u64;
+        let idx_bits = (self.hashes.len().max(2) as f64).log2().ceil() as u64;
+        g_bits + idx_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn g_matches_definition() {
+        let o = FlhOracle::new_fast(Epsilon::new(1.0).unwrap(), 1);
+        assert_eq!(o.g(), (1.0f64.exp().floor() as u64) + 1); // e^1 = 2.71 -> g = 3
+        let o = FlhOracle::new_fast(Epsilon::new(3.0).unwrap(), 1);
+        assert_eq!(o.g(), 20 + 1); // e^3 = 20.08
+    }
+
+    #[test]
+    fn estimates_track_truth_on_skewed_data() {
+        let eps = Epsilon::new(3.0).unwrap();
+        let mut oracle = FlhOracle::new_fast(eps, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        // 50% value 1, 30% value 2, 20% spread over 100 other values.
+        let n = 200_000usize;
+        let values: Vec<u64> = (0..n)
+            .map(|i| match i % 10 {
+                0..=4 => 1,
+                5..=7 => 2,
+                _ => 10 + (i as u64 % 100),
+            })
+            .collect();
+        oracle.collect(&values, &mut rng);
+        let e1 = oracle.estimate(1);
+        let e2 = oracle.estimate(2);
+        let e999 = oracle.estimate(999_999);
+        assert!((e1 - 0.5 * n as f64).abs() < 0.05 * n as f64, "estimate of 1: {e1}");
+        assert!((e2 - 0.3 * n as f64).abs() < 0.05 * n as f64, "estimate of 2: {e2}");
+        assert!(e999.abs() < 0.05 * n as f64, "estimate of absent value: {e999}");
+    }
+
+    #[test]
+    fn optimal_like_is_not_less_accurate_than_tiny_pool() {
+        // A pool of a single hash function collapses every value to the same mapping and
+        // cannot distinguish colliding values; a large pool averages collisions away.
+        let eps = Epsilon::new(2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000usize;
+        let values: Vec<u64> = (0..n).map(|i| (i % 50) as u64).collect();
+
+        let mut tiny = FlhOracle::with_pool(eps, 1, 11, OlhVariant::Fast);
+        tiny.collect(&values, &mut rng);
+        let mut big = FlhOracle::new_optimal_like(eps, 11);
+        big.collect(&values, &mut rng);
+
+        let truth = n as f64 / 50.0;
+        let err_tiny: f64 = (0..50u64).map(|v| (tiny.estimate(v) - truth).abs()).sum();
+        let err_big: f64 = (0..50u64).map(|v| (big.estimate(v) - truth).abs()).sum();
+        assert!(
+            err_big < err_tiny,
+            "large pool should beat a single hash: {err_big} vs {err_tiny}"
+        );
+    }
+
+    #[test]
+    fn names_and_bits() {
+        let eps = Epsilon::new(4.0).unwrap();
+        let fast = FlhOracle::new_fast(eps, 0);
+        assert_eq!(fast.name(), "FLH");
+        let opt = FlhOracle::new_optimal_like(eps, 0);
+        assert_eq!(opt.name(), "OLH");
+        // g = e^4 + 1 = 55 -> 6 bits; pool 512 -> 9 bits.
+        assert_eq!(fast.report_bits(), 6 + 9);
+        assert!(fast.pool_size() < opt.pool_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hash")]
+    fn rejects_empty_pool() {
+        let _ = FlhOracle::with_pool(Epsilon::new(1.0).unwrap(), 0, 0, OlhVariant::Fast);
+    }
+}

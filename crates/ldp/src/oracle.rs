@@ -1,0 +1,82 @@
+//! The [`FrequencyOracle`] trait every baseline LDP mechanism implements.
+//!
+//! The paper's competitors (k-RR, FLH, Apple-HCMS) are all *frequency oracles*: they collect
+//! locally perturbed reports and answer point queries "how many users hold value `d`?".
+//! Join-size estimation on top of them sums `f̃_A(d)·f̃_B(d)` over the candidate domain
+//! ([`crate::join`]). The trait keeps the harness generic over mechanisms and records the
+//! per-user communication cost used in Fig. 7.
+
+use rand::RngCore;
+
+/// A locally differentially private frequency oracle.
+///
+/// Implementations own the server-side aggregation state; `collect` simulates the client-side
+/// perturbation of each user's value followed by server-side aggregation of the report.
+pub trait FrequencyOracle {
+    /// Short mechanism name as used in the paper's figures (e.g. `"k-RR"`, `"FLH"`).
+    fn name(&self) -> &'static str;
+
+    /// Simulate the full LDP round trip for a batch of users: each entry of `values` is one
+    /// user's private value; it is perturbed client-side and aggregated server-side.
+    fn collect(&mut self, values: &[u64], rng: &mut dyn RngCore);
+
+    /// De-biased estimate of the number of users holding `value`.
+    fn estimate(&self, value: u64) -> f64;
+
+    /// Number of reports aggregated so far.
+    fn total_reports(&self) -> u64;
+
+    /// Communication cost of a single client report, in bits (Fig. 7's unit).
+    fn report_bits(&self) -> u64;
+
+    /// Estimate the frequencies of every value in `domain`, in order.
+    ///
+    /// The default implementation calls [`FrequencyOracle::estimate`] per value; mechanisms
+    /// with a cheaper batch path may override it.
+    fn estimate_domain(&self, domain: &[u64]) -> Vec<f64> {
+        domain.iter().map(|&d| self.estimate(d)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially exact "oracle" used to exercise the trait's default methods.
+    struct ExactOracle {
+        counts: std::collections::HashMap<u64, u64>,
+        n: u64,
+    }
+
+    impl FrequencyOracle for ExactOracle {
+        fn name(&self) -> &'static str {
+            "exact"
+        }
+        fn collect(&mut self, values: &[u64], _rng: &mut dyn RngCore) {
+            for &v in values {
+                *self.counts.entry(v).or_insert(0) += 1;
+                self.n += 1;
+            }
+        }
+        fn estimate(&self, value: u64) -> f64 {
+            self.counts.get(&value).copied().unwrap_or(0) as f64
+        }
+        fn total_reports(&self) -> u64 {
+            self.n
+        }
+        fn report_bits(&self) -> u64 {
+            64
+        }
+    }
+
+    #[test]
+    fn default_estimate_domain_maps_estimate() {
+        let mut oracle = ExactOracle { counts: Default::default(), n: 0 };
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        oracle.collect(&[1, 1, 2, 5], &mut rng);
+        assert_eq!(oracle.estimate_domain(&[1, 2, 3, 5]), vec![2.0, 1.0, 0.0, 1.0]);
+        assert_eq!(oracle.total_reports(), 4);
+        assert_eq!(oracle.name(), "exact");
+        assert_eq!(oracle.report_bits(), 64);
+    }
+}

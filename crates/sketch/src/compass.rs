@@ -1,0 +1,370 @@
+//! COMPASS-style multi-dimensional Fast-AGMS sketches for multi-way chain joins.
+//!
+//! Section VI of the paper: for a chain query such as `T1(A) ⋈ T2(A,B) ⋈ T3(B)` every join
+//! attribute gets its own hash pair `(h, ξ)`. Single-attribute tables are summarised with an
+//! ordinary Fast-AGMS vector; a two-attribute table `T2` is summarised with an `m_A × m_B`
+//! matrix where tuple `(a, b)` adds `ξ_A(a)·ξ_B(b)` to the counter `[h_A(a), h_B(b)]`.
+//! The chain join size is estimated by contracting the sketches along the shared attributes:
+//! `Σ_{l1,l2} M1[l1]·M2[l1,l2]·M3[l2]`, with the usual median over `k` independent replicas.
+//!
+//! This module provides the **non-private** COMPASS baseline used in Fig. 15; the LDP version
+//! lives in `ldpjs-core::multiway` and reuses [`JoinAttribute`] so both see identical hash
+//! families.
+
+use ldpjs_common::error::{Error, Result};
+use ldpjs_common::hash::RowHashes;
+use ldpjs_common::stats::median;
+
+/// The public hash family attached to one join attribute (shared by every table that joins on
+/// that attribute and by the private sketches in `ldpjs-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinAttribute {
+    hashes: RowHashes,
+}
+
+impl JoinAttribute {
+    /// Derive the attribute's `k × m` hash family from a seed.
+    pub fn from_seed(seed: u64, replicas: usize, m: usize) -> Self {
+        JoinAttribute { hashes: RowHashes::from_seed(seed, replicas, m) }
+    }
+
+    /// Number of independent replicas `k`.
+    #[inline]
+    pub fn replicas(&self) -> usize {
+        self.hashes.rows()
+    }
+
+    /// Number of buckets `m` of this attribute's hash.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.hashes.columns()
+    }
+
+    /// The underlying hash family.
+    #[inline]
+    pub fn hashes(&self) -> &RowHashes {
+        &self.hashes
+    }
+
+    /// `h_j(value)` for replica `j`.
+    #[inline]
+    pub fn bucket_of(&self, j: usize, value: u64) -> usize {
+        self.hashes.pair(j).bucket_of(value)
+    }
+
+    /// `ξ_j(value)` for replica `j`.
+    #[inline]
+    pub fn sign_of(&self, j: usize, value: u64) -> f64 {
+        self.hashes.pair(j).sign_of(value) as f64
+    }
+}
+
+/// Fast-AGMS sketch of a single-attribute table, replicated `k` times.
+#[derive(Debug, Clone)]
+pub struct CompassVertexSketch {
+    attr: JoinAttribute,
+    /// `k × m` counters, row-major by replica.
+    counters: Vec<f64>,
+}
+
+impl CompassVertexSketch {
+    /// Create an empty vertex sketch over `attr`.
+    pub fn new(attr: JoinAttribute) -> Self {
+        let len = attr.replicas() * attr.buckets();
+        CompassVertexSketch { attr, counters: vec![0.0; len] }
+    }
+
+    /// The attribute this sketch summarises.
+    #[inline]
+    pub fn attribute(&self) -> &JoinAttribute {
+        &self.attr
+    }
+
+    /// Add one occurrence of `value`.
+    pub fn update(&mut self, value: u64) {
+        let m = self.attr.buckets();
+        for j in 0..self.attr.replicas() {
+            let col = self.attr.bucket_of(j, value);
+            self.counters[j * m + col] += self.attr.sign_of(j, value);
+        }
+    }
+
+    /// Add a whole stream.
+    pub fn update_all(&mut self, values: &[u64]) {
+        for &v in values {
+            self.update(v);
+        }
+    }
+
+    /// Replica `j` as a length-`m` slice.
+    pub fn replica(&self, j: usize) -> &[f64] {
+        let m = self.attr.buckets();
+        &self.counters[j * m..(j + 1) * m]
+    }
+}
+
+/// Two-dimensional Fast-AGMS sketch of a two-attribute table, replicated `k` times.
+#[derive(Debug, Clone)]
+pub struct CompassEdgeSketch {
+    attr_a: JoinAttribute,
+    attr_b: JoinAttribute,
+    /// `k × m_A × m_B` counters.
+    counters: Vec<f64>,
+}
+
+impl CompassEdgeSketch {
+    /// Create an empty edge sketch over attributes `(attr_a, attr_b)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if the two attributes have a different number
+    /// of replicas.
+    pub fn new(attr_a: JoinAttribute, attr_b: JoinAttribute) -> Result<Self> {
+        if attr_a.replicas() != attr_b.replicas() {
+            return Err(Error::IncompatibleSketches(format!(
+                "edge sketch attributes must share the replica count: {} vs {}",
+                attr_a.replicas(),
+                attr_b.replicas()
+            )));
+        }
+        let len = attr_a.replicas() * attr_a.buckets() * attr_b.buckets();
+        Ok(CompassEdgeSketch { attr_a, attr_b, counters: vec![0.0; len] })
+    }
+
+    /// The first (left) join attribute.
+    #[inline]
+    pub fn attribute_a(&self) -> &JoinAttribute {
+        &self.attr_a
+    }
+
+    /// The second (right) join attribute.
+    #[inline]
+    pub fn attribute_b(&self) -> &JoinAttribute {
+        &self.attr_b
+    }
+
+    #[inline]
+    fn idx(&self, j: usize, la: usize, lb: usize) -> usize {
+        (j * self.attr_a.buckets() + la) * self.attr_b.buckets() + lb
+    }
+
+    /// Add one tuple `(a, b)`.
+    pub fn update(&mut self, a: u64, b: u64) {
+        for j in 0..self.attr_a.replicas() {
+            let la = self.attr_a.bucket_of(j, a);
+            let lb = self.attr_b.bucket_of(j, b);
+            let sign = self.attr_a.sign_of(j, a) * self.attr_b.sign_of(j, b);
+            let idx = self.idx(j, la, lb);
+            self.counters[idx] += sign;
+        }
+    }
+
+    /// Add a whole table of tuples.
+    pub fn update_all(&mut self, tuples: &[(u64, u64)]) {
+        for &(a, b) in tuples {
+            self.update(a, b);
+        }
+    }
+
+    /// Replica `j` as an `m_A × m_B` row-major slice.
+    pub fn replica(&self, j: usize) -> &[f64] {
+        let per = self.attr_a.buckets() * self.attr_b.buckets();
+        &self.counters[j * per..(j + 1) * per]
+    }
+}
+
+fn check_shared_attr(left: &JoinAttribute, right: &JoinAttribute, what: &str) -> Result<()> {
+    if left != right {
+        return Err(Error::IncompatibleSketches(format!(
+            "{what} must be sketched with the same attribute hash family on both sides"
+        )));
+    }
+    Ok(())
+}
+
+/// Estimate the 3-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B)|` from COMPASS sketches.
+///
+/// `t1` and `t2` must share attribute `A`'s hash family; `t2` and `t3` must share `B`'s.
+pub fn estimate_chain_3(
+    t1: &CompassVertexSketch,
+    t2: &CompassEdgeSketch,
+    t3: &CompassVertexSketch,
+) -> Result<f64> {
+    check_shared_attr(t1.attribute(), t2.attribute_a(), "attribute A")?;
+    check_shared_attr(t3.attribute(), t2.attribute_b(), "attribute B")?;
+    let k = t1.attribute().replicas();
+    let ma = t2.attribute_a().buckets();
+    let mb = t2.attribute_b().buckets();
+    let mut per_replica = Vec::with_capacity(k);
+    for j in 0..k {
+        let v1 = t1.replica(j);
+        let v3 = t3.replica(j);
+        let e = t2.replica(j);
+        let mut acc = 0.0;
+        for la in 0..ma {
+            if v1[la] == 0.0 {
+                continue;
+            }
+            let row = &e[la * mb..(la + 1) * mb];
+            let inner: f64 = row.iter().zip(v3.iter()).map(|(x, y)| x * y).sum();
+            acc += v1[la] * inner;
+        }
+        per_replica.push(acc);
+    }
+    median(&per_replica).ok_or_else(|| Error::EmptyInput("no replicas".into()))
+}
+
+/// Estimate the 4-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B,C) ⋈ T4(C)|` from COMPASS sketches.
+pub fn estimate_chain_4(
+    t1: &CompassVertexSketch,
+    t2: &CompassEdgeSketch,
+    t3: &CompassEdgeSketch,
+    t4: &CompassVertexSketch,
+) -> Result<f64> {
+    check_shared_attr(t1.attribute(), t2.attribute_a(), "attribute A")?;
+    check_shared_attr(t2.attribute_b(), t3.attribute_a(), "attribute B")?;
+    check_shared_attr(t4.attribute(), t3.attribute_b(), "attribute C")?;
+    let k = t1.attribute().replicas();
+    let ma = t2.attribute_a().buckets();
+    let mb = t2.attribute_b().buckets();
+    let mc = t3.attribute_b().buckets();
+    let mut per_replica = Vec::with_capacity(k);
+    for j in 0..k {
+        let v1 = t1.replica(j);
+        let e2 = t2.replica(j);
+        let e3 = t3.replica(j);
+        let v4 = t4.replica(j);
+        // w[lb] = Σ_lc e3[lb, lc] * v4[lc]
+        let mut w = vec![0.0; mb];
+        for lb in 0..mb {
+            let row = &e3[lb * mc..(lb + 1) * mc];
+            w[lb] = row.iter().zip(v4.iter()).map(|(x, y)| x * y).sum();
+        }
+        // acc = Σ_la v1[la] Σ_lb e2[la, lb] * w[lb]
+        let mut acc = 0.0;
+        for la in 0..ma {
+            if v1[la] == 0.0 {
+                continue;
+            }
+            let row = &e2[la * mb..(la + 1) * mb];
+            let inner: f64 = row.iter().zip(w.iter()).map(|(x, y)| x * y).sum();
+            acc += v1[la] * inner;
+        }
+        per_replica.push(acc);
+    }
+    median(&per_replica).ok_or_else(|| Error::EmptyInput("no replicas".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpjs_common::stats::{exact_chain_join_3, exact_chain_join_4};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gen_values(n: usize, domain: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                ((u.powf(-0.7) - 1.0) as u64).min(domain - 1)
+            })
+            .collect()
+    }
+
+    fn gen_pairs(n: usize, da: u64, db: u64, seed: u64) -> Vec<(u64, u64)> {
+        let a = gen_values(n, da, seed);
+        let b = gen_values(n, db, seed.wrapping_add(1));
+        a.into_iter().zip(b).collect()
+    }
+
+    #[test]
+    fn edge_sketch_requires_matching_replicas() {
+        let a = JoinAttribute::from_seed(1, 5, 64);
+        let b = JoinAttribute::from_seed(2, 7, 64);
+        assert!(CompassEdgeSketch::new(a, b).is_err());
+    }
+
+    #[test]
+    fn chain_3_requires_shared_attribute_families() {
+        let a = JoinAttribute::from_seed(1, 5, 64);
+        let a_other = JoinAttribute::from_seed(9, 5, 64);
+        let b = JoinAttribute::from_seed(2, 5, 64);
+        let t1 = CompassVertexSketch::new(a_other);
+        let t2 = CompassEdgeSketch::new(a, b.clone()).unwrap();
+        let t3 = CompassVertexSketch::new(b);
+        assert!(estimate_chain_3(&t1, &t2, &t3).is_err());
+    }
+
+    #[test]
+    fn chain_3_exact_on_single_values() {
+        // All tables hold copies of a single value pair: no collisions, estimate is exact.
+        let a = JoinAttribute::from_seed(3, 7, 32);
+        let b = JoinAttribute::from_seed(4, 7, 32);
+        let mut t1 = CompassVertexSketch::new(a.clone());
+        let mut t2 = CompassEdgeSketch::new(a, b.clone()).unwrap();
+        let mut t3 = CompassVertexSketch::new(b);
+        for _ in 0..10 {
+            t1.update(5);
+        }
+        for _ in 0..3 {
+            t2.update(5, 8);
+        }
+        for _ in 0..4 {
+            t3.update(8);
+        }
+        let est = estimate_chain_3(&t1, &t2, &t3).unwrap();
+        assert!((est - 120.0).abs() < 1e-9, "est {est}");
+    }
+
+    #[test]
+    fn chain_3_close_to_truth() {
+        let t1v = gen_values(8_000, 200, 1);
+        let t2v = gen_pairs(8_000, 200, 200, 2);
+        let t3v = gen_values(8_000, 200, 4);
+        let truth = exact_chain_join_3(&t1v, &t2v, &t3v) as f64;
+        let a = JoinAttribute::from_seed(10, 9, 512);
+        let b = JoinAttribute::from_seed(11, 9, 512);
+        let mut t1 = CompassVertexSketch::new(a.clone());
+        let mut t2 = CompassEdgeSketch::new(a, b.clone()).unwrap();
+        let mut t3 = CompassVertexSketch::new(b);
+        t1.update_all(&t1v);
+        t2.update_all(&t2v);
+        t3.update_all(&t3v);
+        let est = estimate_chain_3(&t1, &t2, &t3).unwrap();
+        let re = (est - truth).abs() / truth;
+        assert!(re < 0.2, "relative error {re} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn chain_4_close_to_truth() {
+        let t1v = gen_values(5_000, 100, 21);
+        let t2v = gen_pairs(5_000, 100, 100, 22);
+        let t3v = gen_pairs(5_000, 100, 100, 24);
+        let t4v = gen_values(5_000, 100, 26);
+        let truth = exact_chain_join_4(&t1v, &t2v, &t3v, &t4v) as f64;
+        let a = JoinAttribute::from_seed(30, 9, 256);
+        let b = JoinAttribute::from_seed(31, 9, 256);
+        let c = JoinAttribute::from_seed(32, 9, 256);
+        let mut t1 = CompassVertexSketch::new(a.clone());
+        let mut t2 = CompassEdgeSketch::new(a, b.clone()).unwrap();
+        let mut t3 = CompassEdgeSketch::new(b, c.clone()).unwrap();
+        let mut t4 = CompassVertexSketch::new(c);
+        t1.update_all(&t1v);
+        t2.update_all(&t2v);
+        t3.update_all(&t3v);
+        t4.update_all(&t4v);
+        let est = estimate_chain_4(&t1, &t2, &t3, &t4).unwrap();
+        let re = (est - truth).abs() / truth;
+        assert!(re < 0.3, "relative error {re} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn empty_sketches_estimate_zero() {
+        let a = JoinAttribute::from_seed(3, 5, 32);
+        let b = JoinAttribute::from_seed(4, 5, 32);
+        let t1 = CompassVertexSketch::new(a.clone());
+        let t2 = CompassEdgeSketch::new(a, b.clone()).unwrap();
+        let t3 = CompassVertexSketch::new(b);
+        assert_eq!(estimate_chain_3(&t1, &t2, &t3).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! The Count-Min sketch.
+//!
+//! Not used directly by LDPJoinSketch, but it is the classical point-query structure that the
+//! Count-Mean sketch (and therefore Apple-HCMS) is derived from, and it gives the evaluation
+//! harness a collision-*biased* reference point: Count-Min always over-estimates, which is
+//! exactly the hash-collision error the paper's FAP mechanism is designed to remove.
+
+use ldpjs_common::hash::RowHashes;
+
+use crate::params::SketchParams;
+
+/// A `(k, m)` Count-Min sketch with conservative point queries.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    params: SketchParams,
+    hashes: RowHashes,
+    counters: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Create an empty Count-Min sketch.
+    pub fn new(params: SketchParams, seed: u64) -> Self {
+        let hashes = RowHashes::from_seed(seed, params.rows(), params.columns());
+        CountMinSketch { params, hashes, counters: vec![0; params.counters()], total: 0 }
+    }
+
+    /// Sketch parameters.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Total number of updates.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        row * self.params.columns() + col
+    }
+
+    /// Add one occurrence of `value`.
+    pub fn update(&mut self, value: u64) {
+        for j in 0..self.params.rows() {
+            let col = self.hashes.pair(j).bucket_of(value);
+            let idx = self.idx(j, col);
+            self.counters[idx] += 1;
+        }
+        self.total += 1;
+    }
+
+    /// Add a whole stream.
+    pub fn update_all(&mut self, values: &[u64]) {
+        for &v in values {
+            self.update(v);
+        }
+    }
+
+    /// Point query: an over-estimate of the frequency of `value`
+    /// (`min_j M[j, h_j(value)] ≥ f(value)`).
+    pub fn frequency_upper_bound(&self, value: u64) -> u64 {
+        (0..self.params.rows())
+            .map(|j| self.counters[self.idx(j, self.hashes.pair(j).bucket_of(value))])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The Count-Mean de-biased point query: subtract the expected collision mass
+    /// `(total − row counter)/(m − 1)` per row and take the median.
+    /// This is the estimator the Count-Mean sketch family (and HCMS) uses.
+    pub fn frequency_debiased(&self, value: u64) -> f64 {
+        let m = self.params.columns() as f64;
+        let mut per_row: Vec<f64> = (0..self.params.rows())
+            .map(|j| {
+                let c = self.counters[self.idx(j, self.hashes.pair(j).bucket_of(value))] as f64;
+                (c - self.total as f64 / m) * m / (m - 1.0)
+            })
+            .collect();
+        per_row.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = per_row.len();
+        if n % 2 == 1 {
+            per_row[n / 2]
+        } else {
+            (per_row[n / 2 - 1] + per_row[n / 2]) / 2.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpjs_common::stats::frequency_table;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn params(k: usize, m: usize) -> SketchParams {
+        SketchParams::new(k, m).unwrap()
+    }
+
+    #[test]
+    fn upper_bound_never_underestimates() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data: Vec<u64> = (0..20_000).map(|_| rng.gen_range(0..500)).collect();
+        let table = frequency_table(&data);
+        let mut sk = CountMinSketch::new(params(5, 256), 3);
+        sk.update_all(&data);
+        for (&v, &f) in table.iter().take(200) {
+            assert!(sk.frequency_upper_bound(v) >= f, "CM under-estimated value {v}");
+        }
+        assert_eq!(sk.total(), 20_000);
+    }
+
+    #[test]
+    fn debiased_estimate_is_closer_than_upper_bound_on_average() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..2000)).collect();
+        let table = frequency_table(&data);
+        let mut sk = CountMinSketch::new(params(7, 128), 5);
+        sk.update_all(&data);
+        let mut err_min = 0.0;
+        let mut err_mean = 0.0;
+        for (&v, &f) in table.iter() {
+            err_min += (sk.frequency_upper_bound(v) as f64 - f as f64).abs();
+            err_mean += (sk.frequency_debiased(v) - f as f64).abs();
+        }
+        assert!(
+            err_mean < err_min,
+            "debiased total error {err_mean} should beat min-estimator {err_min} under heavy collisions"
+        );
+    }
+
+    #[test]
+    fn empty_sketch_queries_are_zero() {
+        let sk = CountMinSketch::new(params(3, 64), 0);
+        assert_eq!(sk.frequency_upper_bound(42), 0);
+        assert_eq!(sk.frequency_debiased(42), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_exact() {
+        let mut sk = CountMinSketch::new(params(4, 64), 1);
+        for _ in 0..17 {
+            sk.update(9);
+        }
+        assert_eq!(sk.frequency_upper_bound(9), 17);
+        assert!((sk.frequency_debiased(9) - 17.0).abs() < 0.5);
+    }
+}

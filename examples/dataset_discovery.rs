@@ -1,0 +1,80 @@
+//! Private dataset search and discovery (the paper's second motivating scenario).
+//!
+//! A data catalogue holds many candidate tables (e.g. from hospitals or genetics labs). An
+//! analyst wants to find which candidate joins most strongly with their own private table —
+//! i.e. rank candidates by join size on a sensitive key — before starting a costly
+//! collaboration. Every provider only ever ships locally perturbed reports.
+//!
+//! Run with: `cargo run --release --example dataset_discovery`
+
+use ldp_join_sketch::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Candidate {
+    name: &'static str,
+    values: Vec<u64>,
+}
+
+fn main() {
+    let domain = 20_000u64;
+    let params = SketchParams::new(18, 1024).expect("valid sketch parameters");
+    let eps = Epsilon::new(4.0).expect("valid privacy budget");
+    let hash_seed = 77;
+
+    // The analyst's own table: patient cohort keyed by a sensitive identifier.
+    let mut rng = StdRng::seed_from_u64(10);
+    let cohort_gen = ZipfGenerator::new(1.2, domain);
+    let analyst: Vec<u64> = cohort_gen.sample_many(100_000, &mut rng);
+
+    // Catalogue candidates with varying degrees of key overlap with the analyst's cohort.
+    let candidates: Vec<Candidate> = vec![
+        Candidate { name: "registry-same-population", values: cohort_gen.sample_many(100_000, &mut rng) },
+        Candidate {
+            name: "registry-shifted-population",
+            values: cohort_gen
+                .sample_many(100_000, &mut rng)
+                .into_iter()
+                .map(|v| (v + domain / 3) % domain)
+                .collect(),
+        },
+        Candidate {
+            name: "registry-uniform-population",
+            values: (0..100_000u64).map(|i| (i * 7919) % domain).collect(),
+        },
+    ];
+
+    // Every party builds its sketch once against the shared public parameters.
+    let mut proto_rng = StdRng::seed_from_u64(11);
+    let analyst_sketch =
+        build_private_sketch(&analyst, params, eps, hash_seed, &mut proto_rng).unwrap();
+
+    println!("candidate                        estimated |join|      true |join|     rank signal ok?");
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    for candidate in &candidates {
+        let sketch =
+            build_private_sketch(&candidate.values, params, eps, hash_seed, &mut proto_rng).unwrap();
+        let est = analyst_sketch.join_size(&sketch).unwrap();
+        let truth = exact_join_size(&analyst, &candidate.values) as f64;
+        results.push((candidate.name.to_string(), est, truth));
+    }
+    // Rank by the private estimate and check it matches the true ranking.
+    let mut by_est = results.clone();
+    by_est.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut by_truth = results.clone();
+    by_truth.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    for (name, est, truth) in &results {
+        let rank_est = by_est.iter().position(|r| &r.0 == name).unwrap();
+        let rank_truth = by_truth.iter().position(|r| &r.0 == name).unwrap();
+        println!(
+            "{name:<32} {est:>16.0} {truth:>16.0} {:>18}",
+            if rank_est == rank_truth { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    println!(
+        "best candidate by private estimate: {}",
+        by_est.first().map(|r| r.0.as_str()).unwrap_or("-")
+    );
+    println!("The analyst discovers the most joinable dataset without any provider disclosing raw keys.");
+}

@@ -1,0 +1,54 @@
+//! Multi-way chain join estimation under LDP (Section VI of the paper).
+//!
+//! Estimates `|T1(A) ⋈ T2(A,B) ⋈ T3(B)|` — for instance users ⋈ page-visits ⋈ pages — where
+//! both join attributes are sensitive, and compares the LDP estimate against the non-private
+//! COMPASS sketch and the exact answer.
+//!
+//! Run with: `cargo run --release --example multiway_join`
+
+use ldp_join_sketch::core::multiway::{build_edge_sketch, build_vertex_sketch, ldp_chain_join_3};
+use ldp_join_sketch::prelude::*;
+use ldp_join_sketch::sketch::compass::{estimate_chain_3, CompassEdgeSketch, CompassVertexSketch, JoinAttribute};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A small star-schema-like scenario: T1 holds one row per user event keyed by user id (A),
+    // T2 links user ids to page ids (A, B), T3 holds one row per page impression keyed by page
+    // id (B). Both user ids and page ids are sensitive.
+    let generator = ZipfGenerator::new(1.5, 5_000);
+    let mut rng = StdRng::seed_from_u64(5);
+    let chain = ChainWorkload::generate("events", &generator, 60_000, &mut rng);
+    let t3_b = chain.t3_b_column();
+    println!("true 3-way chain join size: {}", chain.true_join_3);
+
+    // Public per-attribute hash families (k replicas, m buckets each).
+    let replicas = 9;
+    let buckets = 256;
+    let attr_a = JoinAttribute::from_seed(1001, replicas, buckets);
+    let attr_b = JoinAttribute::from_seed(1002, replicas, buckets);
+    let eps = Epsilon::new(4.0).expect("valid privacy budget");
+
+    // Non-private COMPASS reference.
+    let mut c1 = CompassVertexSketch::new(attr_a.clone());
+    c1.update_all(&chain.t1);
+    let mut c2 = CompassEdgeSketch::new(attr_a.clone(), attr_b.clone()).unwrap();
+    c2.update_all(&chain.t2);
+    let mut c3 = CompassVertexSketch::new(attr_b.clone());
+    c3.update_all(&t3_b);
+    let compass = estimate_chain_3(&c1, &c2, &c3).unwrap();
+
+    // LDP version: every row of every table is perturbed locally before aggregation.
+    let mut proto_rng = StdRng::seed_from_u64(6);
+    let s1 = build_vertex_sketch(&chain.t1, &attr_a, eps, &mut proto_rng).unwrap();
+    let s2 = build_edge_sketch(&chain.t2, &attr_a, &attr_b, eps, &mut proto_rng).unwrap();
+    let s3 = build_vertex_sketch(&t3_b, &attr_b, eps, &mut proto_rng).unwrap();
+    let ldp = ldp_chain_join_3(&s1, &attr_a, &s2, &s3, &attr_b).unwrap();
+
+    let truth = chain.true_join_3 as f64;
+    println!("COMPASS (non-private) estimate: {compass:.0}  (RE {:.3})", relative_error(truth, compass));
+    println!("LDPJoinSketch (ε=4) estimate:   {ldp:.0}  (RE {:.3})", relative_error(truth, ldp));
+    println!();
+    println!("The LDP estimate pays an extra noise cost for privacy but stays in the same order of");
+    println!("magnitude as the non-private COMPASS sketch, as in Fig. 15 of the paper.");
+}

@@ -1,0 +1,65 @@
+//! Private similarity computation for data valuation (the paper's first motivating scenario).
+//!
+//! Two data owners want to price a potential data exchange by measuring how similar their user
+//! bases are — the inner product (join size) of their attribute frequency vectors, and the
+//! cosine similarity derived from it — without revealing any individual user's value.
+//!
+//! Run with: `cargo run --release --example private_similarity`
+
+use ldp_join_sketch::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cosine similarity between the two attributes computed from private sketches:
+/// `cos(A, B) = |A ⋈ B| / sqrt(F2(A) · F2(B))`, with every term estimated under LDP
+/// (the self-join of a sketch estimates its own F2).
+fn private_cosine(sketch_a: &LdpJoinSketch, sketch_b: &LdpJoinSketch) -> f64 {
+    let inner = sketch_a.join_size(sketch_b).expect("compatible sketches");
+    let f2_a = sketch_a.join_size(sketch_a).expect("self join").max(1.0);
+    let f2_b = sketch_b.join_size(sketch_b).expect("self join").max(1.0);
+    inner / (f2_a * f2_b).sqrt()
+}
+
+fn main() {
+    let params = SketchParams::new(18, 1024).expect("valid sketch parameters");
+    let eps = Epsilon::new(4.0).expect("valid privacy budget");
+    let hash_seed = 2024;
+
+    // Owner 1 sells retail purchase histories; owners 2 and 3 are candidate buyers whose user
+    // bases overlap with owner 1 to different degrees. Values are item identifiers.
+    let catalogue = 30_000u64;
+    let mut rng = StdRng::seed_from_u64(3);
+    let base = ZipfGenerator::new(1.4, catalogue);
+    let owner1: Vec<u64> = base.sample_many(150_000, &mut rng);
+    // Owner 2 draws from the same popularity distribution (high overlap).
+    let owner2: Vec<u64> = base.sample_many(150_000, &mut rng);
+    // Owner 3's catalogue is shifted: mostly different items (low overlap).
+    let owner3: Vec<u64> = base
+        .sample_many(150_000, &mut rng)
+        .into_iter()
+        .map(|v| (v + catalogue / 2) % catalogue)
+        .collect();
+
+    // Each owner builds its private sketch once; it can then be compared against any partner.
+    let mut proto_rng = StdRng::seed_from_u64(4);
+    let sk1 = build_private_sketch(&owner1, params, eps, hash_seed, &mut proto_rng).unwrap();
+    let sk2 = build_private_sketch(&owner2, params, eps, hash_seed, &mut proto_rng).unwrap();
+    let sk3 = build_private_sketch(&owner3, params, eps, hash_seed, &mut proto_rng).unwrap();
+
+    let true_12 = exact_join_size(&owner1, &owner2) as f64;
+    let true_13 = exact_join_size(&owner1, &owner3) as f64;
+
+    println!("pair   true inner product   LDP estimate   relative error   private cosine");
+    for (label, truth, other) in [("1-2", true_12, &sk2), ("1-3", true_13, &sk3)] {
+        let est = sk1.join_size(other).unwrap();
+        println!(
+            "{label:>4}   {truth:>18.0}   {est:>12.0}   {:>14.3}   {:>14.4}",
+            relative_error(truth, est),
+            private_cosine(&sk1, other)
+        );
+    }
+    println!();
+    println!("The high-overlap pair (1-2) should show a much larger inner product and cosine than");
+    println!("the shifted pair (1-3), letting the data market rank candidate partners without");
+    println!("either side revealing a single raw purchase record.");
+}
