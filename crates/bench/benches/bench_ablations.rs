@@ -54,17 +54,36 @@ fn bench_ablation_fap(c: &mut Criterion) {
     group.bench_function("plain_ldpjoinsketch", |b| {
         b.iter(|| {
             black_box(
-                estimate_join(Method::LdpJoinSketch, &workload, params, eps(4.0), PlusKnobs::default(), 3)
-                    .unwrap(),
+                estimate_join(
+                    Method::LdpJoinSketch,
+                    &workload,
+                    params,
+                    eps(4.0),
+                    PlusKnobs::default(),
+                    3,
+                )
+                .unwrap(),
             )
         })
     });
     for (label, literal) in [("plus_group_scaled", false), ("plus_paper_literal", true)] {
-        let knobs = PlusKnobs { sampling_rate: 0.1, threshold: 0.001, paper_literal_subtraction: literal };
+        let knobs = PlusKnobs {
+            sampling_rate: 0.1,
+            threshold: 0.001,
+            paper_literal_subtraction: literal,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &knobs, |b, &knobs| {
             b.iter(|| {
                 black_box(
-                    estimate_join(Method::LdpJoinSketchPlus, &workload, params, eps(4.0), knobs, 3).unwrap(),
+                    estimate_join(
+                        Method::LdpJoinSketchPlus,
+                        &workload,
+                        params,
+                        eps(4.0),
+                        knobs,
+                        3,
+                    )
+                    .unwrap(),
                 )
             })
         });

@@ -44,7 +44,12 @@ fn bench_table2_workloads(c: &mut Criterion) {
 fn bench_ground_truth(c: &mut Criterion) {
     let w = PaperDataset::Zipf { alpha: 1.1 }.generate_join(0.0005, 7);
     c.bench_function("datasets_exact_join_size_20k", |b| {
-        b.iter(|| black_box(exact_join_size(black_box(&w.table_a), black_box(&w.table_b))))
+        b.iter(|| {
+            black_box(exact_join_size(
+                black_box(&w.table_a),
+                black_box(&w.table_b),
+            ))
+        })
     });
 }
 

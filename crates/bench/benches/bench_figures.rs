@@ -31,14 +31,24 @@ fn bench_fig5_accuracy(c: &mut Criterion) {
     let workload = PaperDataset::Zipf { alpha: 1.1 }.generate_join(BENCH_SCALE, 7);
     let mut group = c.benchmark_group("fig5_accuracy");
     group.sample_size(10);
-    for method in [Method::Fagms, Method::AppleHcms, Method::LdpJoinSketch, Method::LdpJoinSketchPlus] {
-        group.bench_with_input(BenchmarkId::from_parameter(method.name()), &method, |b, &m| {
-            b.iter(|| {
-                black_box(
-                    estimate_join(m, &workload, params(), eps(4.0), PlusKnobs::default(), 3).unwrap(),
-                )
-            })
-        });
+    for method in [
+        Method::Fagms,
+        Method::AppleHcms,
+        Method::LdpJoinSketch,
+        Method::LdpJoinSketchPlus,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method.name()),
+            &method,
+            |b, &m| {
+                b.iter(|| {
+                    black_box(
+                        estimate_join(m, &workload, params(), eps(4.0), PlusKnobs::default(), 3)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -53,8 +63,15 @@ fn bench_fig6_space(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(m), &p, |b, &p| {
             b.iter(|| {
                 black_box(
-                    estimate_join(Method::LdpJoinSketch, &workload, p, eps(10.0), PlusKnobs::default(), 5)
-                        .unwrap(),
+                    estimate_join(
+                        Method::LdpJoinSketch,
+                        &workload,
+                        p,
+                        eps(10.0),
+                        PlusKnobs::default(),
+                        5,
+                    )
+                    .unwrap(),
                 )
             })
         });
@@ -90,8 +107,15 @@ fn bench_fig8_epsilon(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(e), &e, |b, &e| {
             b.iter(|| {
                 black_box(
-                    estimate_join(Method::LdpJoinSketch, &workload, params(), eps(e), PlusKnobs::default(), 3)
-                        .unwrap(),
+                    estimate_join(
+                        Method::LdpJoinSketch,
+                        &workload,
+                        params(),
+                        eps(e),
+                        PlusKnobs::default(),
+                        3,
+                    )
+                    .unwrap(),
                 )
             })
         });
@@ -109,8 +133,15 @@ fn bench_fig9_params(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("k_m", format!("{k}x{m}")), &p, |b, &p| {
             b.iter(|| {
                 black_box(
-                    estimate_join(Method::LdpJoinSketch, &workload, p, eps(10.0), PlusKnobs::default(), 3)
-                        .unwrap(),
+                    estimate_join(
+                        Method::LdpJoinSketch,
+                        &workload,
+                        p,
+                        eps(10.0),
+                        PlusKnobs::default(),
+                        3,
+                    )
+                    .unwrap(),
                 )
             })
         });
@@ -124,15 +155,43 @@ fn bench_fig10_fig11_plus_knobs(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_fig11_plus_knobs");
     group.sample_size(10);
     for (label, knobs) in [
-        ("r=0.1_theta=1e-3", PlusKnobs { sampling_rate: 0.1, threshold: 1e-3, paper_literal_subtraction: false }),
-        ("r=0.3_theta=1e-3", PlusKnobs { sampling_rate: 0.3, threshold: 1e-3, paper_literal_subtraction: false }),
-        ("r=0.1_theta=1e-1", PlusKnobs { sampling_rate: 0.1, threshold: 1e-1, paper_literal_subtraction: false }),
+        (
+            "r=0.1_theta=1e-3",
+            PlusKnobs {
+                sampling_rate: 0.1,
+                threshold: 1e-3,
+                paper_literal_subtraction: false,
+            },
+        ),
+        (
+            "r=0.3_theta=1e-3",
+            PlusKnobs {
+                sampling_rate: 0.3,
+                threshold: 1e-3,
+                paper_literal_subtraction: false,
+            },
+        ),
+        (
+            "r=0.1_theta=1e-1",
+            PlusKnobs {
+                sampling_rate: 0.1,
+                threshold: 1e-1,
+                paper_literal_subtraction: false,
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &knobs, |b, &knobs| {
             b.iter(|| {
                 black_box(
-                    estimate_join(Method::LdpJoinSketchPlus, &workload, params(), eps(4.0), knobs, 3)
-                        .unwrap(),
+                    estimate_join(
+                        Method::LdpJoinSketchPlus,
+                        &workload,
+                        params(),
+                        eps(4.0),
+                        knobs,
+                        3,
+                    )
+                    .unwrap(),
                 )
             })
         });
@@ -149,8 +208,15 @@ fn bench_fig12_skewness(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(alpha), &workload, |b, w| {
             b.iter(|| {
                 black_box(
-                    estimate_join(Method::LdpJoinSketch, w, params(), eps(4.0), PlusKnobs::default(), 3)
-                        .unwrap(),
+                    estimate_join(
+                        Method::LdpJoinSketch,
+                        w,
+                        params(),
+                        eps(4.0),
+                        PlusKnobs::default(),
+                        3,
+                    )
+                    .unwrap(),
                 )
             })
         });
@@ -162,14 +228,34 @@ fn bench_fig12_skewness(c: &mut Criterion) {
 fn bench_fig13_efficiency(c: &mut Criterion) {
     let workload = PaperDataset::Zipf { alpha: 1.1 }.generate_join(BENCH_SCALE, 7);
     let mut rng = StdRng::seed_from_u64(1);
-    let sa = ldpjs_core::protocol::build_private_sketch(&workload.table_a, params(), eps(4.0), 3, &mut rng).unwrap();
-    let sb = ldpjs_core::protocol::build_private_sketch(&workload.table_b, params(), eps(4.0), 3, &mut rng).unwrap();
+    let sa = ldpjs_core::protocol::build_private_sketch(
+        &workload.table_a,
+        params(),
+        eps(4.0),
+        3,
+        &mut rng,
+    )
+    .unwrap();
+    let sb = ldpjs_core::protocol::build_private_sketch(
+        &workload.table_b,
+        params(),
+        eps(4.0),
+        3,
+        &mut rng,
+    )
+    .unwrap();
     c.bench_function("fig13_efficiency/offline_construction", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
             black_box(
-                ldpjs_core::protocol::build_private_sketch(&workload.table_a, params(), eps(4.0), 3, &mut rng)
-                    .unwrap(),
+                ldpjs_core::protocol::build_private_sketch(
+                    &workload.table_a,
+                    params(),
+                    eps(4.0),
+                    3,
+                    &mut rng,
+                )
+                .unwrap(),
             )
         })
     });
@@ -182,10 +268,18 @@ fn bench_fig13_efficiency(c: &mut Criterion) {
 fn bench_fig14_frequency(c: &mut Criterion) {
     let workload = PaperDataset::Zipf { alpha: 1.5 }.generate_join(BENCH_SCALE, 7);
     let mut rng = StdRng::seed_from_u64(3);
-    let sketch =
-        ldpjs_core::protocol::build_private_sketch(&workload.table_a, params(), eps(4.0), 3, &mut rng).unwrap();
-    let distinct: Vec<u64> =
-        ldpjs_common::stats::frequency_table(&workload.table_a).keys().copied().collect();
+    let sketch = ldpjs_core::protocol::build_private_sketch(
+        &workload.table_a,
+        params(),
+        eps(4.0),
+        3,
+        &mut rng,
+    )
+    .unwrap();
+    let distinct: Vec<u64> = ldpjs_common::stats::frequency_table(&workload.table_a)
+        .keys()
+        .copied()
+        .collect();
     c.bench_function("fig14_frequency/scan_distinct_values", |b| {
         b.iter(|| black_box(sketch.frequencies(black_box(&distinct))))
     });

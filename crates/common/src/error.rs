@@ -43,7 +43,12 @@ impl fmt::Display for Error {
             Error::InvalidSketchParameter(msg) => write!(f, "invalid sketch parameter: {msg}"),
             Error::IncompatibleSketches(msg) => write!(f, "incompatible sketches: {msg}"),
             Error::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
-            Error::ReportOutOfRange { row, col, rows, cols } => write!(
+            Error::ReportOutOfRange {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "client report targets counter ({row}, {col}) but the sketch is {rows}x{cols}"
             ),
@@ -62,7 +67,12 @@ mod tests {
     fn display_is_human_readable() {
         let e = Error::InvalidEpsilon(-1.0);
         assert!(e.to_string().contains("-1"));
-        let e = Error::ReportOutOfRange { row: 3, col: 9, rows: 2, cols: 8 };
+        let e = Error::ReportOutOfRange {
+            row: 3,
+            col: 9,
+            rows: 2,
+            cols: 8,
+        };
         assert!(e.to_string().contains("(3, 9)"));
         assert!(e.to_string().contains("2x8"));
     }

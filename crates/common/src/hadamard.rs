@@ -29,8 +29,14 @@ pub fn is_valid_order(m: usize) -> bool {
 /// Panics in debug builds if `row` or `col` is outside `[0, m)` or `m` is not a power of two.
 #[inline]
 pub fn hadamard_entry(m: usize, row: usize, col: usize) -> i64 {
-    debug_assert!(is_valid_order(m), "Hadamard order must be a power of two, got {m}");
-    debug_assert!(row < m && col < m, "Hadamard index ({row},{col}) out of range for order {m}");
+    debug_assert!(
+        is_valid_order(m),
+        "Hadamard order must be a power of two, got {m}"
+    );
+    debug_assert!(
+        row < m && col < m,
+        "Hadamard index ({row},{col}) out of range for order {m}"
+    );
     if ((row & col).count_ones() & 1) == 1 {
         -1
     } else {
@@ -53,7 +59,10 @@ pub fn hadamard_entry_f64(m: usize, row: usize, col: usize) -> f64 {
 /// Panics if `data.len()` is not a power of two.
 pub fn fwht_in_place(data: &mut [f64]) {
     let n = data.len();
-    assert!(is_valid_order(n), "FWHT length must be a power of two, got {n}");
+    assert!(
+        is_valid_order(n),
+        "FWHT length must be a power of two, got {n}"
+    );
     let mut h = 1;
     while h < n {
         let mut i = 0;
@@ -75,7 +84,10 @@ pub fn fwht_in_place(data: &mut [f64]) {
 /// Exists only as the reference implementation for tests and the FWHT ablation benchmark.
 pub fn hadamard_multiply_naive(data: &[f64]) -> Vec<f64> {
     let m = data.len();
-    assert!(is_valid_order(m), "Hadamard order must be a power of two, got {m}");
+    assert!(
+        is_valid_order(m),
+        "Hadamard order must be a power of two, got {m}"
+    );
     let mut out = vec![0.0; m];
     for (c, o) in out.iter_mut().enumerate() {
         let mut acc = 0.0;
@@ -133,12 +145,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)]
     fn h4_matches_recursive_definition() {
         // H_4 from the paper's Example 1.
-        let expected = [
-            [1, 1, 1, 1],
-            [1, -1, 1, -1],
-            [1, 1, -1, -1],
-            [1, -1, -1, 1],
-        ];
+        let expected = [[1, 1, 1, 1], [1, -1, 1, -1], [1, 1, -1, -1], [1, -1, -1, 1]];
         for r in 0..4 {
             for c in 0..4 {
                 assert_eq!(hadamard_entry(4, r, c), expected[r][c], "H_4[{r},{c}]");
@@ -151,7 +158,9 @@ mod tests {
         let m = 32;
         for r1 in 0..m {
             for r2 in 0..m {
-                let dot: i64 = (0..m).map(|c| hadamard_entry(m, r1, c) * hadamard_entry(m, r2, c)).sum();
+                let dot: i64 = (0..m)
+                    .map(|c| hadamard_entry(m, r1, c) * hadamard_entry(m, r2, c))
+                    .sum();
                 if r1 == r2 {
                     assert_eq!(dot, m as i64);
                 } else {

@@ -149,7 +149,10 @@ pub struct HashPair {
 impl HashPair {
     /// Draw a fresh `(h, ξ)` pair with `m` buckets from `rng`.
     pub fn sample<R: Rng + ?Sized>(rng: &mut R, m: usize) -> Self {
-        HashPair { bucket: BucketHash::sample(rng, m), sign: SignHash::sample(rng) }
+        HashPair {
+            bucket: BucketHash::sample(rng, m),
+            sign: SignHash::sample(rng),
+        }
     }
 
     /// `h_j(x)`.
@@ -261,7 +264,10 @@ mod tests {
         let expected = n as f64 / m as f64;
         for &c in &counts {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.1, "bucket count {c} deviates {dev} from uniform {expected}");
+            assert!(
+                dev < 0.1,
+                "bucket count {c} deviates {dev} from uniform {expected}"
+            );
         }
     }
 
@@ -339,7 +345,13 @@ mod tests {
 
     #[test]
     fn mod_mersenne_matches_naive() {
-        for &x in &[0u128, 1, MERSENNE_P as u128, (MERSENNE_P as u128) * 5 + 17, u128::from(u64::MAX) * 3] {
+        for &x in &[
+            0u128,
+            1,
+            MERSENNE_P as u128,
+            (MERSENNE_P as u128) * 5 + 17,
+            u128::from(u64::MAX) * 3,
+        ] {
             assert_eq!(mod_mersenne(x) as u128, x % (MERSENNE_P as u128));
         }
     }

@@ -28,7 +28,7 @@ pub mod rr;
 pub mod stats;
 
 pub use error::{Error, Result};
-pub use hash::{HashPair, RowHashes, SignHash, BucketHash};
+pub use hash::{BucketHash, HashPair, RowHashes, SignHash};
 pub use privacy::Epsilon;
 
 /// The type of a private join-attribute value.

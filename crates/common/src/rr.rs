@@ -34,9 +34,29 @@ pub fn perturb_sign<R: Rng + ?Sized>(rng: &mut R, eps: Epsilon, w: f64) -> f64 {
 /// # Panics
 /// Panics if `domain < 2` or `value >= domain`.
 pub fn krr_perturb<R: Rng + ?Sized>(rng: &mut R, eps: Epsilon, domain: u64, value: u64) -> u64 {
+    krr_perturb_with_p(
+        rng,
+        eps.krr_keep_probability(domain as usize),
+        domain,
+        value,
+    )
+}
+
+/// [`krr_perturb`] with a precomputed keep probability, for callers that perturb many values
+/// at a fixed `(ε, domain)` and want to pay for `e^ε` once (e.g. the FLH oracle's inner k-RR
+/// over its hashed domain `[g]`).
+pub fn krr_perturb_with_p<R: Rng + ?Sized>(
+    rng: &mut R,
+    keep_probability: f64,
+    domain: u64,
+    value: u64,
+) -> u64 {
     assert!(domain >= 2, "k-RR needs a domain of at least two values");
-    assert!(value < domain, "value {value} outside domain of size {domain}");
-    if rng.gen_bool(eps.krr_keep_probability(domain as usize)) {
+    assert!(
+        value < domain,
+        "value {value} outside domain of size {domain}"
+    );
+    if rng.gen_bool(keep_probability) {
         value
     } else {
         // Uniform over the other domain-1 values: draw from [0, domain-1) and skip `value`.
@@ -76,7 +96,10 @@ mod tests {
         let sum: f64 = (0..n).map(|_| sample_sign_bit(&mut rng, eps)).sum();
         let mean = sum / n as f64;
         let expected = eps.keep_probability() - eps.flip_probability();
-        assert!((mean - expected).abs() < 0.01, "mean {mean} expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.01,
+            "mean {mean} expected {expected}"
+        );
     }
 
     #[test]
@@ -84,7 +107,9 @@ mod tests {
         let eps = Epsilon::new(0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let n = 400_000;
-        let sum: f64 = (0..n).map(|_| eps.c_eps() * sample_sign_bit(&mut rng, eps)).sum();
+        let sum: f64 = (0..n)
+            .map(|_| eps.c_eps() * sample_sign_bit(&mut rng, eps))
+            .sum();
         let mean = sum / n as f64;
         assert!((mean - 1.0).abs() < 0.05, "debiased mean {mean}");
     }
@@ -117,7 +142,10 @@ mod tests {
         }
         let keep_rate = kept as f64 / trials as f64;
         let expected = eps.krr_keep_probability(domain as usize);
-        assert!((keep_rate - expected).abs() < 0.02, "keep rate {keep_rate} expected {expected}");
+        assert!(
+            (keep_rate - expected).abs() < 0.02,
+            "keep rate {keep_rate} expected {expected}"
+        );
     }
 
     #[test]
@@ -135,8 +163,14 @@ mod tests {
         let est3 = krr_debias(counts[3], n as f64, domain as usize, eps);
         let est7 = krr_debias(counts[7], n as f64, domain as usize, eps);
         let est0 = krr_debias(counts[0], n as f64, domain as usize, eps);
-        assert!((est3 - 0.3 * n as f64).abs() < 0.03 * n as f64, "est3 = {est3}");
-        assert!((est7 - 0.7 * n as f64).abs() < 0.03 * n as f64, "est7 = {est7}");
+        assert!(
+            (est3 - 0.3 * n as f64).abs() < 0.03 * n as f64,
+            "est3 = {est3}"
+        );
+        assert!(
+            (est7 - 0.7 * n as f64).abs() < 0.03 * n as f64,
+            "est7 = {est7}"
+        );
         assert!(est0.abs() < 0.03 * n as f64, "est0 = {est0}");
     }
 

@@ -72,7 +72,11 @@ pub fn exact_join_size(a: &[u64], b: &[u64]) -> u64 {
     let fa = frequency_table(a);
     let fb = frequency_table(b);
     // Iterate over the smaller table for efficiency.
-    let (small, large) = if fa.len() <= fb.len() { (&fa, &fb) } else { (&fb, &fa) };
+    let (small, large) = if fa.len() <= fb.len() {
+        (&fa, &fb)
+    } else {
+        (&fb, &fa)
+    };
     small
         .iter()
         .map(|(d, &ca)| ca * large.get(d).copied().unwrap_or(0))

@@ -93,7 +93,9 @@ mod tests {
         let eps = e(2.0);
         let infl = privacy_inflation(params, eps);
         let expected = (2.0 / 256.0) * (1000.0 + infl).powi(2) * (2000.0 + infl).powi(2);
-        assert!((row_estimator_variance_bound(params, eps, 1000.0, 2000.0) - expected).abs() < 1e-6);
+        assert!(
+            (row_estimator_variance_bound(params, eps, 1000.0, 2000.0) - expected).abs() < 1e-6
+        );
     }
 
     #[test]

@@ -43,11 +43,25 @@ impl ClientReport {
     /// Panics if `row` or `col` does not fit in 16 bits (sketches that large are outside the
     /// supported parameter range — the Hadamard order is capped well below 2¹⁶ in practice).
     pub fn to_wire(&self) -> [u8; Self::WIRE_SIZE] {
-        assert!(self.row <= u16::MAX as usize, "row {} does not fit the wire format", self.row);
-        assert!(self.col <= u16::MAX as usize, "col {} does not fit the wire format", self.col);
+        assert!(
+            self.row <= u16::MAX as usize,
+            "row {} does not fit the wire format",
+            self.row
+        );
+        assert!(
+            self.col <= u16::MAX as usize,
+            "col {} does not fit the wire format",
+            self.col
+        );
         let row = (self.row as u16).to_le_bytes();
         let col = (self.col as u16).to_le_bytes();
-        [if self.y >= 0.0 { 1 } else { 0 }, row[0], row[1], col[0], col[1]]
+        [
+            if self.y >= 0.0 { 1 } else { 0 },
+            row[0],
+            row[1],
+            col[0],
+            col[1],
+        ]
     }
 
     /// Decode a report from its wire encoding. The caller (the server) still validates the
@@ -77,7 +91,11 @@ impl LdpJoinSketchClient {
     /// public hash-family seed `seed`.
     pub fn new(params: SketchParams, eps: Epsilon, seed: u64) -> Self {
         let hashes = Arc::new(RowHashes::from_seed(seed, params.rows(), params.columns()));
-        LdpJoinSketchClient { params, eps, hashes }
+        LdpJoinSketchClient {
+            params,
+            eps,
+            hashes,
+        }
     }
 
     /// Create a client that shares an already-derived hash family (used by the server and by
@@ -85,7 +103,11 @@ impl LdpJoinSketchClient {
     pub fn with_hashes(params: SketchParams, eps: Epsilon, hashes: Arc<RowHashes>) -> Self {
         debug_assert_eq!(hashes.rows(), params.rows());
         debug_assert_eq!(hashes.columns(), params.columns());
-        LdpJoinSketchClient { params, eps, hashes }
+        LdpJoinSketchClient {
+            params,
+            eps,
+            hashes,
+        }
     }
 
     /// Sketch parameters `(k, m)`.
@@ -245,13 +267,27 @@ mod tests {
             assert_eq!(report, decoded);
         }
         // The wire format is exactly five bytes, matching the documented size.
-        assert_eq!(ClientReport { y: -1.0, row: 17, col: 1023 }.to_wire().len(), ClientReport::WIRE_SIZE);
+        assert_eq!(
+            ClientReport {
+                y: -1.0,
+                row: 17,
+                col: 1023
+            }
+            .to_wire()
+            .len(),
+            ClientReport::WIRE_SIZE
+        );
     }
 
     #[test]
     #[should_panic(expected = "does not fit the wire format")]
     fn wire_format_rejects_oversized_indices() {
-        let _ = ClientReport { y: 1.0, row: 70_000, col: 0 }.to_wire();
+        let _ = ClientReport {
+            y: 1.0,
+            row: 70_000,
+            col: 0,
+        }
+        .to_wire();
     }
 
     #[test]

@@ -60,8 +60,16 @@ impl FapClient {
     ///
     /// `inner` carries the sketch parameters, privacy budget and public hash family;
     /// `frequent_items` is the set `FI` broadcast by the server after phase 1.
-    pub fn new(inner: LdpJoinSketchClient, mode: FapMode, frequent_items: Arc<HashSet<u64>>) -> Self {
-        FapClient { inner, mode, frequent_items }
+    pub fn new(
+        inner: LdpJoinSketchClient,
+        mode: FapMode,
+        frequent_items: Arc<HashSet<u64>>,
+    ) -> Self {
+        FapClient {
+            inner,
+            mode,
+            frequent_items,
+        }
     }
 
     /// The targeting mode.
@@ -91,7 +99,8 @@ impl FapClient {
     /// Returns `true` if `value` would be encoded with the non-target branch.
     #[inline]
     pub fn is_non_target(&self, value: u64) -> bool {
-        self.mode.is_non_target(self.frequent_items.contains(&value))
+        self.mode
+            .is_non_target(self.frequent_items.contains(&value))
     }
 
     /// Algorithm 4: encode and perturb one private value.
@@ -172,14 +181,21 @@ mod tests {
         let params = SketchParams::new(12, 256).unwrap();
         let eps = Epsilon::new(6.0).unwrap();
         let inner = LdpJoinSketchClient::new(params, eps, 23);
-        let client = FapClient::new(inner, FapMode::HighFrequency, Arc::new([7u64].into_iter().collect()));
+        let client = FapClient::new(
+            inner,
+            FapMode::HighFrequency,
+            Arc::new([7u64].into_iter().collect()),
+        );
         let n = 50_000usize;
         let mut rng = StdRng::seed_from_u64(5);
         let reports = client.perturb_all(&vec![7u64; n], &mut rng);
         let mut sketch = LdpJoinSketch::new(params, eps, 23);
         sketch.absorb_all(&reports).unwrap();
         let est = sketch.frequency(7);
-        assert!((est - n as f64).abs() < 0.1 * n as f64, "target frequency estimate {est}");
+        assert!(
+            (est - n as f64).abs() < 0.1 * n as f64,
+            "target frequency estimate {est}"
+        );
     }
 
     #[test]
@@ -238,8 +254,11 @@ mod tests {
         let params = SketchParams::new(2, 4).unwrap();
         let eps_val = 1.0;
         let inner = LdpJoinSketchClient::new(params, Epsilon::new(eps_val).unwrap(), 2);
-        let client =
-            FapClient::new(inner, FapMode::HighFrequency, Arc::new([1u64].into_iter().collect()));
+        let client = FapClient::new(
+            inner,
+            FapMode::HighFrequency,
+            Arc::new([1u64].into_iter().collect()),
+        );
         let trials = 300_000;
         let mut rng = StdRng::seed_from_u64(8);
         let mut hist_target: HashMap<(i8, usize, usize), u64> = HashMap::new();
@@ -248,7 +267,9 @@ mod tests {
             let rt = client.perturb(1, &mut rng); // frequent -> target
             *hist_target.entry((rt.y as i8, rt.row, rt.col)).or_insert(0) += 1;
             let rn = client.perturb(9, &mut rng); // rare -> non-target
-            *hist_nontarget.entry((rn.y as i8, rn.row, rn.col)).or_insert(0) += 1;
+            *hist_nontarget
+                .entry((rn.y as i8, rn.row, rn.col))
+                .or_insert(0) += 1;
         }
         let bound = eps_val.exp() * 1.25;
         for (key, &ct) in &hist_target {

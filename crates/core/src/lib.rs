@@ -35,7 +35,7 @@ pub use plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
 pub use protocol::{ldp_join_estimate, ldp_join_plus_estimate};
 pub use server::LdpJoinSketch;
 
-/// Re-export of the shared sketch dimensioning type.
-pub use ldpjs_sketch::SketchParams;
 /// Re-export of the validated privacy budget.
 pub use ldpjs_common::Epsilon;
+/// Re-export of the shared sketch dimensioning type.
+pub use ldpjs_sketch::SketchParams;

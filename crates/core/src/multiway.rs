@@ -55,7 +55,11 @@ impl LdpEdgeSketchClient {
                 attr_b.replicas()
             )));
         }
-        Ok(LdpEdgeSketchClient { attr_a, attr_b, eps })
+        Ok(LdpEdgeSketchClient {
+            attr_a,
+            attr_b,
+            eps,
+        })
     }
 
     /// Encode and perturb one tuple `(a, b)`.
@@ -68,15 +72,22 @@ impl LdpEdgeSketchClient {
         let ha = self.attr_a.bucket_of(replica, a);
         let hb = self.attr_b.bucket_of(replica, b);
         let sign = self.attr_a.sign_of(replica, a) * self.attr_b.sign_of(replica, b);
-        let encoded =
-            hadamard_entry_f64(ma, ha, col_a) * sign * hadamard_entry_f64(mb, col_b, hb);
+        let encoded = hadamard_entry_f64(ma, ha, col_a) * sign * hadamard_entry_f64(mb, col_b, hb);
         let y = sample_sign_bit(rng, self.eps) * encoded;
-        EdgeReport { y, replica, col_a, col_b }
+        EdgeReport {
+            y,
+            replica,
+            col_a,
+            col_b,
+        }
     }
 
     /// Perturb a whole table of tuples.
     pub fn perturb_all(&self, tuples: &[(u64, u64)], rng: &mut dyn RngCore) -> Vec<EdgeReport> {
-        tuples.iter().map(|&(a, b)| self.perturb(a, b, rng)).collect()
+        tuples
+            .iter()
+            .map(|&(a, b)| self.perturb(a, b, rng))
+            .collect()
     }
 }
 
@@ -103,7 +114,13 @@ impl LdpEdgeSketch {
             ));
         }
         let len = attr_a.replicas() * attr_a.buckets() * attr_b.buckets();
-        Ok(LdpEdgeSketch { attr_a, attr_b, eps, raw: vec![0.0; len], reports: 0 })
+        Ok(LdpEdgeSketch {
+            attr_a,
+            attr_b,
+            eps,
+            raw: vec![0.0; len],
+            reports: 0,
+        })
     }
 
     /// The first join attribute.
@@ -340,7 +357,10 @@ mod tests {
     }
 
     fn skewed_pairs(n: usize, da: u64, db: u64, seed: u64) -> Vec<(u64, u64)> {
-        skewed(n, da, seed).into_iter().zip(skewed(n, db, seed.wrapping_add(1))).collect()
+        skewed(n, da, seed)
+            .into_iter()
+            .zip(skewed(n, db, seed.wrapping_add(1)))
+            .collect()
     }
 
     #[test]
@@ -371,9 +391,30 @@ mod tests {
         let a = JoinAttribute::from_seed(1, 4, 16);
         let b = JoinAttribute::from_seed(2, 4, 16);
         let mut sk = LdpEdgeSketch::new(a, b, eps(1.0)).unwrap();
-        assert!(sk.absorb(EdgeReport { y: 1.0, replica: 4, col_a: 0, col_b: 0 }).is_err());
-        assert!(sk.absorb(EdgeReport { y: 1.0, replica: 0, col_a: 16, col_b: 0 }).is_err());
-        assert!(sk.absorb(EdgeReport { y: 1.0, replica: 3, col_a: 15, col_b: 15 }).is_ok());
+        assert!(sk
+            .absorb(EdgeReport {
+                y: 1.0,
+                replica: 4,
+                col_a: 0,
+                col_b: 0
+            })
+            .is_err());
+        assert!(sk
+            .absorb(EdgeReport {
+                y: 1.0,
+                replica: 0,
+                col_a: 16,
+                col_b: 0
+            })
+            .is_err());
+        assert!(sk
+            .absorb(EdgeReport {
+                y: 1.0,
+                replica: 3,
+                col_a: 15,
+                col_b: 15
+            })
+            .is_ok());
         assert_eq!(sk.reports(), 1);
     }
 
@@ -434,14 +475,16 @@ mod tests {
         let s2 = build_edge_sketch(&t2v, &attr_a, &attr_b, e, &mut rng).unwrap();
         let s3 = build_edge_sketch(&t3v, &attr_b, &attr_c, e, &mut rng).unwrap();
         let s4 = build_vertex_sketch(&t4v, &attr_c, e, &mut rng).unwrap();
-        let est =
-            ldp_chain_join_4(&s1, &attr_a, &s2, &s3, &s4, &attr_b, &attr_c).unwrap();
+        let est = ldp_chain_join_4(&s1, &attr_a, &s2, &s3, &s4, &attr_b, &attr_c).unwrap();
         assert!(est.is_finite());
         // 4-way estimates are noisier; require the right order of magnitude rather than a
         // tight relative error.
         assert!(est > 0.0, "estimate should be positive, got {est}");
         let ratio = est / truth;
-        assert!(ratio > 0.2 && ratio < 5.0, "estimate {est} vs truth {truth} (ratio {ratio})");
+        assert!(
+            ratio > 0.2 && ratio < 5.0,
+            "estimate {est} vs truth {truth} (ratio {ratio})"
+        );
     }
 
     #[test]

@@ -244,7 +244,8 @@ impl LdpJoinSketchPlus {
 fn split_sample(table: &[u64], rate: f64, rng: &mut dyn RngCore) -> (Vec<u64>, Vec<u64>) {
     let mut shuffled: Vec<u64> = table.to_vec();
     shuffled.shuffle(rng);
-    let cut = ((table.len() as f64 * rate).round() as usize).clamp(1, table.len().saturating_sub(2).max(1));
+    let cut = ((table.len() as f64 * rate).round() as usize)
+        .clamp(1, table.len().saturating_sub(2).max(1));
     let rest = shuffled.split_off(cut);
     (shuffled, rest)
 }
@@ -334,7 +335,9 @@ mod tests {
         let est = LdpJoinSketchPlus::new(config(4.0)).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let domain: Vec<u64> = (0..10).collect();
-        assert!(est.estimate(&[1, 2], &[1, 2, 3, 4], &domain, &mut rng).is_err());
+        assert!(est
+            .estimate(&[1, 2], &[1, 2, 3, 4], &domain, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -347,7 +350,11 @@ mod tests {
         let domain: Vec<u64> = (0..20_000).collect();
         let result = est.estimate(&a, &b, &domain, &mut rng).unwrap();
         let re = (result.join_size - truth).abs() / truth;
-        assert!(re < 0.35, "relative error {re} (est {}, truth {truth})", result.join_size);
+        assert!(
+            re < 0.35,
+            "relative error {re} (est {}, truth {truth})",
+            result.join_size
+        );
         // Diagnostics must be populated.
         assert!(result.phase1_users.0 > 0 && result.phase1_users.1 > 0);
         let (a1, a2, b1, b2) = result.group_sizes;

@@ -108,14 +108,20 @@ mod tests {
         let mut rng1 = StdRng::seed_from_u64(7);
         let mut rng2 = StdRng::seed_from_u64(7);
         let via_wrapper = ldp_join_plus_estimate(&a, &b, &domain, cfg, &mut rng1).unwrap();
-        let direct = LdpJoinSketchPlus::new(cfg).unwrap().estimate(&a, &b, &domain, &mut rng2).unwrap();
+        let direct = LdpJoinSketchPlus::new(cfg)
+            .unwrap()
+            .estimate(&a, &b, &domain, &mut rng2)
+            .unwrap();
         assert_eq!(via_wrapper.join_size, direct.join_size);
         assert_eq!(via_wrapper.frequent_items, direct.frequent_items);
     }
 
     #[test]
     fn report_bits_matches_parameters() {
-        assert_eq!(report_bits(SketchParams::new(18, 1024).unwrap()), 1 + 5 + 10);
+        assert_eq!(
+            report_bits(SketchParams::new(18, 1024).unwrap()),
+            1 + 5 + 10
+        );
         assert_eq!(report_bits(SketchParams::new(2, 2).unwrap()), 3);
     }
 

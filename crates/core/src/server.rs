@@ -101,7 +101,12 @@ impl LdpJoinSketch {
     pub fn absorb(&mut self, report: ClientReport) -> Result<()> {
         let (k, m) = (self.params.rows(), self.params.columns());
         if report.row >= k || report.col >= m {
-            return Err(Error::ReportOutOfRange { row: report.row, col: report.col, rows: k, cols: m });
+            return Err(Error::ReportOutOfRange {
+                row: report.row,
+                col: report.col,
+                rows: k,
+                cols: m,
+            });
         }
         let scale = k as f64 * self.eps.c_eps();
         self.raw[report.row * m + report.col] += scale * report.y;
@@ -176,7 +181,12 @@ impl LdpJoinSketch {
 
     /// Join-size estimate after subtracting a uniform per-counter shift from each sketch
     /// (Algorithm 5: `M ← M − {NT/m}` then `Est = M_A·M_B`).
-    pub fn join_size_shifted(&self, other: &Self, shift_self: f64, shift_other: f64) -> Result<f64> {
+    pub fn join_size_shifted(
+        &self,
+        other: &Self,
+        shift_self: f64,
+        shift_other: f64,
+    ) -> Result<f64> {
         let products = self.row_products_shifted(other, shift_self, shift_other)?;
         median(&products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))
     }
@@ -312,11 +322,26 @@ mod tests {
     #[test]
     fn rejects_out_of_range_reports() {
         let mut sketch = LdpJoinSketch::new(params(4, 64), eps(1.0), 0);
-        let bad = ClientReport { y: 1.0, row: 4, col: 0 };
-        assert!(matches!(sketch.absorb(bad), Err(Error::ReportOutOfRange { .. })));
-        let bad = ClientReport { y: 1.0, row: 0, col: 64 };
+        let bad = ClientReport {
+            y: 1.0,
+            row: 4,
+            col: 0,
+        };
+        assert!(matches!(
+            sketch.absorb(bad),
+            Err(Error::ReportOutOfRange { .. })
+        ));
+        let bad = ClientReport {
+            y: 1.0,
+            row: 0,
+            col: 64,
+        };
         assert!(sketch.absorb(bad).is_err());
-        let good = ClientReport { y: -1.0, row: 3, col: 63 };
+        let good = ClientReport {
+            y: -1.0,
+            row: 3,
+            col: 63,
+        };
         assert!(sketch.absorb(good).is_ok());
         assert_eq!(sketch.reports(), 1);
     }
@@ -353,7 +378,10 @@ mod tests {
         );
         // A value held by nobody should estimate near zero.
         let est_absent = sketch.frequency(1234);
-        assert!(est_absent.abs() < 0.1 * n as f64, "absent value estimate {est_absent}");
+        assert!(
+            est_absent.abs() < 0.1 * n as f64,
+            "absent value estimate {est_absent}"
+        );
     }
 
     #[test]
@@ -452,15 +480,25 @@ mod tests {
             .map(|i| match i % 10 {
                 0..=2 => 1,
                 3..=4 => 2,
-                _ => 10 + rng.gen_range(0..5000),
+                _ => 10 + rng.gen_range(0u64..5000),
             })
             .collect();
         let sketch = build_sketch(&values, p, e, 13, 6);
         let domain: Vec<u64> = (0..5010).collect();
         let fi = sketch.frequent_items(&domain, 0.05, n as f64);
-        assert!(fi.contains(&1), "FI should contain the 30% value, got {fi:?}");
-        assert!(fi.contains(&2), "FI should contain the 20% value, got {fi:?}");
-        assert!(fi.len() <= 10, "FI should not be flooded with tail values, got {} items", fi.len());
+        assert!(
+            fi.contains(&1),
+            "FI should contain the 30% value, got {fi:?}"
+        );
+        assert!(
+            fi.contains(&2),
+            "FI should contain the 20% value, got {fi:?}"
+        );
+        assert!(
+            fi.len() <= 10,
+            "FI should not be flooded with tail values, got {} items",
+            fi.len()
+        );
     }
 
     #[test]
@@ -498,7 +536,11 @@ mod tests {
         single.absorb_all(&reports).unwrap();
 
         assert_eq!(shard_a.reports(), single.reports());
-        for (m, s) in shard_a.restored_matrix().iter().zip(single.restored_matrix().iter()) {
+        for (m, s) in shard_a
+            .restored_matrix()
+            .iter()
+            .zip(single.restored_matrix().iter())
+        {
             assert!((m - s).abs() < 1e-9);
         }
     }
@@ -512,7 +554,10 @@ mod tests {
         let c = LdpJoinSketch::new(params(4, 128), eps(2.0), 1);
         assert!(a.merge(&c).is_err(), "different shapes must not merge");
         let d = LdpJoinSketch::new(p, eps(4.0), 1);
-        assert!(a.merge(&d).is_err(), "different privacy budgets must not merge");
+        assert!(
+            a.merge(&d).is_err(),
+            "different privacy budgets must not merge"
+        );
         let ok = LdpJoinSketch::new(p, eps(2.0), 1);
         assert!(a.merge(&ok).is_ok());
     }

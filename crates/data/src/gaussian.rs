@@ -24,8 +24,15 @@ impl GaussianGenerator {
     /// Panics if `domain == 0` or `std_dev` is not strictly positive and finite.
     pub fn new(domain: u64, mean: f64, std_dev: f64) -> Self {
         assert!(domain > 0, "Gaussian domain must be non-empty");
-        assert!(std_dev.is_finite() && std_dev > 0.0, "standard deviation must be positive");
-        GaussianGenerator { domain, mean, std_dev }
+        assert!(
+            std_dev.is_finite() && std_dev > 0.0,
+            "standard deviation must be positive"
+        );
+        GaussianGenerator {
+            domain,
+            mean,
+            std_dev,
+        }
     }
 
     /// The paper-style default: mean at the centre of the domain, σ = domain/8, so nearly all
@@ -85,8 +92,11 @@ mod tests {
         let samples = g.sample_many(n, &mut rng);
         let mean: f64 = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
         assert!((mean - 5_000.0).abs() < 100.0, "sample mean {mean}");
-        let var: f64 =
-            samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         let std = var.sqrt();
         assert!((std - 1_250.0).abs() < 100.0, "sample std {std}");
     }

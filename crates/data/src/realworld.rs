@@ -77,7 +77,12 @@ impl RealWorldKind {
 
     /// All four stand-ins, in the order of Table II.
     pub fn all() -> [RealWorldKind; 4] {
-        [RealWorldKind::MovieLens, RealWorldKind::TpcDs, RealWorldKind::Twitter, RealWorldKind::Facebook]
+        [
+            RealWorldKind::MovieLens,
+            RealWorldKind::TpcDs,
+            RealWorldKind::Twitter,
+            RealWorldKind::Facebook,
+        ]
     }
 }
 
@@ -91,7 +96,10 @@ pub struct RealWorldGenerator {
 impl RealWorldGenerator {
     /// Create the stand-in for `kind` with the published domain size.
     pub fn new(kind: RealWorldKind) -> Self {
-        RealWorldGenerator { kind, zipf: ZipfGenerator::new(kind.skew(), kind.paper_domain()) }
+        RealWorldGenerator {
+            kind,
+            zipf: ZipfGenerator::new(kind.skew(), kind.paper_domain()),
+        }
     }
 
     /// Which dataset this generator mimics.
@@ -145,7 +153,10 @@ mod tests {
         assert!(samples.iter().all(|&v| v < 77_072));
         // A heavy-tailed profile concentrates a visible share of mass on the top value.
         let top = samples.iter().filter(|&&v| v == 0).count();
-        assert!(top as f64 > 0.05 * samples.len() as f64, "top value share too small: {top}");
+        assert!(
+            top as f64 > 0.05 * samples.len() as f64,
+            "top value share too small: {top}"
+        );
     }
 
     #[test]
@@ -153,7 +164,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let tpcds = RealWorldGenerator::new(RealWorldKind::TpcDs).sample_many(50_000, &mut rng);
         let twitter = RealWorldGenerator::new(RealWorldKind::Twitter).sample_many(50_000, &mut rng);
-        let share = |data: &[u64]| data.iter().filter(|&&v| v == 0).count() as f64 / data.len() as f64;
+        let share =
+            |data: &[u64]| data.iter().filter(|&&v| v == 0).count() as f64 / data.len() as f64;
         assert!(share(&twitter) > share(&tpcds));
     }
 }

@@ -46,7 +46,13 @@ impl JoinWorkload {
         table_b: Vec<u64>,
     ) -> Self {
         let true_join_size = exact_join_size(&table_a, &table_b);
-        JoinWorkload { name: name.into(), domain_size, table_a, table_b, true_join_size }
+        JoinWorkload {
+            name: name.into(),
+            domain_size,
+            table_a,
+            table_b,
+            true_join_size,
+        }
     }
 
     /// The candidate domain `{0, …, |D|−1}` as a vector (phase 1 of LDPJoinSketch+ and the
@@ -183,8 +189,14 @@ mod tests {
         assert_eq!(w.t2.len(), 2_000);
         assert_eq!(w.t3.len(), 2_000);
         assert_eq!(w.t4.len(), 2_000);
-        assert_eq!(w.true_join_3, exact_chain_join_3(&w.t1, &w.t2, &w.t3_b_column()));
-        assert_eq!(w.true_join_4, exact_chain_join_4(&w.t1, &w.t2, &w.t3, &w.t4));
+        assert_eq!(
+            w.true_join_3,
+            exact_chain_join_3(&w.t1, &w.t2, &w.t3_b_column())
+        );
+        assert_eq!(
+            w.true_join_4,
+            exact_chain_join_4(&w.t1, &w.t2, &w.t3, &w.t4)
+        );
         assert!(w.true_join_3 > 0);
     }
 }

@@ -113,7 +113,12 @@ impl PaperDataset {
         let info = self.info();
         let generator = self.generator();
         let mut rng = StdRng::seed_from_u64(seed);
-        JoinWorkload::generate(info.name, generator.as_ref(), self.rows_at_scale(scale), &mut rng)
+        JoinWorkload::generate(
+            info.name,
+            generator.as_ref(),
+            self.rows_at_scale(scale),
+            &mut rng,
+        )
     }
 
     /// Generate a multi-way chain workload at `scale` (used by Fig. 15; the paper uses the
@@ -122,7 +127,12 @@ impl PaperDataset {
         let info = self.info();
         let generator = self.generator();
         let mut rng = StdRng::seed_from_u64(seed);
-        ChainWorkload::generate(info.name, generator.as_ref(), self.rows_at_scale(scale), &mut rng)
+        ChainWorkload::generate(
+            info.name,
+            generator.as_ref(),
+            self.rows_at_scale(scale),
+            &mut rng,
+        )
     }
 }
 

@@ -24,7 +24,10 @@ impl ZipfGenerator {
     /// Panics if `domain == 0` or `alpha` is negative or non-finite.
     pub fn new(alpha: f64, domain: u64) -> Self {
         assert!(domain > 0, "Zipf domain must be non-empty");
-        assert!(alpha.is_finite() && alpha >= 0.0, "Zipf skew must be a non-negative finite number");
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "Zipf skew must be a non-negative finite number"
+        );
         let mut cdf = Vec::with_capacity(domain as usize);
         let mut acc = 0.0;
         for rank in 1..=domain {
@@ -50,7 +53,11 @@ impl ZipfGenerator {
             return 0.0;
         }
         let hi = self.cdf[v as usize];
-        let lo = if v == 0 { 0.0 } else { self.cdf[v as usize - 1] };
+        let lo = if v == 0 {
+            0.0
+        } else {
+            self.cdf[v as usize - 1]
+        };
         hi - lo
     }
 }

@@ -15,13 +15,24 @@ fn main() {
     let eps = Epsilon::new(args.eps).expect("valid epsilon");
     let workload = PaperDataset::Zipf { alpha: 1.1 }.generate_join(args.scale, args.seed);
 
-    let rates = if args.quick { vec![0.1, 0.3] } else { vec![0.10, 0.15, 0.20, 0.25, 0.30] };
+    let rates = if args.quick {
+        vec![0.1, 0.3]
+    } else {
+        vec![0.10, 0.15, 0.20, 0.25, 0.30]
+    };
     let mut table = Table::new(
-        format!("Fig. 10 — AE of LDPJoinSketch+ vs sampling rate r (Zipf α=1.1, ε={})", args.eps),
+        format!(
+            "Fig. 10 — AE of LDPJoinSketch+ vs sampling rate r (Zipf α=1.1, ε={})",
+            args.eps
+        ),
         &["r", "AE", "RE"],
     );
     for &r in &rates {
-        let knobs = PlusKnobs { sampling_rate: r, threshold: 0.001, paper_literal_subtraction: false };
+        let knobs = PlusKnobs {
+            sampling_rate: r,
+            threshold: 0.001,
+            paper_literal_subtraction: false,
+        };
         let summary = run_trials(
             Method::LdpJoinSketchPlus,
             &workload,
@@ -40,7 +51,10 @@ fn main() {
             "{}",
             csv_line(
                 "fig10",
-                &[format!("{r}"), format!("{:.6e}", summary.mean_absolute_error)]
+                &[
+                    format!("{r}"),
+                    format!("{:.6e}", summary.mean_absolute_error)
+                ]
             )
         );
     }

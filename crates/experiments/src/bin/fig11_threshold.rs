@@ -22,12 +22,18 @@ fn main() {
         vec![5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1]
     };
     let mut table = Table::new(
-        format!("Fig. 11 — AE of LDPJoinSketch+ vs threshold θ (Zipf α=1.1, ε={})", args.eps),
+        format!(
+            "Fig. 11 — AE of LDPJoinSketch+ vs threshold θ (Zipf α=1.1, ε={})",
+            args.eps
+        ),
         &["theta", "AE", "RE"],
     );
     for &theta in &thetas {
-        let knobs =
-            PlusKnobs { sampling_rate: 0.1, threshold: theta, paper_literal_subtraction: false };
+        let knobs = PlusKnobs {
+            sampling_rate: 0.1,
+            threshold: theta,
+            paper_literal_subtraction: false,
+        };
         let summary = run_trials(
             Method::LdpJoinSketchPlus,
             &workload,
@@ -46,7 +52,10 @@ fn main() {
             "{}",
             csv_line(
                 "fig11",
-                &[format!("{theta:e}"), format!("{:.6e}", summary.mean_absolute_error)]
+                &[
+                    format!("{theta:e}"),
+                    format!("{:.6e}", summary.mean_absolute_error)
+                ]
             )
         );
     }

@@ -14,12 +14,24 @@ fn main() {
     let args = ExpArgs::parse();
     let params = SketchParams::new(18, 1024).expect("paper sketch parameters");
     let eps = Epsilon::new(args.eps).expect("valid epsilon");
-    let alphas = if args.quick { vec![1.1, 1.9] } else { vec![1.1, 1.3, 1.5, 1.7, 1.9] };
+    let alphas = if args.quick {
+        vec![1.1, 1.9]
+    } else {
+        vec![1.1, 1.3, 1.5, 1.7, 1.9]
+    };
     let methods = Method::all();
 
     let mut table = Table::new(
         format!("Fig. 12 — RE vs Zipf skewness α (ε = {})", args.eps),
-        &["alpha", "FAGMS", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"],
+        &[
+            "alpha",
+            "FAGMS",
+            "k-RR",
+            "Apple-HCMS",
+            "FLH",
+            "LDPJoinSketch",
+            "LDPJoinSketch+",
+        ],
     );
     for &alpha in &alphas {
         let workload = PaperDataset::Zipf { alpha }.generate_join(args.scale, args.seed);

@@ -18,7 +18,11 @@ fn main() {
     let datasets = if args.quick {
         vec![PaperDataset::Zipf { alpha: 1.1 }]
     } else {
-        vec![PaperDataset::Zipf { alpha: 1.1 }, PaperDataset::Gaussian, PaperDataset::Twitter]
+        vec![
+            PaperDataset::Zipf { alpha: 1.1 },
+            PaperDataset::Gaussian,
+            PaperDataset::Twitter,
+        ]
     };
     let methods = Method::all();
 
@@ -29,8 +33,15 @@ fn main() {
             &["method", "offline (s)", "online (s)"],
         );
         for &method in &methods {
-            let summary =
-                run_trials(method, &workload, params, eps, PlusKnobs::default(), args.seed, 1);
+            let summary = run_trials(
+                method,
+                &workload,
+                params,
+                eps,
+                PlusKnobs::default(),
+                args.seed,
+                1,
+            );
             table.add_row(vec![
                 method.name().to_string(),
                 format!("{:.4}", summary.mean_offline_seconds),

@@ -25,8 +25,11 @@ fn main() {
     } else {
         vec![PaperDataset::Zipf { alpha: 1.5 }, PaperDataset::MovieLens]
     };
-    let eps_grid: Vec<f64> =
-        if args.quick { vec![0.5, 4.0, 10.0] } else { vec![0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0] };
+    let eps_grid: Vec<f64> = if args.quick {
+        vec![0.5, 4.0, 10.0]
+    } else {
+        vec![0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+    };
 
     for dataset in datasets {
         let workload = dataset.generate_join(args.scale, args.seed);

@@ -15,7 +15,9 @@
 //! to use (18, 1024).
 
 use ldpjs_common::stats::median;
-use ldpjs_core::multiway::{build_edge_sketch, build_vertex_sketch, ldp_chain_join_3, ldp_chain_join_4};
+use ldpjs_core::multiway::{
+    build_edge_sketch, build_vertex_sketch, ldp_chain_join_3, ldp_chain_join_4,
+};
 use ldpjs_core::Epsilon;
 use ldpjs_data::PaperDataset;
 use ldpjs_experiments::ExpArgs;
@@ -29,10 +31,17 @@ use rand::SeedableRng;
 
 fn main() {
     let args = ExpArgs::parse();
-    let (replicas, buckets) = if args.sweep.as_deref() == Some("paper") { (18, 1024) } else { (9, 256) };
+    let (replicas, buckets) = if args.sweep.as_deref() == Some("paper") {
+        (18, 1024)
+    } else {
+        (9, 256)
+    };
     let workload = PaperDataset::Zipf { alpha: 1.5 }.generate_chain(args.scale, args.seed);
-    let eps_grid: Vec<f64> =
-        if args.quick { vec![0.1, 1.0, 4.0, 10.0] } else { vec![0.1, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0] };
+    let eps_grid: Vec<f64> = if args.quick {
+        vec![0.1, 1.0, 4.0, 10.0]
+    } else {
+        vec![0.1, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+    };
 
     // Shared public hash families, one per join attribute.
     let attr_a = JoinAttribute::from_seed(args.seed ^ 0xA, replicas, buckets);
@@ -61,7 +70,13 @@ fn main() {
 
     let mut table = Table::new(
         format!("Fig. 15 — multi-way chain join RE vs ε (Zipf α=1.5, k={replicas}, m={buckets})"),
-        &["eps", "Compass(3-way)", "LDPJoinSketch(3-way)", "Compass(4-way)", "LDPJoinSketch(4-way)"],
+        &[
+            "eps",
+            "Compass(3-way)",
+            "LDPJoinSketch(3-way)",
+            "Compass(4-way)",
+            "LDPJoinSketch(4-way)",
+        ],
     );
 
     for &eps_val in &eps_grid {
@@ -72,12 +87,14 @@ fn main() {
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(args.seed.wrapping_add(1 + t as u64));
             let s1 = build_vertex_sketch(&workload.t1, &attr_a, eps, &mut rng).expect("T1 sketch");
-            let s2 = build_edge_sketch(&workload.t2, &attr_a, &attr_b, eps, &mut rng).expect("T2 sketch");
+            let s2 = build_edge_sketch(&workload.t2, &attr_a, &attr_b, eps, &mut rng)
+                .expect("T2 sketch");
             let s3v = build_vertex_sketch(&t3_b, &attr_b, eps, &mut rng).expect("T3 sketch");
             let est3 = ldp_chain_join_3(&s1, &attr_a, &s2, &s3v, &attr_b).expect("3-way estimate");
             re3.push(relative_error(truth_3, est3));
 
-            let s3e = build_edge_sketch(&workload.t3, &attr_b, &attr_c, eps, &mut rng).expect("T3 sketch");
+            let s3e = build_edge_sketch(&workload.t3, &attr_b, &attr_c, eps, &mut rng)
+                .expect("T3 sketch");
             let s4 = build_vertex_sketch(&workload.t4, &attr_c, eps, &mut rng).expect("T4 sketch");
             let est4 = ldp_chain_join_4(&s1, &attr_a, &s2, &s3e, &s4, &attr_b, &attr_c)
                 .expect("4-way estimate");

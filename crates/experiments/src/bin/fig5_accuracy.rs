@@ -16,8 +16,19 @@ fn main() {
     let methods = Method::all();
 
     let mut table = Table::new(
-        format!("Fig. 5 — RE of join size estimation (ε = {}, k = 18, m = 1024)", args.eps),
-        &["dataset", "FAGMS", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"],
+        format!(
+            "Fig. 5 — RE of join size estimation (ε = {}, k = 18, m = 1024)",
+            args.eps
+        ),
+        &[
+            "dataset",
+            "FAGMS",
+            "k-RR",
+            "Apple-HCMS",
+            "FLH",
+            "LDPJoinSketch",
+            "LDPJoinSketch+",
+        ],
     );
 
     let datasets = if args.quick {

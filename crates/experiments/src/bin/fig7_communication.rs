@@ -21,18 +21,33 @@ fn main() {
     } else {
         vec![PaperDataset::Zipf { alpha: 1.1 }, PaperDataset::MovieLens]
     };
-    let methods = [Method::Krr, Method::AppleHcms, Method::Flh, Method::LdpJoinSketch];
+    let methods = [
+        Method::Krr,
+        Method::AppleHcms,
+        Method::Flh,
+        Method::LdpJoinSketch,
+    ];
 
     let mut table = Table::new(
-        format!("Fig. 7 — communication cost in bits (k=18, m=1024, ε={})", args.eps),
+        format!(
+            "Fig. 7 — communication cost in bits (k=18, m=1024, ε={})",
+            args.eps
+        ),
         &["dataset", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch"],
     );
     for dataset in datasets {
         let workload = dataset.generate_join(args.scale, args.seed);
         let mut row = vec![workload.name.clone()];
         for &method in &methods {
-            let summary =
-                run_trials(method, &workload, params, eps, PlusKnobs::default(), args.seed, 1);
+            let summary = run_trials(
+                method,
+                &workload,
+                params,
+                eps,
+                PlusKnobs::default(),
+                args.seed,
+                1,
+            );
             row.push(summary.communication_bits.to_string());
             println!(
                 "{}",

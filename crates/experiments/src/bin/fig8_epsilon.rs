@@ -35,7 +35,15 @@ fn main() {
         let workload = dataset.generate_join(args.scale, args.seed);
         let mut table = Table::new(
             format!("Fig. 8 — AE vs ε on {}", workload.name),
-            &["eps", "FAGMS", "k-RR", "Apple-HCMS", "FLH", "LDPJoinSketch", "LDPJoinSketch+"],
+            &[
+                "eps",
+                "FAGMS",
+                "k-RR",
+                "Apple-HCMS",
+                "FLH",
+                "LDPJoinSketch",
+                "LDPJoinSketch+",
+            ],
         );
         for &eps_val in &eps_grid {
             let eps = Epsilon::new(eps_val).expect("valid epsilon");

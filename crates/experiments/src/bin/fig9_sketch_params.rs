@@ -17,7 +17,11 @@ use ldpjs_metrics::report::{csv_line, sci, Table};
 fn main() {
     let args = ExpArgs::parse();
     let eps = Epsilon::new(10.0).expect("paper uses ε = 10 here");
-    let knobs = PlusKnobs { sampling_rate: 0.1, threshold: 0.001, paper_literal_subtraction: false };
+    let knobs = PlusKnobs {
+        sampling_rate: 0.1,
+        threshold: 0.001,
+        paper_literal_subtraction: false,
+    };
     let sweep = args.sweep.clone().unwrap_or_else(|| "m".to_string());
 
     let datasets = if args.quick {
@@ -36,9 +40,14 @@ fn main() {
         let workload = dataset.generate_join(args.scale, args.seed);
         let configs: Vec<SketchParams> = match sweep.as_str() {
             "k" => {
-                let ks: Vec<usize> =
-                    if args.quick { vec![9, 18, 36] } else { vec![9, 12, 18, 21, 28, 30, 36] };
-                ks.into_iter().map(|k| SketchParams::new(k, 1024).unwrap()).collect()
+                let ks: Vec<usize> = if args.quick {
+                    vec![9, 18, 36]
+                } else {
+                    vec![9, 12, 18, 21, 28, 30, 36]
+                };
+                ks.into_iter()
+                    .map(|k| SketchParams::new(k, 1024).unwrap())
+                    .collect()
             }
             _ => {
                 let ms: Vec<usize> = if args.quick {
@@ -46,13 +55,21 @@ fn main() {
                 } else {
                     vec![512, 1024, 2048, 4096, 8192, 16384]
                 };
-                ms.into_iter().map(|m| SketchParams::new(18, m).unwrap()).collect()
+                ms.into_iter()
+                    .map(|m| SketchParams::new(18, m).unwrap())
+                    .collect()
             }
         };
 
         let mut table = Table::new(
             format!("Fig. 9 — AE vs {} on {} (ε = 10)", sweep, workload.name),
-            &[&sweep, "FAGMS", "Apple-HCMS", "LDPJoinSketch", "LDPJoinSketch+"],
+            &[
+                &sweep,
+                "FAGMS",
+                "Apple-HCMS",
+                "LDPJoinSketch",
+                "LDPJoinSketch+",
+            ],
         );
         for params in configs {
             let label = match sweep.as_str() {

@@ -4,15 +4,23 @@
 //! to the row count actually generated at the requested `--scale`, plus the generated tables'
 //! frequency moments and exact join size (the ground truth every other experiment divides by).
 
-use ldpjs_experiments::ExpArgs;
 use ldpjs_data::PaperDataset;
+use ldpjs_experiments::ExpArgs;
 use ldpjs_metrics::report::{csv_line, Table};
 
 fn main() {
     let args = ExpArgs::parse();
     let mut table = Table::new(
         format!("Table II — datasets (scale = {})", args.scale),
-        &["dataset", "domain", "paper rows", "generated rows", "F2(A)", "F2(B)", "true |A⋈B|"],
+        &[
+            "dataset",
+            "domain",
+            "paper rows",
+            "generated rows",
+            "F2(A)",
+            "F2(B)",
+            "true |A⋈B|",
+        ],
     );
     let mut datasets = PaperDataset::figure5_suite();
     datasets.push(PaperDataset::Zipf { alpha: 1.5 });

@@ -22,7 +22,14 @@ pub struct ExpArgs {
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        ExpArgs { scale: 0.002, trials: 3, seed: 7, eps: 4.0, quick: false, sweep: None }
+        ExpArgs {
+            scale: 0.002,
+            trials: 3,
+            seed: 7,
+            eps: 4.0,
+            quick: false,
+            sweep: None,
+        }
     }
 }
 
@@ -38,8 +45,10 @@ impl ExpArgs {
                 "--seed" => out.seed = parse_value(&mut iter, "--seed")?,
                 "--eps" => out.eps = parse_value(&mut iter, "--eps")?,
                 "--sweep" => {
-                    out.sweep =
-                        Some(iter.next().ok_or_else(|| "--sweep needs a value".to_string())?)
+                    out.sweep = Some(
+                        iter.next()
+                            .ok_or_else(|| "--sweep needs a value".to_string())?,
+                    )
                 }
                 "--quick" => out.quick = true,
                 "--help" | "-h" => return Err(Self::usage()),
@@ -93,7 +102,8 @@ fn parse_value<T: std::str::FromStr, I: Iterator<Item = String>>(
     flag: &str,
 ) -> Result<T, String> {
     let raw = iter.next().ok_or_else(|| format!("{flag} needs a value"))?;
-    raw.parse().map_err(|_| format!("could not parse `{raw}` for {flag}"))
+    raw.parse()
+        .map_err(|_| format!("could not parse `{raw}` for {flag}"))
 }
 
 #[cfg(test)]
@@ -140,7 +150,11 @@ mod tests {
 
     #[test]
     fn effective_trials_floor_is_one() {
-        let a = ExpArgs { trials: 1, quick: true, ..ExpArgs::default() };
+        let a = ExpArgs {
+            trials: 1,
+            quick: true,
+            ..ExpArgs::default()
+        };
         assert_eq!(a.effective_trials(), 1);
     }
 }

@@ -61,7 +61,12 @@ impl Method {
 
     /// The sketch-only subset of Fig. 6 / Fig. 9.
     pub fn sketch_methods() -> Vec<Method> {
-        vec![Method::Fagms, Method::AppleHcms, Method::LdpJoinSketch, Method::LdpJoinSketchPlus]
+        vec![
+            Method::Fagms,
+            Method::AppleHcms,
+            Method::LdpJoinSketch,
+            Method::LdpJoinSketchPlus,
+        ]
     }
 
     /// Whether this method satisfies LDP (everything except the non-private FAGMS baseline).
@@ -99,7 +104,11 @@ impl Default for PlusKnobs {
         // The paper's default θ is 0.001 at 40M-row scale; at the harness's scaled-down row
         // counts the phase-1 frequency noise floor is higher, so the default threshold is one
         // order of magnitude larger. Fig. 11's binary sweeps θ explicitly.
-        PlusKnobs { sampling_rate: 0.1, threshold: 0.01, paper_literal_subtraction: false }
+        PlusKnobs {
+            sampling_rate: 0.1,
+            threshold: 0.01,
+            paper_literal_subtraction: false,
+        }
     }
 }
 
@@ -247,7 +256,11 @@ mod tests {
         let eps = Epsilon::new(4.0).unwrap();
         for method in Method::all() {
             let out = estimate_join(method, &w, params, eps, PlusKnobs::default(), 3).unwrap();
-            assert!(out.estimate.is_finite(), "{} produced a non-finite estimate", method.name());
+            assert!(
+                out.estimate.is_finite(),
+                "{} produced a non-finite estimate",
+                method.name()
+            );
             assert!(out.offline_seconds >= 0.0);
             assert!(out.communication_bits > 0);
         }
@@ -259,10 +272,16 @@ mod tests {
         let params = SketchParams::new(12, 512).unwrap();
         let eps = Epsilon::new(4.0).unwrap();
         let truth = w.true_join_size as f64;
-        let fagms =
-            estimate_join(Method::Fagms, &w, params, eps, PlusKnobs::default(), 5).unwrap();
-        let ldp =
-            estimate_join(Method::LdpJoinSketch, &w, params, eps, PlusKnobs::default(), 5).unwrap();
+        let fagms = estimate_join(Method::Fagms, &w, params, eps, PlusKnobs::default(), 5).unwrap();
+        let ldp = estimate_join(
+            Method::LdpJoinSketch,
+            &w,
+            params,
+            eps,
+            PlusKnobs::default(),
+            5,
+        )
+        .unwrap();
         assert!((fagms.estimate - truth).abs() / truth < 0.2);
         assert!((ldp.estimate - truth).abs() / truth < 0.6);
     }
@@ -273,8 +292,15 @@ mod tests {
         let w = PaperDataset::Facebook.generate_join(1e-9, 11);
         let params = SketchParams::new(8, 256).unwrap();
         let eps = Epsilon::new(4.0).unwrap();
-        let out =
-            estimate_join(Method::LdpJoinSketch, &w, params, eps, PlusKnobs::default(), 1).unwrap();
+        let out = estimate_join(
+            Method::LdpJoinSketch,
+            &w,
+            params,
+            eps,
+            PlusKnobs::default(),
+            1,
+        )
+        .unwrap();
         assert!(out.estimate.is_finite());
     }
 }

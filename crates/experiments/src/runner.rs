@@ -3,7 +3,7 @@
 //! The paper averages every reported number over several testing rounds. [`run_trials`] runs a
 //! method over `trials` independent rounds — each round re-perturbs every user with a fresh
 //! seed — and aggregates AE/RE. Rounds are independent, so they are executed in parallel with
-//! crossbeam scoped threads when more than one trial is requested.
+//! `std::thread::scope` when more than one trial is requested.
 
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_core::SketchParams;
@@ -48,23 +48,27 @@ pub fn run_trials(
 ) -> MethodSummary {
     assert!(trials > 0, "at least one trial is required");
     let outcomes: Vec<MethodOutcome> = if trials == 1 {
-        vec![estimate_join(method, workload, params, eps, knobs, base_seed)
-            .expect("experiment trial failed")]
+        vec![
+            estimate_join(method, workload, params, eps, knobs, base_seed)
+                .expect("experiment trial failed"),
+        ]
     } else {
         let mut slots: Vec<Option<MethodOutcome>> = vec![None; trials];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (i, slot) in slots.iter_mut().enumerate() {
                 let seed = base_seed.wrapping_add(i as u64 * 0x9E37_79B9);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = Some(
                         estimate_join(method, workload, params, eps, knobs, seed)
                             .expect("experiment trial failed"),
                     );
                 });
             }
-        })
-        .expect("trial thread panicked");
-        slots.into_iter().map(|s| s.expect("missing trial result")).collect()
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("missing trial result"))
+            .collect()
     };
 
     let truth = workload.true_join_size as f64;
@@ -109,10 +113,26 @@ mod tests {
         let w = workload();
         let params = SketchParams::new(6, 128).unwrap();
         let eps = Epsilon::new(4.0).unwrap();
-        let one = run_trials(Method::LdpJoinSketch, &w, params, eps, PlusKnobs::default(), 1, 1);
+        let one = run_trials(
+            Method::LdpJoinSketch,
+            &w,
+            params,
+            eps,
+            PlusKnobs::default(),
+            1,
+            1,
+        );
         assert_eq!(one.trials, 1);
         assert!(one.mean_absolute_error.is_finite());
-        let three = run_trials(Method::LdpJoinSketch, &w, params, eps, PlusKnobs::default(), 1, 3);
+        let three = run_trials(
+            Method::LdpJoinSketch,
+            &w,
+            params,
+            eps,
+            PlusKnobs::default(),
+            1,
+            3,
+        );
         assert_eq!(three.trials, 3);
         assert!(three.mean_relative_error.is_finite());
         assert_eq!(one.communication_bits, three.communication_bits);

@@ -54,7 +54,14 @@ impl HcmsOracle {
     /// family derived from `seed`.
     pub fn new(params: SketchParams, eps: Epsilon, seed: u64) -> Self {
         let hashes = RowHashes::from_seed(seed, params.rows(), params.columns());
-        HcmsOracle { params, eps, hashes, raw: vec![0.0; params.counters()], transformed: None, n: 0 }
+        HcmsOracle {
+            params,
+            eps,
+            hashes,
+            raw: vec![0.0; params.counters()],
+            transformed: None,
+            n: 0,
+        }
     }
 
     /// Sketch parameters.
@@ -189,9 +196,18 @@ mod tests {
         let e3 = oracle.estimate(3);
         let e77 = oracle.estimate(77);
         let e_absent = oracle.estimate(500);
-        assert!((e3 - 0.4 * n as f64).abs() < 0.06 * n as f64, "estimate of 3: {e3}");
-        assert!((e77 - 0.3 * n as f64).abs() < 0.06 * n as f64, "estimate of 77: {e77}");
-        assert!(e_absent.abs() < 0.06 * n as f64, "estimate of absent value: {e_absent}");
+        assert!(
+            (e3 - 0.4 * n as f64).abs() < 0.06 * n as f64,
+            "estimate of 3: {e3}"
+        );
+        assert!(
+            (e77 - 0.3 * n as f64).abs() < 0.06 * n as f64,
+            "estimate of 77: {e77}"
+        );
+        assert!(
+            e_absent.abs() < 0.06 * n as f64,
+            "estimate of absent value: {e_absent}"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ where
     A: FrequencyOracle + ?Sized,
     B: FrequencyOracle + ?Sized,
 {
-    candidates.iter().map(|&d| oracle_a.estimate(d) * oracle_b.estimate(d)).sum()
+    candidates
+        .iter()
+        .map(|&d| oracle_a.estimate(d) * oracle_b.estimate(d))
+        .sum()
 }
 
 /// Total client→server communication, in bits, of running the mechanism over `users_a`

@@ -31,7 +31,12 @@ impl KrrOracle {
     /// Panics if `domain < 2` (randomized response needs at least two values).
     pub fn new(eps: Epsilon, domain: u64) -> Self {
         assert!(domain >= 2, "k-RR needs a domain of at least two values");
-        KrrOracle { eps, domain, counts: vec![0; domain as usize], n: 0 }
+        KrrOracle {
+            eps,
+            domain,
+            counts: vec![0; domain as usize],
+            n: 0,
+        }
     }
 
     /// The domain size `|D|`.
@@ -99,7 +104,9 @@ mod tests {
         let mut oracle = KrrOracle::new(eps, 10);
         let mut rng = StdRng::seed_from_u64(5);
         // 60% value 0, 40% value 9.
-        let values: Vec<u64> = (0..100_000).map(|i| if i % 5 < 3 { 0 } else { 9 }).collect();
+        let values: Vec<u64> = (0..100_000)
+            .map(|i| if i % 5 < 3 { 0 } else { 9 })
+            .collect();
         oracle.collect(&values, &mut rng);
         assert_eq!(oracle.total_reports(), 100_000);
         let e0 = oracle.estimate(0);
@@ -115,7 +122,9 @@ mod tests {
         // The same data, but embedded in a much larger domain: the noise floor grows with |D|,
         // which is the paper's motivation for sketch-based approaches.
         let eps = Epsilon::new(1.0).unwrap();
-        let values: Vec<u64> = (0..20_000).map(|i| if i % 2 == 0 { 0 } else { 1 }).collect();
+        let values: Vec<u64> = (0..20_000)
+            .map(|i| if i % 2 == 0 { 0 } else { 1 })
+            .collect();
         let mut rng = StdRng::seed_from_u64(6);
 
         let mut small = KrrOracle::new(eps, 16);
@@ -152,7 +161,9 @@ mod tests {
         let eps = Epsilon::new(10.0).unwrap();
         let oracle = KrrOracle::new(eps, 100);
         let mut rng = StdRng::seed_from_u64(1);
-        let kept = (0..1000).filter(|_| oracle.perturb(7, &mut rng) == 7).count();
+        let kept = (0..1000)
+            .filter(|_| oracle.perturb(7, &mut rng) == 7)
+            .count();
         assert!(kept > 950, "kept only {kept}/1000 with ε=10");
     }
 

@@ -14,6 +14,7 @@
 
 use ldpjs_common::hash::BucketHash;
 use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::rr::krr_perturb_with_p;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -28,11 +29,24 @@ pub enum OlhVariant {
     Fast,
 }
 
+/// One perturbed FLH client report: the sampled hash function and the (k-RR perturbed)
+/// hashed value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlhReport {
+    /// Index of the hash function sampled from the public pool.
+    pub hash_index: usize,
+    /// The perturbed hashed value in `[g]`.
+    pub bucket: u64,
+}
+
 /// The FLH / OLH-like frequency oracle.
 #[derive(Debug, Clone)]
 pub struct FlhOracle {
     eps: Epsilon,
     g: u64,
+    /// Cached keep probability of the inner k-RR over `[g]` (ε and g are fixed at
+    /// construction, and `perturb` is called once per report).
+    keep_p: f64,
     variant: OlhVariant,
     hashes: Vec<BucketHash>,
     /// `hash_count × g` matrix of report counts, row-major.
@@ -53,8 +67,18 @@ impl FlhOracle {
         assert!(hash_count > 0, "FLH needs at least one hash function");
         let g = (eps.exp().floor() as u64 + 1).max(2);
         let mut rng = StdRng::seed_from_u64(seed);
-        let hashes = (0..hash_count).map(|_| BucketHash::sample(&mut rng, g as usize)).collect();
-        FlhOracle { eps, g, variant, hashes, counts: vec![0; hash_count * g as usize], n: 0 }
+        let hashes = (0..hash_count)
+            .map(|_| BucketHash::sample(&mut rng, g as usize))
+            .collect();
+        FlhOracle {
+            eps,
+            g,
+            keep_p: eps.krr_keep_probability(g as usize),
+            variant,
+            hashes,
+            counts: vec![0; hash_count * g as usize],
+            n: 0,
+        }
     }
 
     /// Create the paper's FLH competitor with the default pool size.
@@ -65,6 +89,12 @@ impl FlhOracle {
     /// Create an OLH-like oracle with a large pool (slower, closer to per-user hashing).
     pub fn new_optimal_like(eps: Epsilon, seed: u64) -> Self {
         Self::with_pool(eps, 8192, seed, OlhVariant::OptimalLike)
+    }
+
+    /// The privacy budget ε.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
     }
 
     /// The hashed-domain size `g = ⌊e^ε⌋ + 1`.
@@ -81,7 +111,17 @@ impl FlhOracle {
 
     /// The keep probability of the inner k-RR over `[g]`.
     fn keep_probability(&self) -> f64 {
-        self.eps.krr_keep_probability(self.g as usize)
+        self.keep_p
+    }
+
+    /// Client-side encoding and perturbation of one value: sample a hash function from the
+    /// pool, hash the value into `[g]`, and apply k-RR over `[g]` to the hashed value. The
+    /// report `(hash_index, bucket)` is everything the server ever sees for this user.
+    pub fn perturb(&self, value: u64, rng: &mut dyn RngCore) -> FlhReport {
+        let hash_index = rng.gen_range(0..self.hashes.len());
+        let hashed = self.hashes[hash_index].hash(value) as u64;
+        let bucket = krr_perturb_with_p(rng, self.keep_p, self.g, hashed);
+        FlhReport { hash_index, bucket }
     }
 }
 
@@ -94,22 +134,9 @@ impl FrequencyOracle for FlhOracle {
     }
 
     fn collect(&mut self, values: &[u64], rng: &mut dyn RngCore) {
-        let p = self.keep_probability();
         for &v in values {
-            let hash_idx = rng.gen_range(0..self.hashes.len());
-            let hashed = self.hashes[hash_idx].hash(v) as u64;
-            // k-RR over [g].
-            let report = if rng.gen_bool(p) {
-                hashed
-            } else {
-                let r = rng.gen_range(0..self.g - 1);
-                if r >= hashed {
-                    r + 1
-                } else {
-                    r
-                }
-            };
-            self.counts[hash_idx * self.g as usize + report as usize] += 1;
+            let report = self.perturb(v, rng);
+            self.counts[report.hash_index * self.g as usize + report.bucket as usize] += 1;
             self.n += 1;
         }
     }
@@ -151,6 +178,10 @@ mod tests {
         assert_eq!(o.g(), (1.0f64.exp().floor() as u64) + 1); // e^1 = 2.71 -> g = 3
         let o = FlhOracle::new_fast(Epsilon::new(3.0).unwrap(), 1);
         assert_eq!(o.g(), 20 + 1); // e^3 = 20.08
+
+        // The oracle records the budget it was built with, and g is derived from it.
+        assert_eq!(o.epsilon().value(), 3.0);
+        assert_eq!(o.g(), (o.epsilon().value().exp().floor() as u64) + 1);
     }
 
     #[test]
@@ -171,9 +202,18 @@ mod tests {
         let e1 = oracle.estimate(1);
         let e2 = oracle.estimate(2);
         let e999 = oracle.estimate(999_999);
-        assert!((e1 - 0.5 * n as f64).abs() < 0.05 * n as f64, "estimate of 1: {e1}");
-        assert!((e2 - 0.3 * n as f64).abs() < 0.05 * n as f64, "estimate of 2: {e2}");
-        assert!(e999.abs() < 0.05 * n as f64, "estimate of absent value: {e999}");
+        assert!(
+            (e1 - 0.5 * n as f64).abs() < 0.05 * n as f64,
+            "estimate of 1: {e1}"
+        );
+        assert!(
+            (e2 - 0.3 * n as f64).abs() < 0.05 * n as f64,
+            "estimate of 2: {e2}"
+        );
+        assert!(
+            e999.abs() < 0.05 * n as f64,
+            "estimate of absent value: {e999}"
+        );
     }
 
     #[test]

@@ -71,10 +71,16 @@ mod tests {
 
     #[test]
     fn default_estimate_domain_maps_estimate() {
-        let mut oracle = ExactOracle { counts: Default::default(), n: 0 };
+        let mut oracle = ExactOracle {
+            counts: Default::default(),
+            n: 0,
+        };
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         oracle.collect(&[1, 1, 2, 5], &mut rng);
-        assert_eq!(oracle.estimate_domain(&[1, 2, 3, 5]), vec![2.0, 1.0, 0.0, 1.0]);
+        assert_eq!(
+            oracle.estimate_domain(&[1, 2, 3, 5]),
+            vec![2.0, 1.0, 0.0, 1.0]
+        );
         assert_eq!(oracle.total_reports(), 4);
         assert_eq!(oracle.name(), "exact");
         assert_eq!(oracle.report_bits(), 64);

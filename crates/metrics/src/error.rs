@@ -84,7 +84,10 @@ impl TrialErrors {
 
     /// Worst absolute error across trials (useful for bound checks).
     pub fn max_absolute_error(&self) -> Option<f64> {
-        self.absolute.iter().copied().fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+        self.absolute
+            .iter()
+            .copied()
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 }
 

@@ -68,7 +68,9 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -141,7 +143,10 @@ mod tests {
         t.add_row(vec!["1".into(), "2.5".into()]);
         let csv = t.to_csv();
         assert!(csv.starts_with("# Fig. Y\neps,AE\n1,2.5\n"));
-        assert_eq!(csv_line("fig5", &["Zipf".into(), "0.1".into()]), "csv,fig5,Zipf,0.1");
+        assert_eq!(
+            csv_line("fig5", &["Zipf".into(), "0.1".into()]),
+            "csv,fig5,Zipf,0.1"
+        );
     }
 
     #[test]

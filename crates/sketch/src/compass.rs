@@ -25,7 +25,9 @@ pub struct JoinAttribute {
 impl JoinAttribute {
     /// Derive the attribute's `k × m` hash family from a seed.
     pub fn from_seed(seed: u64, replicas: usize, m: usize) -> Self {
-        JoinAttribute { hashes: RowHashes::from_seed(seed, replicas, m) }
+        JoinAttribute {
+            hashes: RowHashes::from_seed(seed, replicas, m),
+        }
     }
 
     /// Number of independent replicas `k`.
@@ -71,7 +73,10 @@ impl CompassVertexSketch {
     /// Create an empty vertex sketch over `attr`.
     pub fn new(attr: JoinAttribute) -> Self {
         let len = attr.replicas() * attr.buckets();
-        CompassVertexSketch { attr, counters: vec![0.0; len] }
+        CompassVertexSketch {
+            attr,
+            counters: vec![0.0; len],
+        }
     }
 
     /// The attribute this sketch summarises.
@@ -127,7 +132,11 @@ impl CompassEdgeSketch {
             )));
         }
         let len = attr_a.replicas() * attr_a.buckets() * attr_b.buckets();
-        Ok(CompassEdgeSketch { attr_a, attr_b, counters: vec![0.0; len] })
+        Ok(CompassEdgeSketch {
+            attr_a,
+            attr_b,
+            counters: vec![0.0; len],
+        })
     }
 
     /// The first (left) join attribute.

@@ -22,7 +22,12 @@ impl CountMinSketch {
     /// Create an empty Count-Min sketch.
     pub fn new(params: SketchParams, seed: u64) -> Self {
         let hashes = RowHashes::from_seed(seed, params.rows(), params.columns());
-        CountMinSketch { params, hashes, counters: vec![0; params.counters()], total: 0 }
+        CountMinSketch {
+            params,
+            hashes,
+            counters: vec![0; params.counters()],
+            total: 0,
+        }
     }
 
     /// Sketch parameters.
@@ -108,7 +113,10 @@ mod tests {
         let mut sk = CountMinSketch::new(params(5, 256), 3);
         sk.update_all(&data);
         for (&v, &f) in table.iter().take(200) {
-            assert!(sk.frequency_upper_bound(v) >= f, "CM under-estimated value {v}");
+            assert!(
+                sk.frequency_upper_bound(v) >= f,
+                "CM under-estimated value {v}"
+            );
         }
         assert_eq!(sk.total(), 20_000);
     }

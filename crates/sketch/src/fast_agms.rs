@@ -30,7 +30,12 @@ impl FastAgmsSketch {
     /// Create an empty sketch with the given parameters and hash-family seed.
     pub fn new(params: SketchParams, seed: u64) -> Self {
         let hashes = RowHashes::from_seed(seed, params.rows(), params.columns());
-        FastAgmsSketch { params, counters: vec![0.0; params.counters()], hashes, total: 0 }
+        FastAgmsSketch {
+            params,
+            counters: vec![0.0; params.counters()],
+            hashes,
+            total: 0,
+        }
     }
 
     /// Sketch parameters.
@@ -125,7 +130,11 @@ impl FastAgmsSketch {
         self.check_compatible(other)?;
         Ok((0..self.params.rows())
             .map(|j| {
-                self.row(j).iter().zip(other.row(j).iter()).map(|(a, b)| a * b).sum::<f64>()
+                self.row(j)
+                    .iter()
+                    .zip(other.row(j).iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
             })
             .collect())
     }
@@ -161,8 +170,9 @@ impl FastAgmsSketch {
 
     /// Estimate of the second frequency moment (self-join size).
     pub fn second_moment(&self) -> f64 {
-        let estimates: Vec<f64> =
-            (0..self.params.rows()).map(|j| self.row(j).iter().map(|c| c * c).sum()).collect();
+        let estimates: Vec<f64> = (0..self.params.rows())
+            .map(|j| self.row(j).iter().map(|c| c * c).sum())
+            .collect();
         median(&estimates).unwrap_or(0.0)
     }
 
@@ -232,6 +242,35 @@ mod tests {
     }
 
     #[test]
+    fn join_estimate_is_unbiased_over_independent_sketches() {
+        // Each row's inner product is an unbiased estimator of the join size (Cormode &
+        // Garofalakis), so the per-row means, averaged over independently seeded hash
+        // families on a fixed workload, must converge on the exact join size. The median
+        // combiner used by `join_size` trades a little bias for robustness, so this test
+        // averages raw row products instead.
+        let a = skewed_stream(15_000, 800, 5);
+        let b = skewed_stream(15_000, 800, 6);
+        let truth = exact_join_size(&a, &b) as f64;
+        let p = params(9, 256);
+        let trials = 20;
+        let mut sum = 0.0;
+        for t in 0..trials as u64 {
+            let mut sa = FastAgmsSketch::new(p, 2000 + t);
+            let mut sb = FastAgmsSketch::new(p, 2000 + t);
+            sa.update_all(&a);
+            sb.update_all(&b);
+            let rows = sa.row_products(&sb).unwrap();
+            sum += rows.iter().sum::<f64>() / rows.len() as f64;
+        }
+        let mean_est = sum / trials as f64;
+        let re = (mean_est - truth).abs() / truth;
+        assert!(
+            re < 0.05,
+            "mean of {trials} independent Fast-AGMS estimates drifted {re} from truth (mean {mean_est}, truth {truth})"
+        );
+    }
+
+    #[test]
     fn join_size_close_to_truth_on_skewed_data() {
         let a = skewed_stream(30_000, 1000, 1);
         let b = skewed_stream(30_000, 1000, 2);
@@ -267,10 +306,16 @@ mod tests {
         let top = *table.iter().max_by_key(|(_, &c)| c).unwrap().0;
         let est = sa.frequency(top);
         let truth = table[&top] as f64;
-        assert!((est - truth).abs() / truth < 0.1, "est {est}, truth {truth}");
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "est {est}, truth {truth}"
+        );
         // Mean combiner should be in the same ballpark.
         let est_mean = sa.frequency_mean(top);
-        assert!((est_mean - truth).abs() / truth < 0.1, "mean est {est_mean}, truth {truth}");
+        assert!(
+            (est_mean - truth).abs() / truth < 0.1,
+            "mean est {est_mean}, truth {truth}"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ impl SketchParams {
     /// power of two.
     pub fn new(k: usize, m: usize) -> Result<Self> {
         if k == 0 {
-            return Err(Error::InvalidSketchParameter("k (rows) must be at least 1".into()));
+            return Err(Error::InvalidSketchParameter(
+                "k (rows) must be at least 1".into(),
+            ));
         }
         if m == 0 || !m.is_power_of_two() {
             return Err(Error::InvalidSketchParameter(format!(
@@ -62,7 +64,10 @@ impl SketchParams {
     /// Number of rows `k = 4·log(1/δ)` needed to push the failure probability of the median
     /// estimator below `δ` (Theorem 5).
     pub fn rows_for_failure_probability(delta: f64) -> usize {
-        assert!(delta > 0.0 && delta < 1.0, "failure probability must lie in (0, 1)");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "failure probability must lie in (0, 1)"
+        );
         (4.0 * (1.0 / delta).ln()).ceil() as usize
     }
 }
@@ -95,7 +100,10 @@ mod tests {
 
     #[test]
     fn default_matches_paper() {
-        assert_eq!(SketchParams::default(), SketchParams::new(18, 1024).unwrap());
+        assert_eq!(
+            SketchParams::default(),
+            SketchParams::new(18, 1024).unwrap()
+        );
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn main() {
 
     // Catalogue candidates with varying degrees of key overlap with the analyst's cohort.
     let candidates: Vec<Candidate> = vec![
-        Candidate { name: "registry-same-population", values: cohort_gen.sample_many(100_000, &mut rng) },
+        Candidate {
+            name: "registry-same-population",
+            values: cohort_gen.sample_many(100_000, &mut rng),
+        },
         Candidate {
             name: "registry-shifted-population",
             values: cohort_gen
@@ -49,11 +52,14 @@ fn main() {
     let analyst_sketch =
         build_private_sketch(&analyst, params, eps, hash_seed, &mut proto_rng).unwrap();
 
-    println!("candidate                        estimated |join|      true |join|     rank signal ok?");
+    println!(
+        "candidate                        estimated |join|      true |join|     rank signal ok?"
+    );
     let mut results: Vec<(String, f64, f64)> = Vec::new();
     for candidate in &candidates {
         let sketch =
-            build_private_sketch(&candidate.values, params, eps, hash_seed, &mut proto_rng).unwrap();
+            build_private_sketch(&candidate.values, params, eps, hash_seed, &mut proto_rng)
+                .unwrap();
         let est = analyst_sketch.join_size(&sketch).unwrap();
         let truth = exact_join_size(&analyst, &candidate.values) as f64;
         results.push((candidate.name.to_string(), est, truth));
@@ -76,5 +82,7 @@ fn main() {
         "best candidate by private estimate: {}",
         by_est.first().map(|r| r.0.as_str()).unwrap_or("-")
     );
-    println!("The analyst discovers the most joinable dataset without any provider disclosing raw keys.");
+    println!(
+        "The analyst discovers the most joinable dataset without any provider disclosing raw keys."
+    );
 }

@@ -8,7 +8,9 @@
 
 use ldp_join_sketch::core::multiway::{build_edge_sketch, build_vertex_sketch, ldp_chain_join_3};
 use ldp_join_sketch::prelude::*;
-use ldp_join_sketch::sketch::compass::{estimate_chain_3, CompassEdgeSketch, CompassVertexSketch, JoinAttribute};
+use ldp_join_sketch::sketch::compass::{
+    estimate_chain_3, CompassEdgeSketch, CompassVertexSketch, JoinAttribute,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,9 +48,17 @@ fn main() {
     let ldp = ldp_chain_join_3(&s1, &attr_a, &s2, &s3, &attr_b).unwrap();
 
     let truth = chain.true_join_3 as f64;
-    println!("COMPASS (non-private) estimate: {compass:.0}  (RE {:.3})", relative_error(truth, compass));
-    println!("LDPJoinSketch (ε=4) estimate:   {ldp:.0}  (RE {:.3})", relative_error(truth, ldp));
+    println!(
+        "COMPASS (non-private) estimate: {compass:.0}  (RE {:.3})",
+        relative_error(truth, compass)
+    );
+    println!(
+        "LDPJoinSketch (ε=4) estimate:   {ldp:.0}  (RE {:.3})",
+        relative_error(truth, ldp)
+    );
     println!();
-    println!("The LDP estimate pays an extra noise cost for privacy but stays in the same order of");
+    println!(
+        "The LDP estimate pays an extra noise cost for privacy but stays in the same order of"
+    );
     println!("magnitude as the non-private COMPASS sketch, as in Fig. 15 of the paper.");
 }

@@ -14,8 +14,16 @@ fn main() {
     let generator = ZipfGenerator::new(1.3, 50_000);
     let mut data_rng = StdRng::seed_from_u64(1);
     let workload = JoinWorkload::generate("quickstart", &generator, 200_000, &mut data_rng);
-    println!("table A: {} rows, table B: {} rows, domain {}", workload.table_a.len(), workload.table_b.len(), workload.domain_size);
-    println!("exact join size (never computable by the untrusted server): {}", workload.true_join_size);
+    println!(
+        "table A: {} rows, table B: {} rows, domain {}",
+        workload.table_a.len(),
+        workload.table_b.len(),
+        workload.domain_size
+    );
+    println!(
+        "exact join size (never computable by the untrusted server): {}",
+        workload.true_join_size
+    );
 
     // 2. Public protocol parameters: sketch shape and privacy budget. These are shared by the
     //    server and every client; only the perturbed reports travel over the network.
@@ -60,5 +68,8 @@ fn main() {
         plus.join_size,
         plus.frequent_items.len()
     );
-    println!("relative error: {:.3}", relative_error(truth, plus.join_size));
+    println!(
+        "relative error: {:.3}",
+        relative_error(truth, plus.join_size)
+    );
 }

@@ -49,13 +49,19 @@ pub use ldpjs_sketch as sketch;
 pub mod prelude {
     pub use ldpjs_common::stats::exact_join_size;
     pub use ldpjs_common::Epsilon;
-    pub use ldpjs_core::protocol::{build_private_sketch, ldp_join_estimate, ldp_join_plus_estimate};
+    pub use ldpjs_core::protocol::{
+        build_private_sketch, ldp_join_estimate, ldp_join_plus_estimate,
+    };
     pub use ldpjs_core::{
         ClientReport, FapClient, FapMode, LdpJoinSketch, LdpJoinSketchClient, LdpJoinSketchPlus,
         PlusConfig, PlusEstimate, SketchParams,
     };
-    pub use ldpjs_data::{ChainWorkload, JoinWorkload, PaperDataset, ValueGenerator, ZipfGenerator};
-    pub use ldpjs_ldp::{estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle};
+    pub use ldpjs_data::{
+        ChainWorkload, JoinWorkload, PaperDataset, ValueGenerator, ZipfGenerator,
+    };
+    pub use ldpjs_ldp::{
+        estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle,
+    };
     pub use ldpjs_metrics::{absolute_error, relative_error, TrialErrors};
     pub use ldpjs_sketch::FastAgmsSketch;
 }

@@ -1,0 +1,312 @@
+//! Minimal, API-compatible local shim for the parts of the [`criterion`] crate this
+//! workspace uses. The build environment has no access to a crates registry, so the
+//! benchmark harness surface is reimplemented here: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline it runs each routine for a short,
+//! bounded number of timed iterations and prints a `name ... time: <median> ns/iter` line,
+//! which is enough for quick relative comparisons and keeps `cargo bench` fast. Swap this
+//! for the real crate by editing `[workspace.dependencies]` in the root manifest.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The shim runs one batch per sample for every
+/// variant; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+    /// Fixed number of batches.
+    NumBatches(u64),
+    /// Fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration timings in nanoseconds.
+    recorded: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.recorded.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.recorded.is_empty() {
+            return f64::NAN;
+        }
+        let mut v = self.recorded.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    }
+}
+
+/// The benchmark manager: registers and runs benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+/// Number of timed iterations derived from a configured sample size: kept small so the
+/// shim's `cargo bench` completes in seconds rather than minutes.
+fn effective_samples(sample_size: usize) -> usize {
+    sample_size.clamp(1, 20)
+}
+
+impl Criterion {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no warm-up phase.
+    pub fn warm_up_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's measurement length is `sample_size` runs.
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Configure this instance from command-line arguments (no-op in the shim beyond
+    /// recognising `--test`, which caps work when `cargo test` runs a bench target).
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.sample_size = 1;
+        }
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(effective_samples(self.sample_size));
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+
+    /// Print the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.median_ns();
+    if ns.is_nan() {
+        println!("{name:<50} (no samples)");
+    } else if ns >= 1e6 {
+        println!("{name:<50} time: {:.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{name:<50} time: {:.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{name:<50} time: {ns:.0} ns/iter");
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<ID, F>(&mut self, id: ID, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(effective_samples(self.sample_size));
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(effective_samples(self.sample_size));
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), &bencher);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring criterion's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_sum(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1_000u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.bench_function(BenchmarkId::from_parameter(11), |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_benches, bench_sum);
+
+    #[test]
+    fn group_macro_produces_runnable_function() {
+        shim_benches();
+    }
+}

@@ -1,0 +1,503 @@
+//! Minimal, API-compatible local shim for the parts of the [`rand`] crate this workspace
+//! uses. The build environment has no access to a crates registry, so instead of the real
+//! crate we vendor a small deterministic implementation with the same module/trait layout:
+//!
+//! * [`RngCore`] / [`SeedableRng`] / [`Rng`] with `gen`, `gen_range`, `gen_bool`, `sample`
+//! * [`rngs::StdRng`] — xoshiro256++ seeded via SplitMix64 (`seed_from_u64`)
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates
+//! * [`distributions::{Distribution, Standard, Uniform}`] — the tiny subset used here
+//!
+//! Determinism is the point: every generator is seedable and produces an identical stream on
+//! every platform, which the workspace's statistical tests rely on. Swap this for the real
+//! `rand` by editing `[workspace.dependencies]` in the root manifest.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+/// The core of a random number generator: a source of uniform random words.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Byte-array seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build the generator from a `u64` by expanding it with SplitMix64, exactly like
+    /// `rand_core`'s default implementation, so small seeds still yield well-mixed state.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Draw a uniform value in `[0, span)` using Lemire's multiply-shift with rejection,
+/// so the result is exactly uniform.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (span as u128);
+    let mut lo = m as u64;
+    if lo < span {
+        let threshold = span.wrapping_neg() % span;
+        while lo < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (span as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn uniform_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+mod sample_impls {
+    /// A type that `Rng::gen` can produce from a uniform word stream.
+    pub trait StandardSample {
+        fn standard_sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardSample for $t {
+                fn standard_sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl StandardSample for u128 {
+        fn standard_sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+    impl StandardSample for i128 {
+        fn standard_sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            u128::standard_sample(rng) as i128
+        }
+    }
+    impl StandardSample for bool {
+        fn standard_sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl StandardSample for f64 {
+        fn standard_sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            super::uniform_f64(rng)
+        }
+    }
+    impl StandardSample for f32 {
+        fn standard_sample<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// A range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_in<R: super::RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! impl_range_uint {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for ::core::ops::Range<$t> {
+                fn sample_in<R: super::RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + super::uniform_u64(rng, span) as $t
+                }
+            }
+            impl SampleRange<$t> for ::core::ops::RangeInclusive<$t> {
+                fn sample_in<R: super::RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + super::uniform_u64(rng, span + 1) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_uint!(u8, u16, u32, u64, usize);
+
+    impl SampleRange<i64> for ::core::ops::Range<i64> {
+        fn sample_in<R: super::RngCore + ?Sized>(self, rng: &mut R) -> i64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = self.end.wrapping_sub(self.start) as u64;
+            self.start
+                .wrapping_add(super::uniform_u64(rng, span) as i64)
+        }
+    }
+    impl SampleRange<i32> for ::core::ops::Range<i32> {
+        fn sample_in<R: super::RngCore + ?Sized>(self, rng: &mut R) -> i32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let span = (self.end as i64 - self.start as i64) as u64;
+            (self.start as i64 + super::uniform_u64(rng, span) as i64) as i32
+        }
+    }
+
+    impl SampleRange<f64> for ::core::ops::Range<f64> {
+        fn sample_in<R: super::RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            // `start + u*(end-start)` can round up to exactly `end` when the offset is large
+            // relative to the span; clamp to preserve the half-open contract.
+            let v = self.start + super::uniform_f64(rng) * (self.end - self.start);
+            if v < self.end {
+                v
+            } else {
+                self.end.next_down().max(self.start)
+            }
+        }
+    }
+    impl SampleRange<f32> for ::core::ops::Range<f32> {
+        fn sample_in<R: super::RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            // See the f64 impl: clamp so rounding never returns the excluded endpoint.
+            let v = self.start + f32::standard_sample(rng) * (self.end - self.start);
+            if v < self.end {
+                v
+            } else {
+                self.end.next_down().max(self.start)
+            }
+        }
+    }
+}
+
+pub use sample_impls::{SampleRange, StandardSample};
+
+/// User-facing random value generation, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard (uniform) distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Sample uniformly from the given range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_in(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0,1]");
+        uniform_f64(self) < p
+    }
+
+    /// Sample from an explicit distribution object.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seedable RNG: xoshiro256++ (Blackman & Vigna).
+    ///
+    /// Not the same stream as the real `rand::rngs::StdRng` (ChaCha12), but every use in
+    /// this workspace only relies on *deterministic, well-distributed* output, never on the
+    /// specific stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            result
+        }
+
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+
+    /// Mock RNGs for deterministic tests.
+    pub mod mock {
+        use super::RngCore;
+
+        /// A counting "RNG" that yields `initial`, `initial + increment`, … — useful when a
+        /// test needs an `RngCore` but no randomness.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Create a new `StepRng`.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Random sequence operations.
+pub mod seq {
+    use super::{uniform_u64, RngCore};
+
+    /// Slice extension trait providing random reordering/selection.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Choose one element uniformly at random, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// The tiny subset of `rand::distributions` the workspace touches.
+pub mod distributions {
+    use super::{RngCore, SampleRange, StandardSample};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard uniform distribution (full integer range, `[0,1)` for floats).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl<T: StandardSample> Distribution<T> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::standard_sample(rng)
+        }
+    }
+
+    /// Uniform distribution over a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct Uniform<T> {
+        range: ::core::ops::Range<T>,
+    }
+
+    impl<T: Copy> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Uniform { range: low..high }
+        }
+    }
+
+    impl<T: Copy> Distribution<T> for Uniform<T>
+    where
+        ::core::ops::Range<T>: SampleRange<T>,
+    {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            self.range.clone().sample_in(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            let x = rng.gen_range(0u64..10);
+            counts[x as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+        for _ in 0..1_000 {
+            let f = rng.gen_range(-2.5f64..3.5);
+            assert!((-2.5..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "gen_bool(0.25) hit {hits}/100000"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left slice in order"
+        );
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dynr: &mut dyn RngCore = &mut rng;
+        let x = dynr.gen::<f64>();
+        assert!((0.0..1.0).contains(&x));
+        let y = dynr.gen_range(0u64..100);
+        assert!(y < 100);
+    }
+}
