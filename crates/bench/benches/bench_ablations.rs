@@ -71,6 +71,7 @@ fn bench_ablation_fap(c: &mut Criterion) {
             sampling_rate: 0.1,
             threshold: 0.001,
             paper_literal_subtraction: literal,
+            variance_weighted_recombination: false,
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &knobs, |b, &knobs| {
             b.iter(|| {
@@ -82,6 +83,41 @@ fn bench_ablation_fap(c: &mut Criterion) {
                         eps(4.0),
                         knobs,
                         3,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// LDPJoinSketch+ phase-2 recombination: plain sum of the rescaled partial estimates vs the
+/// inverse-variance weighting of `PlusConfig::variance_weighted_recombination`. Runtime is
+/// near-identical (the weighting reuses the per-row products); the knob's accuracy effect is
+/// asserted by the unit test in `ldpjs_core::plus` and reported by the fig-level binaries.
+fn bench_ablation_recombination(c: &mut Criterion) {
+    let workload = PaperDataset::Zipf { alpha: 1.1 }.generate_join(0.0001, 9);
+    let params = SketchParams::new(18, 1024).unwrap();
+    let mut group = c.benchmark_group("ablation_recombination");
+    group.sample_size(10);
+    for (label, weighted) in [("plain_sum", false), ("variance_weighted", true)] {
+        let knobs = PlusKnobs {
+            sampling_rate: 0.1,
+            threshold: 0.001,
+            paper_literal_subtraction: false,
+            variance_weighted_recombination: weighted,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &knobs, |b, &knobs| {
+            b.iter(|| {
+                black_box(
+                    estimate_join(
+                        Method::LdpJoinSketchPlus,
+                        &workload,
+                        params,
+                        eps(4.0),
+                        knobs,
+                        5,
                     )
                     .unwrap(),
                 )
@@ -111,6 +147,6 @@ fn bench_ablation_combiner(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_ablation_fwht, bench_ablation_fap, bench_ablation_combiner
+    targets = bench_ablation_fwht, bench_ablation_fap, bench_ablation_recombination, bench_ablation_combiner
 );
 criterion_main!(benches);

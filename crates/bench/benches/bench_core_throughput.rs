@@ -1,13 +1,23 @@
-//! Microbenchmarks of the core LDPJoinSketch primitives: client-side encoding/perturbation,
-//! server-side report absorption, Hadamard restore, join-size and frequency estimation.
+//! Microbenchmarks of the core LDPJoinSketch primitives: client-side encoding/perturbation
+//! (sequential and parallel fan-out), server-side report absorption (sequential and via the
+//! sharded ingestion engine), the one-shot Hadamard finalization, and the zero-copy join-size
+//! and frequency estimators.
 //!
 //! These are the building blocks every figure-level experiment is composed of; tracking their
 //! throughput separately makes regressions attributable.
+//!
+//! Besides the human-readable medians, this bench writes machine-readable results to
+//! `BENCH_core.json` at the workspace root (override with the `BENCH_CORE_JSON` env var) so
+//! the performance trajectory is tracked across PRs. The file also carries the frozen
+//! pre-refactor baseline of the clone-heavy estimator path for comparison. Set
+//! `BENCH_SMOKE=1` to run a seconds-fast smoke pass (CI uses this to keep the writer
+//! compiling and the JSON schema exercised).
 
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use criterion::{BatchSize, Bencher, Criterion};
+use ldpjs_core::aggregator::ShardedAggregator;
 use ldpjs_core::client::LdpJoinSketchClient;
 use ldpjs_core::protocol::build_private_sketch;
-use ldpjs_core::server::LdpJoinSketch;
+use ldpjs_core::server::SketchBuilder;
 use ldpjs_core::{Epsilon, SketchParams};
 use ldpjs_data::{ValueGenerator, ZipfGenerator};
 use rand::rngs::StdRng;
@@ -22,82 +32,338 @@ fn eps() -> Epsilon {
     Epsilon::new(4.0).unwrap()
 }
 
-fn bench_client_perturb(c: &mut Criterion) {
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// One machine-readable benchmark record.
+struct Record {
+    name: String,
+    method: &'static str,
+    n: usize,
+    k: usize,
+    m: usize,
+    median_ns: f64,
+}
+
+/// Collects `(name, median)` pairs from the Criterion shim into typed records.
+struct Recorder {
+    records: Vec<Record>,
+}
+
+impl Recorder {
+    fn new() -> Self {
+        Recorder {
+            records: Vec::new(),
+        }
+    }
+
+    /// Run one benchmark and attach the `(method, n, k, m)` metadata to its median.
+    fn bench<F>(
+        &mut self,
+        c: &mut Criterion,
+        name: &str,
+        method: &'static str,
+        n: usize,
+        p: SketchParams,
+        f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        c.bench_function(name, f);
+        self.records.push(Record {
+            name: name.to_string(),
+            method,
+            n,
+            k: p.rows(),
+            m: p.columns(),
+            median_ns: c.last_median_ns().expect("bench just ran"),
+        });
+    }
+}
+
+fn bench_client_perturb(c: &mut Criterion, rec: &mut Recorder) {
     let client = LdpJoinSketchClient::new(params(), eps(), 7);
     let mut rng = StdRng::seed_from_u64(1);
     let mut value = 0u64;
-    c.bench_function("core/client_perturb_one_value", |b| {
-        b.iter(|| {
-            value = value.wrapping_add(1) % 100_000;
-            black_box(client.perturb(black_box(value), &mut rng))
-        })
-    });
+    rec.bench(
+        c,
+        "core/client_perturb_one_value",
+        "client_perturb",
+        1,
+        params(),
+        |b| {
+            b.iter(|| {
+                value = value.wrapping_add(1) % 100_000;
+                black_box(client.perturb(black_box(value), &mut rng))
+            })
+        },
+    );
+
+    // Sequential vs parallel fan-out over the same value slice. The parallel path is
+    // thread-count-invariant, so the comparison is apples-to-apples.
+    let n = if smoke() { 20_000 } else { 200_000 };
+    let gen = ZipfGenerator::new(1.3, 100_000);
+    let values = gen.sample_many(n, &mut rng);
+    rec.bench(
+        c,
+        &format!("core/client_perturb_all_{n}_sequential"),
+        "client_perturb_all_sequential",
+        n,
+        params(),
+        |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(2);
+                black_box(client.perturb_all(black_box(&values), &mut r))
+            })
+        },
+    );
+    for threads in [2usize, 4, 8] {
+        rec.bench(
+            c,
+            &format!("core/client_perturb_all_{n}_parallel_{threads}threads"),
+            "client_perturb_all_parallel",
+            n,
+            params(),
+            |b| b.iter(|| black_box(client.perturb_all_parallel(black_box(&values), 2, threads))),
+        );
+    }
 }
 
-fn bench_server_absorb(c: &mut Criterion) {
+fn bench_server_ingest(c: &mut Criterion, rec: &mut Recorder) {
     let client = LdpJoinSketchClient::new(params(), eps(), 7);
     let mut rng = StdRng::seed_from_u64(2);
     let gen = ZipfGenerator::new(1.3, 100_000);
-    let values = gen.sample_many(10_000, &mut rng);
-    let reports = client.perturb_all(&values, &mut rng);
-    c.bench_function("core/server_absorb_10k_reports", |b| {
-        b.iter_batched(
-            || LdpJoinSketch::new(params(), eps(), 7),
-            |mut sketch| {
-                sketch.absorb_all(black_box(&reports)).unwrap();
-                black_box(sketch)
+    let n_small = 10_000;
+    let small = client.perturb_all(&gen.sample_many(n_small, &mut rng), &mut rng);
+    rec.bench(
+        c,
+        "core/server_absorb_10k_reports",
+        "server_absorb",
+        n_small,
+        params(),
+        |b| {
+            b.iter_batched(
+                || SketchBuilder::new(params(), eps(), 7),
+                |mut builder| {
+                    builder.absorb_all(black_box(&small)).unwrap();
+                    black_box(builder)
+                },
+                BatchSize::SmallInput,
+            )
+        },
+    );
+
+    // The sharded ingestion engine on a heavier batch, across shard counts (shards = 1 is
+    // the sequential reference plus the engine's fixed overhead).
+    let n_big = if smoke() { 20_000 } else { 400_000 };
+    let big = client.perturb_all_parallel(&gen.sample_many(n_big, &mut rng), 5, 8);
+    for shards in [1usize, 2, 4, 8] {
+        rec.bench(
+            c,
+            &format!("core/sharded_ingest_{n_big}_reports_{shards}shards"),
+            "sharded_ingest",
+            n_big,
+            params(),
+            |b| {
+                b.iter_batched(
+                    || ShardedAggregator::new(params(), eps(), 7, shards).unwrap(),
+                    |mut engine| {
+                        engine.ingest(black_box(&big)).unwrap();
+                        black_box(engine)
+                    },
+                    BatchSize::SmallInput,
+                )
             },
-            BatchSize::SmallInput,
-        )
-    });
+        );
+    }
 }
 
-fn bench_hadamard_restore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("core/hadamard_restore");
-    for &m in &[256usize, 1024, 4096] {
+fn bench_finalize_restore(c: &mut Criterion, rec: &mut Recorder) {
+    let mut group_sizes: Vec<usize> = vec![256, 1024];
+    if !smoke() {
+        group_sizes.push(4096);
+    }
+    for m in group_sizes {
         let p = SketchParams::new(18, m).unwrap();
         let client = LdpJoinSketchClient::new(p, eps(), 3);
         let mut rng = StdRng::seed_from_u64(3);
         let gen = ZipfGenerator::new(1.3, 50_000);
-        let values = gen.sample_many(20_000, &mut rng);
-        let reports = client.perturb_all(&values, &mut rng);
-        let mut sketch = LdpJoinSketch::new(p, eps(), 3);
-        sketch.absorb_all(&reports).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(m), &sketch, |b, sketch| {
-            b.iter(|| black_box(sketch.restored_matrix()))
-        });
+        let n = if smoke() { 2_000 } else { 20_000 };
+        let reports = client.perturb_all(&gen.sample_many(n, &mut rng), &mut rng);
+        let mut builder = SketchBuilder::new(p, eps(), 3);
+        builder.absorb_all(&reports).unwrap();
+        rec.bench(
+            c,
+            &format!("core/finalize_restore/{m}"),
+            "finalize_restore",
+            n,
+            p,
+            |b| {
+                b.iter_batched(
+                    || builder.clone(),
+                    |builder| black_box(builder.finalize()),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_estimation(c: &mut Criterion) {
+fn bench_estimation(c: &mut Criterion, rec: &mut Recorder) {
     let gen = ZipfGenerator::new(1.3, 50_000);
     let mut rng = StdRng::seed_from_u64(4);
-    let a = gen.sample_many(50_000, &mut rng);
-    let b_vals = gen.sample_many(50_000, &mut rng);
-    let mut sa = build_private_sketch(&a, params(), eps(), 9, &mut rng).unwrap();
-    let mut sb = build_private_sketch(&b_vals, params(), eps(), 9, &mut rng).unwrap();
-    sa.finalize();
-    sb.finalize();
-    c.bench_function("core/join_size_estimate", |b| {
-        b.iter(|| black_box(sa.join_size(&sb).unwrap()))
-    });
-    c.bench_function("core/frequency_estimate_one_value", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            v = (v + 1) % 1000;
-            black_box(sa.frequency(black_box(v)))
-        })
-    });
+    let n = if smoke() { 5_000 } else { 50_000 };
+    let a = gen.sample_many(n, &mut rng);
+    let b_vals = gen.sample_many(n, &mut rng);
+    let sa = build_private_sketch(&a, params(), eps(), 9, &mut rng).unwrap();
+    let sb = build_private_sketch(&b_vals, params(), eps(), 9, &mut rng).unwrap();
+    rec.bench(
+        c,
+        "core/join_size_estimate",
+        "join_size",
+        n,
+        params(),
+        |b| b.iter(|| black_box(sa.join_size(&sb).unwrap())),
+    );
+    rec.bench(
+        c,
+        "core/frequency_estimate_one_value",
+        "frequency",
+        n,
+        params(),
+        |b| {
+            let mut v = 0u64;
+            b.iter(|| {
+                v = (v + 1) % 1000;
+                black_box(sa.frequency(black_box(v)))
+            })
+        },
+    );
     let candidates: Vec<u64> = (0..10_000).collect();
-    c.bench_function("core/frequency_scan_10k_candidates", |b| {
-        b.iter(|| black_box(sa.frequencies(black_box(&candidates))))
-    });
+    rec.bench(
+        c,
+        "core/frequency_scan_10k_candidates",
+        "frequencies",
+        n,
+        params(),
+        |b| b.iter(|| black_box(sa.frequencies(black_box(&candidates)))),
+    );
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_client_perturb, bench_server_absorb, bench_hadamard_restore, bench_estimation
-);
-criterion_main!(benches);
+/// The clone-heavy estimator medians measured immediately before the zero-copy
+/// builder/finalize refactor, on this repository's reference machine (k = 18, m = 1024;
+/// same workloads as the current benches). Kept in the JSON so every future run can be
+/// compared against the pre-refactor hot path without checking out an old commit.
+const BASELINE_PRE_REFACTOR: &[(&str, &str, usize, usize, usize, f64)] = &[
+    (
+        "core/client_perturb_one_value",
+        "client_perturb",
+        1,
+        18,
+        1024,
+        71.0,
+    ),
+    (
+        "core/server_absorb_10k_reports",
+        "server_absorb",
+        10_000,
+        18,
+        1024,
+        13_491.0,
+    ),
+    (
+        "core/hadamard_restore/256",
+        "finalize_restore",
+        20_000,
+        18,
+        256,
+        21_898.0,
+    ),
+    (
+        "core/hadamard_restore/1024",
+        "finalize_restore",
+        20_000,
+        18,
+        1024,
+        92_027.0,
+    ),
+    (
+        "core/hadamard_restore/4096",
+        "finalize_restore",
+        20_000,
+        18,
+        4096,
+        419_441.0,
+    ),
+    (
+        "core/join_size_estimate",
+        "join_size",
+        50_000,
+        18,
+        1024,
+        18_274.0,
+    ),
+    (
+        "core/frequency_estimate_one_value",
+        "frequency",
+        50_000,
+        18,
+        1024,
+        3_935.0,
+    ),
+    (
+        "core/frequency_scan_10k_candidates",
+        "frequencies",
+        50_000,
+        18,
+        1024,
+        3_075_000.0,
+    ),
+];
+
+fn json_record(name: &str, method: &str, n: usize, k: usize, m: usize, median_ns: f64) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"method\": \"{method}\", \"n\": {n}, \"k\": {k}, \
+         \"m\": {m}, \"median_ns\": {median_ns:.1}}}"
+    )
+}
+
+fn write_json(records: &[Record]) {
+    let path = std::env::var("BENCH_CORE_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json").to_string()
+    });
+    let current: Vec<String> = records
+        .iter()
+        .map(|r| json_record(&r.name, r.method, r.n, r.k, r.m, r.median_ns))
+        .collect();
+    let baseline: Vec<String> = BASELINE_PRE_REFACTOR
+        .iter()
+        .map(|&(name, method, n, k, m, ns)| json_record(name, method, n, k, m, ns))
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": \"ldpjs-bench-core-v1\",\n  \"smoke\": {},\n  \"results\": [\n{}\n  ],\n  \"baseline_pre_refactor\": [\n{}\n  ]\n}}\n",
+        smoke(),
+        current.join(",\n"),
+        baseline.join(",\n"),
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote machine-readable results to {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let samples = if smoke() { 3 } else { 20 };
+    let mut c = Criterion::default()
+        .sample_size(samples)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .configure_from_args();
+    let mut rec = Recorder::new();
+    bench_client_perturb(&mut c, &mut rec);
+    bench_server_ingest(&mut c, &mut rec);
+    bench_finalize_restore(&mut c, &mut rec);
+    bench_estimation(&mut c, &mut rec);
+    write_json(&rec.records);
+}

@@ -161,6 +161,7 @@ fn bench_fig10_fig11_plus_knobs(c: &mut Criterion) {
                 sampling_rate: 0.1,
                 threshold: 1e-3,
                 paper_literal_subtraction: false,
+                variance_weighted_recombination: false,
             },
         ),
         (
@@ -169,6 +170,7 @@ fn bench_fig10_fig11_plus_knobs(c: &mut Criterion) {
                 sampling_rate: 0.3,
                 threshold: 1e-3,
                 paper_literal_subtraction: false,
+                variance_weighted_recombination: false,
             },
         ),
         (
@@ -177,6 +179,7 @@ fn bench_fig10_fig11_plus_knobs(c: &mut Criterion) {
                 sampling_rate: 0.1,
                 threshold: 1e-1,
                 paper_literal_subtraction: false,
+                variance_weighted_recombination: false,
             },
         ),
     ] {

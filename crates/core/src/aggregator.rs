@@ -1,0 +1,268 @@
+//! The parallel sharded ingestion engine.
+//!
+//! LDPJoinSketch is linear in its reports ([`SketchBuilder::merge`]), so an aggregator under
+//! heavy report traffic can shard: [`ShardedAggregator`] owns `N` [`SketchBuilder`] shards,
+//! splits every incoming batch into contiguous chunks, and absorbs the chunks on scoped
+//! worker threads (`std::thread::scope` — no report ever leaves the caller's borrow). The
+//! per-report range check is hoisted out of the hot loop: one validation pass over the whole
+//! batch up front, then branch-free accumulation on the workers.
+//!
+//! **Determinism guarantee:** the shards' counters are exact integer report sums (every
+//! report contributes `±1` to exactly one counter), so counter-wise merging is associative
+//! with no floating-point rounding. [`ShardedAggregator::finalize`] therefore produces
+//! restored counters **bit-for-bit identical** to a single [`SketchBuilder`] absorbing the
+//! same reports sequentially — for any shard count, any batch sizes, and any thread
+//! interleaving. `crate::aggregator::tests` enforces this across shard counts and odd batch
+//! sizes.
+
+use ldpjs_common::error::{Error, Result};
+use ldpjs_common::hash::RowHashes;
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_sketch::SketchParams;
+use std::sync::Arc;
+
+use crate::client::ClientReport;
+use crate::server::{FinalizedSketch, SketchBuilder};
+
+/// A parallel, sharded report-ingestion engine producing a [`FinalizedSketch`].
+///
+/// ```
+/// use ldpjs_core::aggregator::ShardedAggregator;
+/// use ldpjs_core::client::LdpJoinSketchClient;
+/// use ldpjs_core::{Epsilon, SketchParams};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let params = SketchParams::new(8, 256).unwrap();
+/// let eps = Epsilon::new(4.0).unwrap();
+/// let client = LdpJoinSketchClient::new(params, eps, 7);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let reports = client.perturb_all(&[1, 2, 3, 4, 5, 6, 7, 8], &mut rng);
+///
+/// let mut agg = ShardedAggregator::new(params, eps, 7, 4).unwrap();
+/// agg.ingest(&reports).unwrap();
+/// let sketch = agg.finalize();
+/// assert_eq!(sketch.reports(), 8);
+/// ```
+#[derive(Debug)]
+pub struct ShardedAggregator {
+    shards: Vec<SketchBuilder>,
+}
+
+impl ShardedAggregator {
+    /// Create an engine with `num_shards` shards sharing a hash family derived from `seed`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidWorkload`] if `num_shards` is zero.
+    pub fn new(params: SketchParams, eps: Epsilon, seed: u64, num_shards: usize) -> Result<Self> {
+        let hashes = Arc::new(RowHashes::from_seed(seed, params.rows(), params.columns()));
+        Self::with_hashes(params, eps, hashes, num_shards)
+    }
+
+    /// Create an engine around an existing shared hash family.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidWorkload`] if `num_shards` is zero.
+    pub fn with_hashes(
+        params: SketchParams,
+        eps: Epsilon,
+        hashes: Arc<RowHashes>,
+        num_shards: usize,
+    ) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(Error::InvalidWorkload(
+                "a sharded aggregator needs at least one shard".into(),
+            ));
+        }
+        let shards = (0..num_shards)
+            .map(|_| SketchBuilder::with_hashes(params, eps, Arc::clone(&hashes)))
+            .collect();
+        Ok(ShardedAggregator { shards })
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sketch parameters `(k, m)`.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.shards[0].params()
+    }
+
+    /// Privacy budget of the absorbed reports.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.shards[0].epsilon()
+    }
+
+    /// Total number of reports absorbed across all shards.
+    pub fn reports(&self) -> u64 {
+        self.shards.iter().map(|s| s.reports()).sum()
+    }
+
+    /// Absorb a batch of reports in parallel.
+    ///
+    /// The batch is validated once up front (range checks hoisted out of the per-report
+    /// loop), split into one contiguous chunk per shard, and accumulated by scoped worker
+    /// threads. A rejected batch leaves the engine untouched.
+    ///
+    /// # Errors
+    /// Returns [`Error::ReportOutOfRange`] for the first report that does not fit the sketch.
+    pub fn ingest(&mut self, reports: &[ClientReport]) -> Result<()> {
+        self.shards[0].validate_batch(reports)?;
+        if reports.is_empty() {
+            return Ok(());
+        }
+        let chunk_len = reports.len().div_ceil(self.shards.len());
+        std::thread::scope(|scope| {
+            for (shard, chunk) in self.shards.iter_mut().zip(reports.chunks(chunk_len)) {
+                scope.spawn(move || shard.accumulate_validated(chunk));
+            }
+        });
+        Ok(())
+    }
+
+    /// Absorb a batch of reports sequentially into the first shard (useful for trailing
+    /// drips of reports that are not worth a thread fan-out).
+    ///
+    /// # Errors
+    /// Returns [`Error::ReportOutOfRange`] for the first report that does not fit the sketch.
+    pub fn ingest_sequential(&mut self, reports: &[ClientReport]) -> Result<()> {
+        self.shards[0].absorb_all(reports)
+    }
+
+    /// Merge all shards counter-wise and finalize: one de-bias + Hadamard restore pass over
+    /// the merged counters, yielding the immutable zero-copy estimation view.
+    pub fn finalize(self) -> FinalizedSketch {
+        let mut shards = self.shards.into_iter();
+        let mut merged = shards
+            .next()
+            .expect("engine always holds at least one shard");
+        for shard in shards {
+            merged
+                .merge(&shard)
+                .expect("shards share parameters, hashes and ε by construction");
+        }
+        merged.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LdpJoinSketchClient;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn params(k: usize, m: usize) -> SketchParams {
+        SketchParams::new(k, m).unwrap()
+    }
+
+    fn eps(v: f64) -> Epsilon {
+        Epsilon::new(v).unwrap()
+    }
+
+    fn reports_for(n: usize, p: SketchParams, e: Epsilon, seed: u64) -> Vec<ClientReport> {
+        let client = LdpJoinSketchClient::new(p, e, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let values: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..500)).collect();
+        client.perturb_all(&values, &mut rng)
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        assert!(ShardedAggregator::new(params(4, 64), eps(2.0), 1, 0).is_err());
+    }
+
+    #[test]
+    fn sharded_ingestion_is_bit_for_bit_identical_to_sequential() {
+        // Property-style sweep: for every shard count and (odd and awkward) report count,
+        // the parallel sharded path must produce restored counters bit-for-bit identical to
+        // a single builder absorbing the same reports in order. This is the determinism
+        // guarantee the engine's exact-integer counter representation provides.
+        let p = params(8, 128);
+        let e = eps(3.0);
+        for &shards in &[1usize, 2, 4, 7] {
+            for &n in &[1usize, 3, 129, 1001, 4097] {
+                let reports = reports_for(n, p, e, 77 + shards as u64);
+                let mut engine = ShardedAggregator::new(p, e, 77, shards).unwrap();
+                engine.ingest(&reports).unwrap();
+                assert_eq!(engine.reports(), n as u64);
+                let sharded = engine.finalize();
+
+                let mut single = SketchBuilder::new(p, e, 77);
+                single.absorb_all(&reports).unwrap();
+                let sequential = single.finalize();
+
+                assert_eq!(sharded.reports(), sequential.reports());
+                assert_eq!(
+                    sharded.restored_counters(),
+                    sequential.restored_counters(),
+                    "shards={shards} n={n}: sharded restore diverged from sequential"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_batches_accumulate_like_one_stream() {
+        // Multiple ingest calls (mixed parallel and sequential) must equal one sequential
+        // absorption of the concatenated stream.
+        let p = params(6, 64);
+        let e = eps(2.0);
+        let all = reports_for(5_003, p, e, 9);
+        let (first, rest) = all.split_at(1_234);
+        let (second, third) = rest.split_at(7);
+
+        let mut engine = ShardedAggregator::new(p, e, 5, 4).unwrap();
+        engine.ingest(first).unwrap();
+        engine.ingest_sequential(second).unwrap();
+        engine.ingest(third).unwrap();
+        assert_eq!(engine.reports(), all.len() as u64);
+
+        let mut single = SketchBuilder::new(p, e, 5);
+        single.absorb_all(&all).unwrap();
+        assert_eq!(
+            engine.finalize().restored_counters(),
+            single.finalize().restored_counters()
+        );
+    }
+
+    #[test]
+    fn bad_batch_is_rejected_atomically() {
+        let p = params(4, 64);
+        let e = eps(2.0);
+        let mut engine = ShardedAggregator::new(p, e, 1, 2).unwrap();
+        let mut reports = reports_for(100, p, e, 3);
+        reports[57].col = 64;
+        assert!(engine.ingest(&reports).is_err());
+        assert_eq!(engine.reports(), 0, "rejected batch must not be absorbed");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let p = params(4, 64);
+        let mut engine = ShardedAggregator::new(p, eps(2.0), 1, 4).unwrap();
+        engine.ingest(&[]).unwrap();
+        assert_eq!(engine.reports(), 0);
+    }
+
+    #[test]
+    fn more_shards_than_reports_is_fine() {
+        let p = params(4, 64);
+        let e = eps(2.0);
+        let reports = reports_for(3, p, e, 11);
+        let mut engine = ShardedAggregator::new(p, e, 11, 7).unwrap();
+        engine.ingest(&reports).unwrap();
+        assert_eq!(engine.reports(), 3);
+        let mut single = SketchBuilder::new(p, e, 11);
+        single.absorb_all(&reports).unwrap();
+        assert_eq!(
+            engine.finalize().restored_counters(),
+            single.finalize().restored_counters()
+        );
+    }
+}

@@ -18,8 +18,74 @@ use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_common::rr::sample_sign_bit;
 use ldpjs_sketch::SketchParams;
-use rand::{Rng, RngCore};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 use std::sync::Arc;
+
+/// Number of values per deterministic RNG stream in the parallel perturbation fan-out.
+///
+/// The fan-out seeds one independent `StdRng` per fixed-size chunk of the input, so the
+/// produced reports depend only on `(values, base_seed)` — **not** on the worker-thread
+/// count — and a run is reproducible on any machine.
+pub const PARALLEL_PERTURB_CHUNK: usize = 8_192;
+
+/// Derive the RNG seed of one perturbation chunk from the caller's base seed (SplitMix64
+/// finalizer over the chunk index, so neighbouring chunks get well-separated streams).
+#[inline]
+fn chunk_stream_seed(base_seed: u64, chunk_index: u64) -> u64 {
+    let mut z = base_seed ^ chunk_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fan a value slice out over `threads` scoped workers, perturbing each fixed-size chunk
+/// with its own deterministic RNG stream. Shared by [`LdpJoinSketchClient::perturb_all_parallel`]
+/// and [`crate::fap::FapClient::perturb_all_parallel`].
+pub(crate) fn perturb_chunks_parallel<F>(
+    values: &[u64],
+    base_seed: u64,
+    threads: usize,
+    perturb: F,
+) -> Vec<ClientReport>
+where
+    F: Fn(u64, &mut dyn RngCore) -> ClientReport + Sync,
+{
+    let mut reports = vec![
+        ClientReport {
+            y: 0.0,
+            row: 0,
+            col: 0,
+        };
+        values.len()
+    ];
+    let threads = threads.max(1);
+    // Round-robin the fixed-size chunks over the workers: chunk c's RNG stream depends only
+    // on (base_seed, c), so the thread count never changes the output.
+    type ChunkTask<'a> = (u64, &'a [u64], &'a mut [ClientReport]);
+    let mut worker_tasks: Vec<Vec<ChunkTask<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (c, (vals, out)) in values
+        .chunks(PARALLEL_PERTURB_CHUNK)
+        .zip(reports.chunks_mut(PARALLEL_PERTURB_CHUNK))
+        .enumerate()
+    {
+        worker_tasks[c % threads].push((c as u64, vals, out));
+    }
+    let perturb = &perturb;
+    std::thread::scope(|scope| {
+        for tasks in worker_tasks {
+            scope.spawn(move || {
+                for (c, vals, out) in tasks {
+                    let mut rng = StdRng::seed_from_u64(chunk_stream_seed(base_seed, c));
+                    for (v, slot) in vals.iter().zip(out.iter_mut()) {
+                        *slot = perturb(*v, &mut rng);
+                    }
+                }
+            });
+        }
+    });
+    reports
+}
 
 /// One perturbed client report `(y, j, l)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +214,21 @@ impl LdpJoinSketchClient {
     /// Perturb a whole slice of values (one simulated client per element).
     pub fn perturb_all(&self, values: &[u64], rng: &mut dyn RngCore) -> Vec<ClientReport> {
         values.iter().map(|&v| self.perturb(v, rng)).collect()
+    }
+
+    /// Perturb a whole slice of values on `threads` scoped worker threads.
+    ///
+    /// The slice is cut into fixed [`PARALLEL_PERTURB_CHUNK`]-value chunks, each perturbed
+    /// with its own `StdRng` stream derived from `base_seed` and the chunk index. The output
+    /// therefore depends only on `(values, base_seed)`: any thread count — including 1 —
+    /// produces the identical report vector, so parallel simulation stays reproducible.
+    pub fn perturb_all_parallel(
+        &self,
+        values: &[u64],
+        base_seed: u64,
+        threads: usize,
+    ) -> Vec<ClientReport> {
+        perturb_chunks_parallel(values, base_seed, threads, |v, rng| self.perturb(v, rng))
     }
 
     /// Communication cost of one report in bits: the perturbed bit plus the `(j, l)` indices.
@@ -288,6 +369,31 @@ mod tests {
             col: 0,
         }
         .to_wire();
+    }
+
+    #[test]
+    fn parallel_perturbation_is_thread_count_invariant() {
+        // The fan-out seeds one RNG per fixed-size chunk, so the reports depend only on
+        // (values, base_seed) — never on how many workers ran the chunks.
+        let c = client(8, 256, 4.0, 5);
+        let n = 2 * super::PARALLEL_PERTURB_CHUNK + 137;
+        let values: Vec<u64> = (0..n as u64).map(|v| v % 999).collect();
+        let one = c.perturb_all_parallel(&values, 42, 1);
+        assert_eq!(one.len(), n);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(
+                one,
+                c.perturb_all_parallel(&values, 42, threads),
+                "thread count {threads} changed the report stream"
+            );
+        }
+        // A different base seed must give a different stream.
+        assert_ne!(one, c.perturb_all_parallel(&values, 43, 4));
+        // Reports still have valid shape.
+        for r in &one {
+            assert!(r.y == 1.0 || r.y == -1.0);
+            assert!(r.row < 8 && r.col < 256);
+        }
     }
 
     #[test]

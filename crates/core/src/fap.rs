@@ -118,6 +118,21 @@ impl FapClient {
         values.iter().map(|&v| self.perturb(v, rng)).collect()
     }
 
+    /// Perturb a whole group of values on `threads` scoped worker threads, with the same
+    /// deterministic per-chunk RNG streams as
+    /// [`LdpJoinSketchClient::perturb_all_parallel`](crate::client::LdpJoinSketchClient::perturb_all_parallel):
+    /// the output depends only on `(values, base_seed)`, never on the thread count.
+    pub fn perturb_all_parallel(
+        &self,
+        values: &[u64],
+        base_seed: u64,
+        threads: usize,
+    ) -> Vec<ClientReport> {
+        crate::client::perturb_chunks_parallel(values, base_seed, threads, |v, rng| {
+            self.perturb(v, rng)
+        })
+    }
+
     /// The non-target branch (Algorithm 4, lines 2–8): encode `v[r] = 1` at a random position
     /// `r`, Hadamard-sample coordinate `l`, and apply randomized response. The output carries
     /// no information about the true value.
@@ -136,7 +151,7 @@ impl FapClient {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::server::LdpJoinSketch;
+    use crate::server::SketchBuilder;
     use ldpjs_common::Epsilon;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -189,9 +204,9 @@ mod tests {
         let n = 50_000usize;
         let mut rng = StdRng::seed_from_u64(5);
         let reports = client.perturb_all(&vec![7u64; n], &mut rng);
-        let mut sketch = LdpJoinSketch::new(params, eps, 23);
-        sketch.absorb_all(&reports).unwrap();
-        let est = sketch.frequency(7);
+        let mut builder = SketchBuilder::new(params, eps, 23);
+        builder.absorb_all(&reports).unwrap();
+        let est = builder.finalize().frequency(7);
         assert!(
             (est - n as f64).abs() < 0.1 * n as f64,
             "target frequency estimate {est}"
@@ -212,9 +227,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         // Everybody holds value 7, but 7 is not frequent so it is a non-target.
         let reports = client.perturb_all(&vec![7u64; n], &mut rng);
-        let mut sketch = LdpJoinSketch::new(params, eps, 31);
-        sketch.absorb_all(&reports).unwrap();
-        let est = sketch.frequency(7);
+        let mut builder = SketchBuilder::new(params, eps, 31);
+        builder.absorb_all(&reports).unwrap();
+        let est = builder.finalize().frequency(7);
         // If the value leaked, the estimate would be ≈ n = 80000. It must instead be on the
         // order of the collision mass n/m ≈ 312 (plus noise).
         assert!(
@@ -235,9 +250,10 @@ mod tests {
         let n = 120_000usize;
         let mut rng = StdRng::seed_from_u64(7);
         let reports = client.perturb_all(&vec![3u64; n], &mut rng);
-        let mut sketch = LdpJoinSketch::new(params, eps, 41);
-        sketch.absorb_all(&reports).unwrap();
-        let restored = sketch.restored_matrix();
+        let mut builder = SketchBuilder::new(params, eps, 41);
+        builder.absorb_all(&reports).unwrap();
+        let sketch = builder.finalize();
+        let restored = sketch.restored_counters();
         let expected = n as f64 / 128.0;
         let overall_mean: f64 = restored.iter().sum::<f64>() / restored.len() as f64;
         assert!(

@@ -3,9 +3,14 @@
 //! The paper's primary contribution: **LDPJoinSketch** and **LDPJoinSketch+**, sketch-based
 //! join size estimation under local differential privacy.
 //!
-//! * [`client`] — Algorithm 1, the client-side encode-and-perturb pipeline.
-//! * [`server`] — Algorithm 2 (`PriSk`), server-side sketch construction, the join-size
-//!   estimator of Eq. 5 and the frequency estimator of Theorem 7.
+//! * [`client`] — Algorithm 1, the client-side encode-and-perturb pipeline, including the
+//!   deterministic parallel perturbation fan-out.
+//! * [`server`] — Algorithm 2 (`PriSk`): the two-stage sketch lifecycle — a mutable
+//!   [`SketchBuilder`] accumulation stage and an immutable [`FinalizedSketch`] view whose
+//!   restored counters are computed once and borrowed by the Eq. 5 join-size estimator and
+//!   the Theorem 7 frequency estimator.
+//! * [`aggregator`] — the parallel sharded ingestion engine ([`ShardedAggregator`]), whose
+//!   merged result is bit-for-bit identical to sequential absorption.
 //! * [`fap`] — Algorithm 4, the Frequency-Aware Perturbation mechanism.
 //! * [`plus`] — Algorithm 3 + 5, the two-phase LDPJoinSketch+ protocol (frequent-item
 //!   discovery, high/low-frequency separation, non-target mass removal).
@@ -21,6 +26,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod aggregator;
 pub mod bounds;
 pub mod client;
 pub mod fap;
@@ -29,11 +35,12 @@ pub mod plus;
 pub mod protocol;
 pub mod server;
 
+pub use aggregator::ShardedAggregator;
 pub use client::{ClientReport, LdpJoinSketchClient};
 pub use fap::{FapClient, FapMode};
 pub use plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
-pub use protocol::{ldp_join_estimate, ldp_join_plus_estimate};
-pub use server::LdpJoinSketch;
+pub use protocol::{ldp_join_estimate, ldp_join_estimate_parallel, ldp_join_plus_estimate};
+pub use server::{FinalizedSketch, SketchBuilder};
 
 /// Re-export of the validated privacy budget.
 pub use ldpjs_common::Epsilon;

@@ -9,9 +9,12 @@
 //!
 //! for uniformly sampled coordinates `(l_1, l_2)`, flips the sign with probability
 //! `1/(e^ε+1)`, and reports `(y, j, l_1, l_2)` (with `j` the sampled replica). The server
-//! accumulates `k·c_ε·y` and restores each replica with a two-dimensional Hadamard transform.
-//! The chain size is estimated by contracting the sketches along shared attributes and taking
-//! the median over replicas (Eq. 27).
+//! follows the same two-stage lifecycle as the one-dimensional sketch: an
+//! [`EdgeSketchBuilder`] accumulates raw `±1` report sums, and [`EdgeSketchBuilder::finalize`]
+//! applies the de-bias scale `k·c_ε` plus a two-dimensional Hadamard restore once, yielding a
+//! [`FinalizedEdgeSketch`] whose replicas are borrowed by the estimators. The chain size is
+//! estimated by contracting the sketches along shared attributes and taking the median over
+//! replicas (Eq. 27).
 
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hadamard::{fwht_in_place, hadamard_entry_f64};
@@ -91,18 +94,22 @@ impl LdpEdgeSketchClient {
     }
 }
 
-/// Server-side two-dimensional LDP sketch for a two-attribute table.
+/// The mutable accumulation stage of the server-side two-dimensional LDP sketch for a
+/// two-attribute table. Mirrors [`crate::server::SketchBuilder`]: counters are exact `±1`
+/// report sums in the Hadamard domain, so shard merges are bit-for-bit exact;
+/// [`EdgeSketchBuilder::finalize`] applies the de-bias scale and the two-dimensional
+/// Hadamard restore once and returns the immutable [`FinalizedEdgeSketch`] view.
 #[derive(Debug, Clone)]
-pub struct LdpEdgeSketch {
+pub struct EdgeSketchBuilder {
     attr_a: JoinAttribute,
     attr_b: JoinAttribute,
     eps: Epsilon,
-    /// `k × m_A × m_B` accumulated counters (Hadamard domain).
+    /// `k × m_A × m_B` accumulated report sums (Hadamard domain).
     raw: Vec<f64>,
     reports: u64,
 }
 
-impl LdpEdgeSketch {
+impl EdgeSketchBuilder {
     /// Create an empty edge sketch.
     ///
     /// # Errors
@@ -114,7 +121,7 @@ impl LdpEdgeSketch {
             ));
         }
         let len = attr_a.replicas() * attr_a.buckets() * attr_b.buckets();
-        Ok(LdpEdgeSketch {
+        Ok(EdgeSketchBuilder {
             attr_a,
             attr_b,
             eps,
@@ -141,7 +148,8 @@ impl LdpEdgeSketch {
         self.reports
     }
 
-    /// Absorb one report: `M[j, l_1, l_2] += k·c_ε·y`.
+    /// Absorb one report: `M[j, l_1, l_2] += y` (the de-bias scale `k·c_ε` is applied once
+    /// at finalization).
     ///
     /// # Errors
     /// Returns [`Error::ReportOutOfRange`] if the report indices do not fit the sketch.
@@ -156,43 +164,146 @@ impl LdpEdgeSketch {
                 cols: ma * mb,
             });
         }
-        let scale = k as f64 * self.eps.c_eps();
         let idx = (report.replica * ma + report.col_a) * mb + report.col_b;
-        self.raw[idx] += scale * report.y;
+        self.raw[idx] += report.y;
         self.reports += 1;
         Ok(())
     }
 
-    /// Absorb a batch of reports.
+    /// Absorb a batch of reports in one fused pass; the cold error path rolls the applied
+    /// prefix back (exact, because the counters are integer report sums), so a rejected
+    /// batch leaves the builder untouched.
     pub fn absorb_all(&mut self, reports: &[EdgeReport]) -> Result<()> {
-        for &r in reports {
-            self.absorb(r)?;
+        let k = self.attr_a.replicas();
+        let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
+        for (i, r) in reports.iter().enumerate() {
+            if r.replica >= k || r.col_a >= ma || r.col_b >= mb {
+                for applied in &reports[..i] {
+                    self.raw[(applied.replica * ma + applied.col_a) * mb + applied.col_b] -=
+                        applied.y;
+                }
+                return Err(Error::ReportOutOfRange {
+                    row: r.replica,
+                    col: r.col_a * mb + r.col_b,
+                    rows: k,
+                    cols: ma * mb,
+                });
+            }
+            self.raw[(r.replica * ma + r.col_a) * mb + r.col_b] += r.y;
         }
+        self.reports += reports.len() as u64;
         Ok(())
     }
 
-    /// Restore one replica: apply the Hadamard transform along both dimensions
-    /// (`M̃ = H_{m_A}ᵀ · M · H_{m_B}ᵀ`). Returns a row-major `m_A × m_B` matrix.
-    pub fn restored_replica(&self, j: usize) -> Vec<f64> {
-        let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
+    /// Merge another partial edge builder into this one (sharded aggregation; exact because
+    /// the counters are integer report sums).
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if attributes or ε differ.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        if self.attr_a != other.attr_a
+            || self.attr_b != other.attr_b
+            || (self.eps.value() - other.eps.value()).abs() > f64::EPSILON
+        {
+            return Err(Error::IncompatibleSketches(
+                "edge sketch shards must share attributes and privacy budget".into(),
+            ));
+        }
+        for (a, b) in self.raw.iter_mut().zip(other.raw.iter()) {
+            *a += b;
+        }
+        self.reports += other.reports;
+        Ok(())
+    }
+
+    /// Apply the de-bias scale `k·c_ε` and restore every replica with the two-dimensional
+    /// Hadamard transform (`M̃ = H_{m_A}ᵀ · M · H_{m_B}ᵀ`) once, consuming the builder and
+    /// returning the immutable estimation view.
+    pub fn finalize(self) -> FinalizedEdgeSketch {
+        let EdgeSketchBuilder {
+            attr_a,
+            attr_b,
+            eps,
+            mut raw,
+            reports,
+        } = self;
+        let k = attr_a.replicas();
+        let (ma, mb) = (attr_a.buckets(), attr_b.buckets());
+        let scale = k as f64 * eps.c_eps();
+        for v in raw.iter_mut() {
+            *v *= scale;
+        }
         let per = ma * mb;
-        let mut out = self.raw[j * per..(j + 1) * per].to_vec();
-        // Transform along the second dimension (rows of the matrix).
-        for row in 0..ma {
-            fwht_in_place(&mut out[row * mb..(row + 1) * mb]);
-        }
-        // Transform along the first dimension (columns of the matrix).
         let mut column = vec![0.0; ma];
-        for col in 0..mb {
+        for j in 0..k {
+            let replica = &mut raw[j * per..(j + 1) * per];
+            // Transform along the second dimension (rows of the matrix).
             for row in 0..ma {
-                column[row] = out[row * mb + col];
+                fwht_in_place(&mut replica[row * mb..(row + 1) * mb]);
             }
-            fwht_in_place(&mut column);
-            for row in 0..ma {
-                out[row * mb + col] = column[row];
+            // Transform along the first dimension (columns of the matrix).
+            for col in 0..mb {
+                for row in 0..ma {
+                    column[row] = replica[row * mb + col];
+                }
+                fwht_in_place(&mut column);
+                for row in 0..ma {
+                    replica[row * mb + col] = column[row];
+                }
             }
         }
-        out
+        FinalizedEdgeSketch {
+            attr_a,
+            attr_b,
+            eps,
+            restored: raw,
+            reports,
+        }
+    }
+}
+
+/// The immutable estimation stage of the two-dimensional edge sketch: every replica is
+/// restored exactly once at finalization and borrowed as `&[f64]` afterwards.
+#[derive(Debug, Clone)]
+pub struct FinalizedEdgeSketch {
+    attr_a: JoinAttribute,
+    attr_b: JoinAttribute,
+    eps: Epsilon,
+    /// `k × m_A × m_B` restored counters.
+    restored: Vec<f64>,
+    reports: u64,
+}
+
+impl FinalizedEdgeSketch {
+    /// The first join attribute.
+    #[inline]
+    pub fn attribute_a(&self) -> &JoinAttribute {
+        &self.attr_a
+    }
+
+    /// The second join attribute.
+    #[inline]
+    pub fn attribute_b(&self) -> &JoinAttribute {
+        &self.attr_b
+    }
+
+    /// Privacy budget of the absorbed reports.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// Number of absorbed reports.
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// The restored `m_A × m_B` matrix of replica `j`, borrowed — never cloned.
+    #[inline]
+    pub fn replica(&self, j: usize) -> &[f64] {
+        let per = self.attr_a.buckets() * self.attr_b.buckets();
+        &self.restored[j * per..(j + 1) * per]
     }
 }
 
@@ -207,14 +318,15 @@ fn check_shared(left: &JoinAttribute, right: &JoinAttribute, what: &str) -> Resu
 
 /// Estimate the 3-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B)|` from LDP sketches.
 ///
-/// `t1` and `t3` are plain [`crate::server::LdpJoinSketch`]es built over the hash families of
-/// attributes A and B respectively; `t2` is the two-dimensional edge sketch. The attribute
-/// hash families must match across the sketches.
+/// `t1` and `t3` are plain [`crate::server::FinalizedSketch`]es built over the hash families
+/// of attributes A and B respectively; `t2` is the finalized two-dimensional edge sketch. The
+/// attribute hash families must match across the sketches; every per-replica contraction
+/// works on borrowed restored rows.
 pub fn ldp_chain_join_3(
-    t1: &crate::server::LdpJoinSketch,
+    t1: &crate::server::FinalizedSketch,
     attr_a: &JoinAttribute,
-    t2: &LdpEdgeSketch,
-    t3: &crate::server::LdpJoinSketch,
+    t2: &FinalizedEdgeSketch,
+    t3: &crate::server::FinalizedSketch,
     attr_b: &JoinAttribute,
 ) -> Result<f64> {
     check_shared(attr_a, t2.attribute_a(), "attribute A")?;
@@ -226,13 +338,11 @@ pub fn ldp_chain_join_3(
     }
     let k = attr_a.replicas();
     let (ma, mb) = (attr_a.buckets(), attr_b.buckets());
-    let m1 = t1.restored_matrix();
-    let m3 = t3.restored_matrix();
     let mut per_replica = Vec::with_capacity(k);
     for j in 0..k {
-        let v1 = &m1[j * ma..(j + 1) * ma];
-        let v3 = &m3[j * mb..(j + 1) * mb];
-        let e = t2.restored_replica(j);
+        let v1 = t1.row(j);
+        let v3 = t3.row(j);
+        let e = t2.replica(j);
         let mut acc = 0.0;
         for la in 0..ma {
             if v1[la] == 0.0 {
@@ -250,11 +360,11 @@ pub fn ldp_chain_join_3(
 /// Estimate the 4-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B,C) ⋈ T4(C)|` from LDP sketches.
 #[allow(clippy::too_many_arguments)]
 pub fn ldp_chain_join_4(
-    t1: &crate::server::LdpJoinSketch,
+    t1: &crate::server::FinalizedSketch,
     attr_a: &JoinAttribute,
-    t2: &LdpEdgeSketch,
-    t3: &LdpEdgeSketch,
-    t4: &crate::server::LdpJoinSketch,
+    t2: &FinalizedEdgeSketch,
+    t3: &FinalizedEdgeSketch,
+    t4: &crate::server::FinalizedSketch,
     attr_b: &JoinAttribute,
     attr_c: &JoinAttribute,
 ) -> Result<f64> {
@@ -269,14 +379,12 @@ pub fn ldp_chain_join_4(
     }
     let k = attr_a.replicas();
     let (ma, mb, mc) = (attr_a.buckets(), attr_b.buckets(), attr_c.buckets());
-    let m1 = t1.restored_matrix();
-    let m4 = t4.restored_matrix();
     let mut per_replica = Vec::with_capacity(k);
     for j in 0..k {
-        let v1 = &m1[j * ma..(j + 1) * ma];
-        let v4 = &m4[j * mc..(j + 1) * mc];
-        let e2 = t2.restored_replica(j);
-        let e3 = t3.restored_replica(j);
+        let v1 = t1.row(j);
+        let v4 = t4.row(j);
+        let e2 = t2.replica(j);
+        let e3 = t3.replica(j);
         // w[lb] = Σ_lc e3[lb, lc] · v4[lc]
         let mut w = vec![0.0; mb];
         for lb in 0..mb {
@@ -297,16 +405,16 @@ pub fn ldp_chain_join_4(
     median(&per_replica).ok_or_else(|| Error::EmptyInput("no replicas".into()))
 }
 
-/// Convenience: build an [`crate::server::LdpJoinSketch`] for a single-attribute table over a
+/// Convenience: build a [`crate::server::FinalizedSketch`] for a single-attribute table over a
 /// chain attribute's hash family (the LDP analogue of a COMPASS vertex sketch).
 pub fn build_vertex_sketch(
     values: &[u64],
     attr: &JoinAttribute,
     eps: Epsilon,
     rng: &mut dyn RngCore,
-) -> Result<crate::server::LdpJoinSketch> {
+) -> Result<crate::server::FinalizedSketch> {
     use crate::client::LdpJoinSketchClient;
-    use crate::server::LdpJoinSketch;
+    use crate::server::SketchBuilder;
     use ldpjs_sketch::SketchParams;
     use std::sync::Arc;
 
@@ -314,25 +422,24 @@ pub fn build_vertex_sketch(
     let hashes = Arc::new(attr.hashes().clone());
     let client = LdpJoinSketchClient::with_hashes(params, eps, Arc::clone(&hashes));
     let reports = client.perturb_all(values, rng);
-    let mut sketch = LdpJoinSketch::with_hashes(params, eps, hashes);
-    sketch.absorb_all(&reports)?;
-    sketch.finalize();
-    Ok(sketch)
+    let mut builder = SketchBuilder::with_hashes(params, eps, hashes);
+    builder.absorb_all(&reports)?;
+    Ok(builder.finalize())
 }
 
-/// Convenience: build an [`LdpEdgeSketch`] for a two-attribute table.
+/// Convenience: build a [`FinalizedEdgeSketch`] for a two-attribute table.
 pub fn build_edge_sketch(
     tuples: &[(u64, u64)],
     attr_a: &JoinAttribute,
     attr_b: &JoinAttribute,
     eps: Epsilon,
     rng: &mut dyn RngCore,
-) -> Result<LdpEdgeSketch> {
+) -> Result<FinalizedEdgeSketch> {
     let client = LdpEdgeSketchClient::new(attr_a.clone(), attr_b.clone(), eps)?;
     let reports = client.perturb_all(tuples, rng);
-    let mut sketch = LdpEdgeSketch::new(attr_a.clone(), attr_b.clone(), eps)?;
-    sketch.absorb_all(&reports)?;
-    Ok(sketch)
+    let mut builder = EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), eps)?;
+    builder.absorb_all(&reports)?;
+    Ok(builder.finalize())
 }
 
 #[cfg(test)]
@@ -368,7 +475,7 @@ mod tests {
         let a = JoinAttribute::from_seed(1, 5, 64);
         let b = JoinAttribute::from_seed(2, 6, 64);
         assert!(LdpEdgeSketchClient::new(a.clone(), b.clone(), eps(1.0)).is_err());
-        assert!(LdpEdgeSketch::new(a, b, eps(1.0)).is_err());
+        assert!(EdgeSketchBuilder::new(a, b, eps(1.0)).is_err());
     }
 
     #[test]
@@ -390,7 +497,7 @@ mod tests {
     fn edge_sketch_rejects_out_of_range_reports() {
         let a = JoinAttribute::from_seed(1, 4, 16);
         let b = JoinAttribute::from_seed(2, 4, 16);
-        let mut sk = LdpEdgeSketch::new(a, b, eps(1.0)).unwrap();
+        let mut sk = EdgeSketchBuilder::new(a, b, eps(1.0)).unwrap();
         assert!(sk
             .absorb(EdgeReport {
                 y: 1.0,
@@ -429,8 +536,9 @@ mod tests {
         let tuples = vec![(3u64, 9u64); n];
         let mut rng = StdRng::seed_from_u64(5);
         let sketch = build_edge_sketch(&tuples, &a, &b, e, &mut rng).unwrap();
+        assert_eq!(sketch.reports(), n as u64);
         for j in 0..4 {
-            let restored = sketch.restored_replica(j);
+            let restored = sketch.replica(j);
             let target = a.bucket_of(j, 3) * 32 + b.bucket_of(j, 9);
             let sign = a.sign_of(j, 3) * b.sign_of(j, 9);
             let got = restored[target] * sign;

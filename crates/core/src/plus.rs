@@ -23,6 +23,7 @@
 
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::stats::median;
 use ldpjs_sketch::SketchParams;
 use rand::seq::SliceRandom;
 use rand::RngCore;
@@ -31,7 +32,8 @@ use std::sync::Arc;
 
 use crate::client::LdpJoinSketchClient;
 use crate::fap::{FapClient, FapMode};
-use crate::server::LdpJoinSketch;
+use crate::server::FinalizedSketch;
+use crate::server::SketchBuilder;
 
 /// Configuration of the LDPJoinSketch+ protocol.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +54,19 @@ pub struct PlusConfig {
     /// Reproduce Algorithm 5 exactly as printed (subtract the full-table high-frequency mass
     /// instead of the group-scaled mass). See the module documentation.
     pub paper_literal_subtraction: bool,
+    /// Combine the two rescaled phase-2 partial estimates by inverse-variance weight instead
+    /// of a plain sum.
+    ///
+    /// Each rescaled partial `Ĵ_g = scale_g·Est_g` is unbiased for its join component `J_g`
+    /// but carries a variance amplified by `scale_g ≈ (n/|A_g|)·(n/|B_g|)`. With this knob on,
+    /// the per-row product spread of each phase-2 sketch pair is used to estimate that
+    /// variance `σ̂_g²`, and each partial enters the sum with the inverse-variance-optimal
+    /// weight against the zero prior, `w_g = Ĵ_g²/(Ĵ_g² + σ̂_g²)` — a noise-dominated partial
+    /// (σ̂_g ≫ Ĵ_g) is damped toward zero instead of injecting its amplified noise at full
+    /// weight. This is the first step on the roadmap item about recovering the paper's
+    /// LDPJoinSketch+ superiority claim: it attacks exactly the group-rescaling noise
+    /// amplification that holds the plus estimator at parity.
+    pub variance_weighted_recombination: bool,
 }
 
 impl PlusConfig {
@@ -65,6 +80,7 @@ impl PlusConfig {
             threshold: 0.001,
             seed: 0xC0FFEE,
             paper_literal_subtraction: false,
+            variance_weighted_recombination: false,
         }
     }
 
@@ -100,6 +116,10 @@ pub struct PlusEstimate {
     pub phase1_users: (usize, usize),
     /// Sizes of the phase-2 groups `(|A1|, |A2|, |B1|, |B2|)`.
     pub group_sizes: (usize, usize, usize, usize),
+    /// The recombination weights `(w_low, w_high)` applied to the rescaled partial
+    /// estimates; `(1, 1)` unless
+    /// [`PlusConfig::variance_weighted_recombination`] shrank a noisy partial.
+    pub recombination_weights: (f64, f64),
     /// Total client→server communication in bits across both phases.
     pub communication_bits: u64,
 }
@@ -212,17 +232,30 @@ impl LdpJoinSketchPlus {
         // mode == L: the non-targets are the high-frequency values.
         let nt_la = high_freq_a * group_fraction(a1.len(), table_a.len());
         let nt_lb = high_freq_b * group_fraction(b1.len(), table_b.len());
-        let low_est = m_la.join_size_shifted(&m_lb, nt_la / m, nt_lb / m)?;
+        let low_products = m_la.row_products_shifted(&m_lb, nt_la / m, nt_lb / m)?;
+        let low_est =
+            median(&low_products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
         // mode == H: the non-targets are the low-frequency values.
         let nt_ha = (table_a.len() as f64 - high_freq_a) * group_fraction(a2.len(), table_a.len());
         let nt_hb = (table_b.len() as f64 - high_freq_b) * group_fraction(b2.len(), table_b.len());
-        let high_est = m_ha.join_size_shifted(&m_hb, nt_ha / m, nt_hb / m)?;
+        let high_products = m_ha.row_products_shifted(&m_hb, nt_ha / m, nt_hb / m)?;
+        let high_est =
+            median(&high_products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
 
         let scale_low =
             (table_a.len() as f64 * table_b.len() as f64) / (a1.len() as f64 * b1.len() as f64);
         let scale_high =
             (table_a.len() as f64 * table_b.len() as f64) / (a2.len() as f64 * b2.len() as f64);
-        let join_size = scale_low * low_est + scale_high * high_est;
+        let recombination_weights = if cfg.variance_weighted_recombination {
+            (
+                shrinkage_weight(scale_low * low_est, scale_low, &low_products),
+                shrinkage_weight(scale_high * high_est, scale_high, &high_products),
+            )
+        } else {
+            (1.0, 1.0)
+        };
+        let join_size = recombination_weights.0 * scale_low * low_est
+            + recombination_weights.1 * scale_high * high_est;
 
         let bits_per_report = client_p1.report_bits();
         let communication_bits = bits_per_report * (table_a.len() + table_b.len()) as u64;
@@ -234,6 +267,7 @@ impl LdpJoinSketchPlus {
             high_estimate: high_est,
             phase1_users: (sample_a.len(), sample_b.len()),
             group_sizes: (a1.len(), a2.len(), b1.len(), b2.len()),
+            recombination_weights,
             communication_bits,
         })
     }
@@ -259,6 +293,26 @@ fn split_half(rest: &[u64], rng: &mut dyn RngCore) -> (Vec<u64>, Vec<u64>) {
     (shuffled, second)
 }
 
+/// The inverse-variance weight of one rescaled partial estimate against the zero prior:
+/// `w = Ĵ²/(Ĵ² + σ̂²)`, with `σ̂²` estimated from the spread of the `k` per-row products
+/// (each row is an independent estimator of the same partial; the median combiner's variance
+/// is proportional to the per-row variance divided by `k`).
+fn shrinkage_weight(rescaled_estimate: f64, scale: f64, row_products: &[f64]) -> f64 {
+    let k = row_products.len();
+    if k < 2 {
+        return 1.0;
+    }
+    let mean = row_products.iter().sum::<f64>() / k as f64;
+    let row_var = row_products.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (k as f64 - 1.0);
+    let sigma_sq = scale * scale * row_var / k as f64;
+    let signal_sq = rescaled_estimate * rescaled_estimate;
+    if signal_sq + sigma_sq == 0.0 {
+        1.0
+    } else {
+        signal_sq / (signal_sq + sigma_sq)
+    }
+}
+
 fn build_sketch(
     client: &LdpJoinSketchClient,
     values: &[u64],
@@ -266,12 +320,11 @@ fn build_sketch(
     eps: Epsilon,
     seed: u64,
     rng: &mut dyn RngCore,
-) -> Result<LdpJoinSketch> {
+) -> Result<FinalizedSketch> {
     let reports = client.perturb_all(values, rng);
-    let mut sketch = LdpJoinSketch::new(params, eps, seed);
-    sketch.absorb_all(&reports)?;
-    sketch.finalize();
-    Ok(sketch)
+    let mut builder = SketchBuilder::new(params, eps, seed);
+    builder.absorb_all(&reports)?;
+    Ok(builder.finalize())
 }
 
 fn build_fap_sketch(
@@ -281,12 +334,11 @@ fn build_fap_sketch(
     eps: Epsilon,
     seed: u64,
     rng: &mut dyn RngCore,
-) -> Result<LdpJoinSketch> {
+) -> Result<FinalizedSketch> {
     let reports = client.perturb_all(values, rng);
-    let mut sketch = LdpJoinSketch::new(params, eps, seed);
-    sketch.absorb_all(&reports)?;
-    sketch.finalize();
-    Ok(sketch)
+    let mut builder = SketchBuilder::new(params, eps, seed);
+    builder.absorb_all(&reports)?;
+    Ok(builder.finalize())
 }
 
 #[cfg(test)]
@@ -397,6 +449,56 @@ mod tests {
         let scale_high = (a.len() * b.len()) as f64 / (a2 * b2) as f64;
         let recomposed = scale_low * r.low_estimate + scale_high * r.high_estimate;
         assert!((recomposed - r.join_size).abs() < 1e-6 * r.join_size.abs().max(1.0));
+    }
+
+    #[test]
+    fn variance_weighted_recombination_damps_a_noise_dominated_partial() {
+        // A high threshold on a moderately skewed table leaves the frequent-item set empty,
+        // so the phase-2 "high" sketch targets nothing: its rescaled partial is pure
+        // amplified noise around zero. The plain sum injects that noise at full weight; the
+        // inverse-variance weighting must shrink it and give a smaller (or equal) error on
+        // average over several rounds.
+        let a = skewed(60_000, 2_000, 31);
+        let b = skewed(60_000, 2_000, 32);
+        let domain: Vec<u64> = (0..2_000).collect();
+        let truth = exact_join_size(&a, &b) as f64;
+        let mut cfg = config(4.0);
+        cfg.threshold = 0.5; // nothing clears 50% of the table -> FI stays empty
+        let mut cfg_weighted = cfg;
+        cfg_weighted.variance_weighted_recombination = true;
+
+        let mut err_plain = 0.0;
+        let mut err_weighted = 0.0;
+        for i in 0..4u64 {
+            let mut rng1 = StdRng::seed_from_u64(40 + i);
+            let mut rng2 = StdRng::seed_from_u64(40 + i);
+            let plain = LdpJoinSketchPlus::new(cfg)
+                .unwrap()
+                .estimate(&a, &b, &domain, &mut rng1)
+                .unwrap();
+            let weighted = LdpJoinSketchPlus::new(cfg_weighted)
+                .unwrap()
+                .estimate(&a, &b, &domain, &mut rng2)
+                .unwrap();
+            assert_eq!(plain.recombination_weights, (1.0, 1.0));
+            let (w_low, w_high) = weighted.recombination_weights;
+            assert!((0.0..=1.0).contains(&w_low) && (0.0..=1.0).contains(&w_high));
+            assert!(
+                w_high < 0.9,
+                "the no-target high partial should be recognised as noise, weight {w_high}"
+            );
+            assert!(
+                w_low > w_high,
+                "the signal-bearing low partial must outweigh the noise partial"
+            );
+            err_plain += (plain.join_size - truth).abs();
+            err_weighted += (weighted.join_size - truth).abs();
+        }
+        assert!(
+            err_weighted <= err_plain,
+            "variance weighting should not lose to the plain sum when one partial is pure \
+             noise: weighted {err_weighted} vs plain {err_plain}"
+        );
     }
 
     #[test]

@@ -10,25 +10,50 @@ use ldpjs_common::privacy::Epsilon;
 use ldpjs_sketch::SketchParams;
 use rand::RngCore;
 
+use crate::aggregator::ShardedAggregator;
 use crate::client::LdpJoinSketchClient;
 use crate::plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
-use crate::server::LdpJoinSketch;
+use crate::server::{FinalizedSketch, SketchBuilder};
+use std::sync::Arc;
 
-/// Build an [`LdpJoinSketch`] summarising `values` under `(params, eps, seed)` by simulating
-/// one client per value.
+/// Build a [`FinalizedSketch`] summarising `values` under `(params, eps, seed)` by simulating
+/// one client per value sequentially from the caller's RNG.
 pub fn build_private_sketch(
     values: &[u64],
     params: SketchParams,
     eps: Epsilon,
     seed: u64,
     rng: &mut dyn RngCore,
-) -> Result<LdpJoinSketch> {
+) -> Result<FinalizedSketch> {
     let client = LdpJoinSketchClient::new(params, eps, seed);
     let reports = client.perturb_all(values, rng);
-    let mut sketch = LdpJoinSketch::new(params, eps, seed);
-    sketch.absorb_all(&reports)?;
-    sketch.finalize();
-    Ok(sketch)
+    let mut builder = SketchBuilder::new(params, eps, seed);
+    builder.absorb_all(&reports)?;
+    Ok(builder.finalize())
+}
+
+/// Build a [`FinalizedSketch`] with the parallel pipeline: client simulation fans out over
+/// `shards` worker threads with deterministic per-chunk RNG streams (see
+/// [`LdpJoinSketchClient::perturb_all_parallel`]), and the reports are absorbed by a
+/// [`ShardedAggregator`] with `shards` shards.
+///
+/// The result depends only on `(values, params, eps, seed, rng_seed)` — never on `shards`
+/// or the machine's thread scheduling: the report stream is chunk-seeded, and sharded
+/// absorption is bit-for-bit identical to sequential absorption.
+pub fn build_private_sketch_parallel(
+    values: &[u64],
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng_seed: u64,
+    shards: usize,
+) -> Result<FinalizedSketch> {
+    let client = LdpJoinSketchClient::new(params, eps, seed);
+    let reports = client.perturb_all_parallel(values, rng_seed, shards);
+    let mut engine =
+        ShardedAggregator::with_hashes(params, eps, Arc::clone(client.hashes()), shards)?;
+    engine.ingest(&reports)?;
+    Ok(engine.finalize())
 }
 
 /// Run the full LDPJoinSketch protocol: perturb both attributes' values (with a shared public
@@ -43,6 +68,23 @@ pub fn ldp_join_estimate(
 ) -> Result<f64> {
     let sketch_a = build_private_sketch(table_a, params, eps, seed, rng)?;
     let sketch_b = build_private_sketch(table_b, params, eps, seed, rng)?;
+    sketch_a.join_size(&sketch_b)
+}
+
+/// Run the full LDPJoinSketch protocol on the parallel pipeline (sharded client fan-out and
+/// sharded ingestion on both sides; deterministic for fixed seeds, independent of `shards`).
+pub fn ldp_join_estimate_parallel(
+    table_a: &[u64],
+    table_b: &[u64],
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng_seed: u64,
+    shards: usize,
+) -> Result<f64> {
+    let sketch_a = build_private_sketch_parallel(table_a, params, eps, seed, rng_seed, shards)?;
+    let sketch_b =
+        build_private_sketch_parallel(table_b, params, eps, seed, rng_seed ^ 0xB, shards)?;
     sketch_a.join_size(&sketch_b)
 }
 
@@ -132,5 +174,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sketch = build_private_sketch(&[1, 2, 3, 4, 5], params, eps, 0, &mut rng).unwrap();
         assert_eq!(sketch.reports(), 5);
+    }
+
+    #[test]
+    fn parallel_pipeline_is_shard_count_invariant_and_tracks_truth() {
+        let a = skewed(60_000, 5_000, 11);
+        let b = skewed(60_000, 5_000, 12);
+        let truth = exact_join_size(&a, &b) as f64;
+        let params = SketchParams::new(12, 512).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let est_1 = ldp_join_estimate_parallel(&a, &b, params, eps, 9, 77, 1).unwrap();
+        let est_4 = ldp_join_estimate_parallel(&a, &b, params, eps, 9, 77, 4).unwrap();
+        let est_7 = ldp_join_estimate_parallel(&a, &b, params, eps, 9, 77, 7).unwrap();
+        // Shard count must not change the answer at all (deterministic chunk streams plus
+        // exact sharded absorption).
+        assert_eq!(est_1, est_4);
+        assert_eq!(est_1, est_7);
+        let re = (est_4 - truth).abs() / truth;
+        assert!(re < 0.3, "relative error {re} (est {est_4}, truth {truth})");
     }
 }

@@ -1,41 +1,57 @@
 //! Server-side of LDPJoinSketch: sketch construction (Algorithm 2, `PriSk`), the join-size
 //! estimator of Eq. 5, and the frequency estimator of Theorem 7.
 //!
-//! For every client report `(y, j, l)` the server adds `k·c_ε·y` to the counter `[j, l]`
-//! (the factor `k` de-biases the uniform row sampling, `c_ε = (e^ε+1)/(e^ε−1)` de-biases the
-//! randomized response). After all reports are absorbed, each row is pushed back through the
-//! Hadamard transform (`M ← M·H_mᵀ`, computed with the fast Walsh–Hadamard transform).
+//! The sketch lifecycle is an explicit two-stage, type-level design:
+//!
+//! * [`SketchBuilder`] is the **mutable accumulation stage**. It absorbs client reports
+//!   (`raw[j, l] += y`), merges with other builders (shards), and stays in the Hadamard
+//!   domain. Because every report contributes exactly `±1` to one counter, the accumulated
+//!   counters are *exact integers* in `f64` — so sharded absorption merged counter-wise is
+//!   bit-for-bit identical to sequential absorption, regardless of how the reports were
+//!   partitioned (integer addition in `f64` is associative as long as counts stay below
+//!   `2^53`, far beyond any realistic report volume).
+//! * [`FinalizedSketch`] is the **immutable estimation stage**. [`SketchBuilder::finalize`]
+//!   applies the de-bias scale `k·c_ε` (the factor `k` undoes the uniform row sampling,
+//!   `c_ε = (e^ε+1)/(e^ε−1)` undoes the randomized response) and pushes each row back
+//!   through the fast Walsh–Hadamard transform **once**; every estimator then *borrows* the
+//!   restored counters as `&[f64]` — no estimator call clones or recomputes the `k×m`
+//!   matrix.
 //!
 //! The restored sketch behaves like a noisy fast-AGMS sketch of the users' values:
 //! * `median_j Σ_x M_A[j,x]·M_B[j,x]` estimates the join size (Theorem 3),
 //! * `mean_j M[j,h_j(d)]·ξ_j(d)` is an unbiased frequency estimate (Theorem 7).
+//!
+//! For parallel ingestion over many shards see [`crate::aggregator::ShardedAggregator`].
 
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hadamard::fwht_in_place;
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
-use ldpjs_common::stats::{mean, median};
+use ldpjs_common::stats::median;
 use ldpjs_sketch::SketchParams;
 use std::sync::Arc;
 
 use crate::client::ClientReport;
 
-/// The server-side LDPJoinSketch.
+/// The mutable accumulation stage of the server-side LDPJoinSketch.
+///
+/// Counters are kept in the Hadamard domain as exact `±1` report sums; the de-bias scale and
+/// the Hadamard restore are applied once by [`SketchBuilder::finalize`], which consumes the
+/// builder and returns the immutable [`FinalizedSketch`] estimation view.
 #[derive(Debug, Clone)]
-pub struct LdpJoinSketch {
+pub struct SketchBuilder {
     params: SketchParams,
     eps: Epsilon,
     hashes: Arc<RowHashes>,
-    /// Accumulated counters, still in the Hadamard domain (row-major `k × m`).
+    /// Accumulated report sums, still in the Hadamard domain (row-major `k × m`). Each entry
+    /// is an exact integer (a sum of `±1` contributions), which makes shard merges exact.
     raw: Vec<f64>,
-    /// Restored counters (`raw · H_mᵀ` per row), computed lazily and invalidated on updates.
-    restored: Option<Vec<f64>>,
     /// Number of absorbed reports.
     reports: u64,
 }
 
-impl LdpJoinSketch {
-    /// Create an empty sketch with a hash family derived from `seed`.
+impl SketchBuilder {
+    /// Create an empty builder with a hash family derived from `seed`.
     ///
     /// The same `(params, seed)` pair must be used by the matching
     /// [`crate::client::LdpJoinSketchClient`]s.
@@ -44,30 +60,30 @@ impl LdpJoinSketch {
         Self::with_hashes(params, eps, hashes)
     }
 
-    /// Create an empty sketch around an existing shared hash family.
+    /// Create an empty builder around an existing shared hash family.
     pub fn with_hashes(params: SketchParams, eps: Epsilon, hashes: Arc<RowHashes>) -> Self {
         debug_assert_eq!(hashes.rows(), params.rows());
         debug_assert_eq!(hashes.columns(), params.columns());
-        LdpJoinSketch {
+        SketchBuilder {
             params,
             eps,
             hashes,
             raw: vec![0.0; params.counters()],
-            restored: None,
             reports: 0,
         }
     }
 
-    /// Construct a sketch directly from a batch of client reports (`PriSk` in Algorithm 2).
+    /// Build a finalized sketch directly from a batch of client reports (`PriSk` in
+    /// Algorithm 2).
     pub fn from_reports(
         params: SketchParams,
         eps: Epsilon,
         seed: u64,
         reports: &[ClientReport],
-    ) -> Result<Self> {
-        let mut sketch = Self::new(params, eps, seed);
-        sketch.absorb_all(reports)?;
-        Ok(sketch)
+    ) -> Result<FinalizedSketch> {
+        let mut builder = Self::new(params, eps, seed);
+        builder.absorb_all(reports)?;
+        Ok(builder.finalize())
     }
 
     /// Sketch parameters `(k, m)`.
@@ -108,62 +124,190 @@ impl LdpJoinSketch {
                 cols: m,
             });
         }
-        let scale = k as f64 * self.eps.c_eps();
-        self.raw[report.row * m + report.col] += scale * report.y;
-        self.restored = None;
+        self.raw[report.row * m + report.col] += report.y;
         self.reports += 1;
         Ok(())
     }
 
     /// Absorb a batch of reports.
+    ///
+    /// Single fused pass over the batch (the perfectly predicted range branch is cheaper
+    /// than a separate validation sweep's second read of the reports); atomicity is kept by
+    /// rolling the already-applied prefix back on the cold error path, so a rejected batch
+    /// leaves the builder untouched.
+    ///
+    /// # Errors
+    /// Returns [`Error::ReportOutOfRange`] for the first offending report, if any.
     pub fn absorb_all(&mut self, reports: &[ClientReport]) -> Result<()> {
-        for &r in reports {
-            self.absorb(r)?;
+        let (k, m) = (self.params.rows(), self.params.columns());
+        for (i, r) in reports.iter().enumerate() {
+            if r.row >= k || r.col >= m {
+                // Cold path: undo the applied prefix so the rejected batch is a no-op.
+                for applied in &reports[..i] {
+                    self.raw[applied.row * m + applied.col] -= applied.y;
+                }
+                return Err(Error::ReportOutOfRange {
+                    row: r.row,
+                    col: r.col,
+                    rows: k,
+                    cols: m,
+                });
+            }
+            self.raw[r.row * m + r.col] += r.y;
+        }
+        self.reports += reports.len() as u64;
+        Ok(())
+    }
+
+    /// Check every report of a batch against this sketch's dimensions.
+    pub(crate) fn validate_batch(&self, reports: &[ClientReport]) -> Result<()> {
+        let (k, m) = (self.params.rows(), self.params.columns());
+        if let Some(bad) = reports.iter().find(|r| r.row >= k || r.col >= m) {
+            return Err(Error::ReportOutOfRange {
+                row: bad.row,
+                col: bad.col,
+                rows: k,
+                cols: m,
+            });
         }
         Ok(())
     }
 
-    /// Restore the sketch from the Hadamard domain (Algorithm 2, line 6) and cache the result.
-    pub fn finalize(&mut self) {
-        if self.restored.is_none() {
-            self.restored = Some(self.restored_matrix());
+    /// Accumulate a batch that has already been validated (the sharded ingestion engine
+    /// validates the whole batch once before fanning chunks out to worker threads).
+    pub(crate) fn accumulate_validated(&mut self, reports: &[ClientReport]) {
+        let m = self.params.columns();
+        for r in reports {
+            self.raw[r.row * m + r.col] += r.y;
         }
+        self.reports += reports.len() as u64;
     }
 
-    /// The restored `k × m` counter matrix (row-major). Computes it on the fly if the cached
-    /// copy was invalidated by new reports.
-    pub fn restored_matrix(&self) -> Vec<f64> {
-        if let Some(r) = &self.restored {
-            return r.clone();
+    /// Merge another partial builder into this one.
+    ///
+    /// LDPJoinSketch is linear in its reports, so an aggregator can be sharded: each shard
+    /// absorbs a subset of the client reports and the shards are merged counter-wise before
+    /// finalization. Because the counters are exact integer report sums, the merged result is
+    /// bit-for-bit identical to absorbing every report into a single builder. Both builders
+    /// must share `(k, m)`, the hash seed, and the privacy budget.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if parameters, hash seed or ε differ.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        check_compatible(self.params, &self.hashes, other.params, &other.hashes)?;
+        if (self.eps.value() - other.eps.value()).abs() > f64::EPSILON {
+            return Err(Error::IncompatibleSketches(format!(
+                "cannot merge sketches built with different privacy budgets: {} vs {}",
+                self.eps, other.eps
+            )));
         }
+        for (a, b) in self.raw.iter_mut().zip(other.raw.iter()) {
+            *a += b;
+        }
+        self.reports += other.reports;
+        Ok(())
+    }
+
+    /// Restore the sketch from the Hadamard domain (Algorithm 2, line 6): apply the de-bias
+    /// scale `k·c_ε` and the per-row fast Walsh–Hadamard transform once, consuming the
+    /// builder and returning the immutable estimation view.
+    pub fn finalize(self) -> FinalizedSketch {
+        let SketchBuilder {
+            params,
+            eps,
+            hashes,
+            mut raw,
+            reports,
+        } = self;
+        let scale = params.rows() as f64 * eps.c_eps();
+        for v in raw.iter_mut() {
+            *v *= scale;
+        }
+        let m = params.columns();
+        for j in 0..params.rows() {
+            fwht_in_place(&mut raw[j * m..(j + 1) * m]);
+        }
+        FinalizedSketch {
+            params,
+            eps,
+            hashes,
+            restored: raw,
+            reports,
+        }
+    }
+}
+
+/// The immutable estimation stage of the server-side LDPJoinSketch.
+///
+/// Produced by [`SketchBuilder::finalize`]; the restored `k × m` counter matrix is computed
+/// exactly once and every estimator borrows it as `&[f64]` — no per-call clone, no interior
+/// mutability, trivially shareable across threads.
+#[derive(Debug, Clone)]
+pub struct FinalizedSketch {
+    params: SketchParams,
+    eps: Epsilon,
+    hashes: Arc<RowHashes>,
+    /// Restored counters (`raw·k·c_ε · H_mᵀ` per row), row-major `k × m`.
+    restored: Vec<f64>,
+    reports: u64,
+}
+
+impl FinalizedSketch {
+    /// Sketch parameters `(k, m)`.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// Privacy budget the absorbed reports were perturbed with.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The shared public hash family.
+    #[inline]
+    pub fn hashes(&self) -> &Arc<RowHashes> {
+        &self.hashes
+    }
+
+    /// Number of absorbed reports.
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// The restored `k × m` counter matrix (row-major), borrowed — never cloned.
+    #[inline]
+    pub fn restored_counters(&self) -> &[f64] {
+        &self.restored
+    }
+
+    /// One restored sketch row of length `m`, borrowed.
+    #[inline]
+    pub fn row(&self, j: usize) -> &[f64] {
         let m = self.params.columns();
-        let mut restored = self.raw.clone();
-        for j in 0..self.params.rows() {
-            fwht_in_place(&mut restored[j * m..(j + 1) * m]);
-        }
-        restored
+        &self.restored[j * m..(j + 1) * m]
     }
 
     /// Per-row inner products with another sketch, optionally shifting every counter of each
-    /// sketch by a constant first (used by LDPJoinSketch+'s Algorithm 5 to remove the expected
-    /// non-target mass `|NT|/m`).
+    /// sketch by a constant first (used by LDPJoinSketch+'s Algorithm 5 to remove the
+    /// expected non-target mass `|NT|/m`).
     pub fn row_products_shifted(
         &self,
         other: &Self,
         shift_self: f64,
         shift_other: f64,
     ) -> Result<Vec<f64>> {
-        self.check_compatible(other)?;
-        let (k, m) = (self.params.rows(), self.params.columns());
-        let a = self.restored_matrix();
-        let b = other.restored_matrix();
+        check_compatible(self.params, &self.hashes, other.params, &other.hashes)?;
+        let k = self.params.rows();
         Ok((0..k)
             .map(|j| {
-                let mut acc = 0.0;
-                for x in 0..m {
-                    acc += (a[j * m + x] - shift_self) * (b[j * m + x] - shift_other);
-                }
-                acc
+                self.row(j)
+                    .iter()
+                    .zip(other.row(j))
+                    .map(|(a, b)| (a - shift_self) * (b - shift_other))
+                    .sum()
             })
             .collect())
     }
@@ -192,35 +336,32 @@ impl LdpJoinSketch {
     }
 
     /// Frequency estimate `f̃(d) = mean_j M[j, h_j(d)]·ξ_j(d)` (Theorem 7).
+    ///
+    /// [`FinalizedSketch::frequencies`] delegates to the same per-value estimator, so the two
+    /// entry points cannot drift.
     pub fn frequency(&self, value: u64) -> f64 {
-        let m = self.params.columns();
-        let restored = self.restored_matrix();
-        let estimates: Vec<f64> = (0..self.params.rows())
-            .map(|j| {
-                let pair = self.hashes.pair(j);
-                restored[j * m + pair.bucket_of(value)] * pair.sign_of(value) as f64
-            })
-            .collect();
-        mean(&estimates).unwrap_or(0.0)
+        self.frequency_at(value)
     }
 
-    /// Frequency estimates for a whole candidate domain (shares the restored matrix across
-    /// queries; prefer this over repeated [`LdpJoinSketch::frequency`] calls for large scans).
+    /// Frequency estimates for a whole candidate domain (one borrowed pass over the restored
+    /// matrix per candidate; prefer this over repeated [`FinalizedSketch::frequency`] calls
+    /// for large scans).
     pub fn frequencies(&self, candidates: &[u64]) -> Vec<f64> {
-        let m = self.params.columns();
-        let k = self.params.rows();
-        let restored = self.restored_matrix();
-        candidates
-            .iter()
-            .map(|&d| {
-                let mut acc = 0.0;
-                for j in 0..k {
-                    let pair = self.hashes.pair(j);
-                    acc += restored[j * m + pair.bucket_of(d)] * pair.sign_of(d) as f64;
-                }
-                acc / k as f64
-            })
-            .collect()
+        candidates.iter().map(|&d| self.frequency_at(d)).collect()
+    }
+
+    /// The single shared implementation of the Theorem 7 estimator.
+    #[inline]
+    fn frequency_at(&self, d: u64) -> f64 {
+        let (k, m) = (self.params.rows(), self.params.columns());
+        if k == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (j, pair) in self.hashes.iter().enumerate() {
+            acc += self.restored[j * m + pair.bucket_of(d)] * pair.sign_of(d) as f64;
+        }
+        acc / k as f64
     }
 
     /// The frequent-item set `FI = {d ∈ domain : f̃(d) > θ·total}` used by phase 1 of
@@ -228,51 +369,30 @@ impl LdpJoinSketch {
     /// any scaling the caller applies for sampling).
     pub fn frequent_items(&self, domain: &[u64], theta: f64, total: f64) -> Vec<u64> {
         let threshold = theta * total;
-        let freqs = self.frequencies(domain);
         domain
             .iter()
-            .zip(freqs.iter())
-            .filter_map(|(&d, &f)| if f > threshold { Some(d) } else { None })
+            .copied()
+            .filter(|&d| self.frequency_at(d) > threshold)
             .collect()
     }
+}
 
-    /// Merge another partial sketch into this one.
-    ///
-    /// LDPJoinSketch is linear in its reports, so an aggregator can be sharded: each shard
-    /// absorbs a subset of the client reports and the shards are merged counter-wise before
-    /// estimation. Both sketches must share `(k, m)`, the hash seed, and the privacy budget
-    /// (the de-bias scale is baked into the accumulated counters).
-    ///
-    /// # Errors
-    /// Returns [`Error::IncompatibleSketches`] if parameters, hash seed or ε differ.
-    pub fn merge(&mut self, other: &Self) -> Result<()> {
-        self.check_compatible(other)?;
-        if (self.eps.value() - other.eps.value()).abs() > f64::EPSILON {
-            return Err(Error::IncompatibleSketches(format!(
-                "cannot merge sketches built with different privacy budgets: {} vs {}",
-                self.eps, other.eps
-            )));
-        }
-        for (a, b) in self.raw.iter_mut().zip(other.raw.iter()) {
-            *a += b;
-        }
-        self.reports += other.reports;
-        self.restored = None;
-        Ok(())
+pub(crate) fn check_compatible(
+    params: SketchParams,
+    hashes: &RowHashes,
+    other_params: SketchParams,
+    other_hashes: &RowHashes,
+) -> Result<()> {
+    if params != other_params || hashes.seed() != other_hashes.seed() {
+        return Err(Error::IncompatibleSketches(format!(
+            "LDPJoinSketches differ: {} seed {} vs {} seed {}",
+            params,
+            hashes.seed(),
+            other_params,
+            other_hashes.seed()
+        )));
     }
-
-    fn check_compatible(&self, other: &Self) -> Result<()> {
-        if self.params != other.params || self.hashes.seed() != other.hashes.seed() {
-            return Err(Error::IncompatibleSketches(format!(
-                "LDPJoinSketches differ: {} seed {} vs {} seed {}",
-                self.params,
-                self.hashes.seed(),
-                other.params,
-                other.hashes.seed()
-            )));
-        }
-        Ok(())
-    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -309,26 +429,25 @@ mod tests {
         e: Epsilon,
         seed: u64,
         rng_seed: u64,
-    ) -> LdpJoinSketch {
+    ) -> FinalizedSketch {
         let client = LdpJoinSketchClient::new(p, e, seed);
         let mut rng = StdRng::seed_from_u64(rng_seed);
         let reports = client.perturb_all(values, &mut rng);
-        let mut sketch = LdpJoinSketch::new(p, e, seed);
-        sketch.absorb_all(&reports).unwrap();
-        sketch.finalize();
-        sketch
+        let mut builder = SketchBuilder::new(p, e, seed);
+        builder.absorb_all(&reports).unwrap();
+        builder.finalize()
     }
 
     #[test]
     fn rejects_out_of_range_reports() {
-        let mut sketch = LdpJoinSketch::new(params(4, 64), eps(1.0), 0);
+        let mut builder = SketchBuilder::new(params(4, 64), eps(1.0), 0);
         let bad = ClientReport {
             y: 1.0,
             row: 4,
             col: 0,
         };
         assert!(matches!(
-            sketch.absorb(bad),
+            builder.absorb(bad),
             Err(Error::ReportOutOfRange { .. })
         ));
         let bad = ClientReport {
@@ -336,29 +455,49 @@ mod tests {
             row: 0,
             col: 64,
         };
-        assert!(sketch.absorb(bad).is_err());
+        assert!(builder.absorb(bad).is_err());
+        assert!(builder.absorb_all(&[bad]).is_err());
         let good = ClientReport {
             y: -1.0,
             row: 3,
             col: 63,
         };
-        assert!(sketch.absorb(good).is_ok());
-        assert_eq!(sketch.reports(), 1);
+        assert!(builder.absorb(good).is_ok());
+        assert_eq!(builder.reports(), 1);
+    }
+
+    #[test]
+    fn rejected_batch_leaves_builder_untouched() {
+        let mut builder = SketchBuilder::new(params(4, 64), eps(1.0), 0);
+        let good = ClientReport {
+            y: 1.0,
+            row: 1,
+            col: 2,
+        };
+        let bad = ClientReport {
+            y: 1.0,
+            row: 9,
+            col: 2,
+        };
+        assert!(builder.absorb_all(&[good, bad]).is_err());
+        assert_eq!(builder.reports(), 0);
+        let restored = builder.finalize();
+        assert!(restored.restored_counters().iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn rejects_incompatible_sketches() {
-        let a = LdpJoinSketch::new(params(4, 64), eps(1.0), 0);
-        let b = LdpJoinSketch::new(params(4, 64), eps(1.0), 1);
+        let a = SketchBuilder::new(params(4, 64), eps(1.0), 0).finalize();
+        let b = SketchBuilder::new(params(4, 64), eps(1.0), 1).finalize();
         assert!(a.join_size(&b).is_err());
-        let c = LdpJoinSketch::new(params(4, 128), eps(1.0), 0);
+        let c = SketchBuilder::new(params(4, 128), eps(1.0), 0).finalize();
         assert!(a.join_size(&c).is_err());
     }
 
     #[test]
     fn empty_sketch_estimates_zero() {
-        let a = LdpJoinSketch::new(params(6, 64), eps(2.0), 5);
-        let b = LdpJoinSketch::new(params(6, 64), eps(2.0), 5);
+        let a = SketchBuilder::new(params(6, 64), eps(2.0), 5).finalize();
+        let b = SketchBuilder::new(params(6, 64), eps(2.0), 5).finalize();
         assert_eq!(a.join_size(&b).unwrap(), 0.0);
         assert_eq!(a.frequency(3), 0.0);
     }
@@ -453,10 +592,10 @@ mod tests {
         let sa = build_sketch(&a, p, e, 5, 3);
         let sb = build_sketch(&b, p, e, 5, 4);
         let shifted = sa.join_size_shifted(&sb, 2.5, 1.5).unwrap();
-        // Manual computation from the restored matrices.
+        // Manual computation from the borrowed restored matrices.
         let (k, m) = (p.rows(), p.columns());
-        let ma = sa.restored_matrix();
-        let mb = sb.restored_matrix();
+        let ma = sa.restored_counters();
+        let mb = sb.restored_counters();
         let mut products = Vec::new();
         for j in 0..k {
             let mut acc = 0.0;
@@ -510,14 +649,27 @@ mod tests {
         let candidates: Vec<u64> = (0..50).collect();
         let batch = sketch.frequencies(&candidates);
         for (i, &d) in candidates.iter().enumerate() {
-            assert!((batch[i] - sketch.frequency(d)).abs() < 1e-9);
+            // Both entry points share one implementation, so equality is exact.
+            assert_eq!(batch[i], sketch.frequency(d));
+        }
+    }
+
+    #[test]
+    fn row_view_matches_restored_counters() {
+        let p = params(6, 128);
+        let sketch = build_sketch(&skewed_stream(10_000, 300, 4), p, eps(4.0), 3, 5);
+        let all = sketch.restored_counters();
+        assert_eq!(all.len(), p.counters());
+        for j in 0..p.rows() {
+            assert_eq!(sketch.row(j), &all[j * p.columns()..(j + 1) * p.columns()]);
         }
     }
 
     #[test]
     fn merged_shards_equal_single_aggregator() {
         // Sharded aggregation: two shards each absorb half the reports; merging them must be
-        // identical (bit for bit) to one aggregator absorbing everything.
+        // bit-for-bit identical to one aggregator absorbing everything. (The exhaustive
+        // shard-count × report-count sweep lives in `crate::aggregator`.)
         let p = params(8, 128);
         let e = eps(3.0);
         let client = LdpJoinSketchClient::new(p, e, 77);
@@ -526,39 +678,36 @@ mod tests {
         let reports = client.perturb_all(&values, &mut rng);
         let (first, second) = reports.split_at(reports.len() / 2);
 
-        let mut shard_a = LdpJoinSketch::new(p, e, 77);
+        let mut shard_a = SketchBuilder::new(p, e, 77);
         shard_a.absorb_all(first).unwrap();
-        let mut shard_b = LdpJoinSketch::new(p, e, 77);
+        let mut shard_b = SketchBuilder::new(p, e, 77);
         shard_b.absorb_all(second).unwrap();
         shard_a.merge(&shard_b).unwrap();
 
-        let mut single = LdpJoinSketch::new(p, e, 77);
+        let mut single = SketchBuilder::new(p, e, 77);
         single.absorb_all(&reports).unwrap();
 
         assert_eq!(shard_a.reports(), single.reports());
-        for (m, s) in shard_a
-            .restored_matrix()
-            .iter()
-            .zip(single.restored_matrix().iter())
-        {
-            assert!((m - s).abs() < 1e-9);
-        }
+        assert_eq!(
+            shard_a.finalize().restored_counters(),
+            single.finalize().restored_counters()
+        );
     }
 
     #[test]
     fn merge_rejects_incompatible_shards() {
         let p = params(4, 64);
-        let mut a = LdpJoinSketch::new(p, eps(2.0), 1);
-        let b = LdpJoinSketch::new(p, eps(2.0), 2);
+        let mut a = SketchBuilder::new(p, eps(2.0), 1);
+        let b = SketchBuilder::new(p, eps(2.0), 2);
         assert!(a.merge(&b).is_err(), "different hash seeds must not merge");
-        let c = LdpJoinSketch::new(params(4, 128), eps(2.0), 1);
+        let c = SketchBuilder::new(params(4, 128), eps(2.0), 1);
         assert!(a.merge(&c).is_err(), "different shapes must not merge");
-        let d = LdpJoinSketch::new(p, eps(4.0), 1);
+        let d = SketchBuilder::new(p, eps(4.0), 1);
         assert!(
             a.merge(&d).is_err(),
             "different privacy budgets must not merge"
         );
-        let ok = LdpJoinSketch::new(p, eps(2.0), 1);
+        let ok = SketchBuilder::new(p, eps(2.0), 1);
         assert!(a.merge(&ok).is_ok());
     }
 
@@ -569,12 +718,13 @@ mod tests {
         let client = LdpJoinSketchClient::new(p, e, 3);
         let mut rng = StdRng::seed_from_u64(4);
         let reports = client.perturb_all(&[1, 2, 3, 4, 5, 6, 7, 8], &mut rng);
-        let batch = LdpJoinSketch::from_reports(p, e, 3, &reports).unwrap();
-        let mut incremental = LdpJoinSketch::new(p, e, 3);
+        let batch = SketchBuilder::from_reports(p, e, 3, &reports).unwrap();
+        let mut incremental = SketchBuilder::new(p, e, 3);
         for &r in &reports {
             incremental.absorb(r).unwrap();
         }
-        assert_eq!(batch.restored_matrix(), incremental.restored_matrix());
+        let incremental = incremental.finalize();
+        assert_eq!(batch.restored_counters(), incremental.restored_counters());
         assert_eq!(batch.reports(), incremental.reports());
     }
 }

@@ -33,6 +33,7 @@ fn main() {
             sampling_rate: 0.1,
             threshold: theta,
             paper_literal_subtraction: false,
+            variance_weighted_recombination: false,
         };
         let summary = run_trials(
             Method::LdpJoinSketchPlus,

@@ -8,7 +8,7 @@
 use ldpjs_common::error::Result;
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_core::plus::{LdpJoinSketchPlus, PlusConfig};
-use ldpjs_core::protocol::{build_private_sketch, report_bits};
+use ldpjs_core::protocol::{build_private_sketch_parallel, report_bits};
 use ldpjs_core::SketchParams;
 use ldpjs_data::JoinWorkload;
 use ldpjs_ldp::{estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle};
@@ -97,6 +97,9 @@ pub struct PlusKnobs {
     pub threshold: f64,
     /// Use the paper-literal non-target subtraction (ablation switch).
     pub paper_literal_subtraction: bool,
+    /// Combine the phase-2 partial estimates by inverse-variance weight (ablation switch,
+    /// see [`PlusConfig::variance_weighted_recombination`]).
+    pub variance_weighted_recombination: bool,
 }
 
 impl Default for PlusKnobs {
@@ -108,6 +111,7 @@ impl Default for PlusKnobs {
             sampling_rate: 0.1,
             threshold: 0.01,
             paper_literal_subtraction: false,
+            variance_weighted_recombination: false,
         }
     }
 }
@@ -143,9 +147,29 @@ pub fn estimate_join(
             })
         }
         Method::LdpJoinSketch => {
+            // The harness runs the sharded pipeline with one shard: the estimate is
+            // invariant to the shard count (chunk-seeded client streams, exact sharded
+            // absorption), and pinning a single worker keeps the offline timings
+            // apples-to-apples with the single-threaded competitor implementations across
+            // machines. Multi-shard scaling is measured in bench_core_throughput instead.
+            let shards = 1;
             let start = Instant::now();
-            let sa = build_private_sketch(&workload.table_a, params, eps, seed, &mut rng)?;
-            let sb = build_private_sketch(&workload.table_b, params, eps, seed, &mut rng)?;
+            let sa = build_private_sketch_parallel(
+                &workload.table_a,
+                params,
+                eps,
+                seed,
+                seed ^ 0xA11CE,
+                shards,
+            )?;
+            let sb = build_private_sketch_parallel(
+                &workload.table_b,
+                params,
+                eps,
+                seed,
+                seed ^ 0xB0B,
+                shards,
+            )?;
             let offline = start.elapsed().as_secs_f64();
             let start = Instant::now();
             let estimate = sa.join_size(&sb)?;
@@ -165,6 +189,7 @@ pub fn estimate_join(
             config.threshold = knobs.threshold;
             config.seed = seed;
             config.paper_literal_subtraction = knobs.paper_literal_subtraction;
+            config.variance_weighted_recombination = knobs.variance_weighted_recombination;
             let domain = workload.domain();
             let start = Instant::now();
             let result = LdpJoinSketchPlus::new(config)?.estimate(

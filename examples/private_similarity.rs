@@ -13,7 +13,7 @@ use rand::SeedableRng;
 /// Cosine similarity between the two attributes computed from private sketches:
 /// `cos(A, B) = |A ⋈ B| / sqrt(F2(A) · F2(B))`, with every term estimated under LDP
 /// (the self-join of a sketch estimates its own F2).
-fn private_cosine(sketch_a: &LdpJoinSketch, sketch_b: &LdpJoinSketch) -> f64 {
+fn private_cosine(sketch_a: &FinalizedSketch, sketch_b: &FinalizedSketch) -> f64 {
     let inner = sketch_a.join_size(sketch_b).expect("compatible sketches");
     let f2_a = sketch_a.join_size(sketch_a).expect("self join").max(1.0);
     let f2_b = sketch_b.join_size(sketch_b).expect("self join").max(1.0);

@@ -72,4 +72,27 @@ fn main() {
         "relative error: {:.3}",
         relative_error(truth, plus.join_size)
     );
+
+    // 5. At production scale the aggregator ingests reports in parallel: the client
+    //    simulation fans out over worker threads with deterministic per-chunk RNG streams,
+    //    and a ShardedAggregator absorbs the stream across shards. The merged result is
+    //    bit-for-bit identical to sequential absorption, so parallelism never costs
+    //    reproducibility.
+    let client = LdpJoinSketchClient::new(params, eps, hash_seed);
+    let reports = client.perturb_all_parallel(&workload.table_a, 7, 4);
+    let mut engine = ShardedAggregator::new(params, eps, hash_seed, 4).expect("valid shard count");
+    engine.ingest(&reports).expect("reports fit the sketch");
+    let sharded = engine.finalize();
+
+    let mut sequential = SketchBuilder::new(params, eps, hash_seed);
+    sequential
+        .absorb_all(&reports)
+        .expect("reports fit the sketch");
+    let sequential = sequential.finalize();
+    assert_eq!(sharded.restored_counters(), sequential.restored_counters());
+    println!(
+        "sharded ingestion: {} reports over 4 shards, restored counters bit-for-bit equal \
+         to sequential absorption",
+        sharded.reports()
+    );
 }

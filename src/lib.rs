@@ -50,11 +50,12 @@ pub mod prelude {
     pub use ldpjs_common::stats::exact_join_size;
     pub use ldpjs_common::Epsilon;
     pub use ldpjs_core::protocol::{
-        build_private_sketch, ldp_join_estimate, ldp_join_plus_estimate,
+        build_private_sketch, build_private_sketch_parallel, ldp_join_estimate,
+        ldp_join_estimate_parallel, ldp_join_plus_estimate,
     };
     pub use ldpjs_core::{
-        ClientReport, FapClient, FapMode, LdpJoinSketch, LdpJoinSketchClient, LdpJoinSketchPlus,
-        PlusConfig, PlusEstimate, SketchParams,
+        ClientReport, FapClient, FapMode, FinalizedSketch, LdpJoinSketchClient, LdpJoinSketchPlus,
+        PlusConfig, PlusEstimate, ShardedAggregator, SketchBuilder, SketchParams,
     };
     pub use ldpjs_data::{
         ChainWorkload, JoinWorkload, PaperDataset, ValueGenerator, ZipfGenerator,

@@ -117,11 +117,17 @@ impl Bencher {
 /// The benchmark manager: registers and runs benchmark functions.
 pub struct Criterion {
     sample_size: usize,
+    /// `(name, median ns/iter)` of every benchmark run through this instance, in run order.
+    /// Lets custom bench `main`s export machine-readable results (e.g. `BENCH_core.json`).
+    results: Vec<(String, f64)>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
     }
 }
 
@@ -165,6 +171,7 @@ impl Criterion {
         let mut bencher = Bencher::new(effective_samples(self.sample_size));
         f(&mut bencher);
         report(name, &bencher);
+        self.results.push((name.to_string(), bencher.median_ns()));
         self
     }
 
@@ -172,10 +179,20 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         let sample_size = self.sample_size;
         BenchmarkGroup {
-            _parent: self,
+            parent: self,
             name: name.to_string(),
             sample_size,
         }
+    }
+
+    /// Every `(name, median ns/iter)` recorded so far, in run order.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// The median of the most recently run benchmark, if any.
+    pub fn last_median_ns(&self) -> Option<f64> {
+        self.results.last().map(|(_, ns)| *ns)
     }
 
     /// Print the closing summary (no-op in the shim).
@@ -197,7 +214,7 @@ fn report(name: &str, bencher: &Bencher) {
 
 /// A group of related benchmarks sharing a name prefix and sample size.
 pub struct BenchmarkGroup<'a> {
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
     name: String,
     sample_size: usize,
 }
@@ -228,7 +245,9 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher::new(effective_samples(self.sample_size));
         f(&mut bencher);
-        report(&format!("{}/{}", self.name, id.id), &bencher);
+        let name = format!("{}/{}", self.name, id.id);
+        report(&name, &bencher);
+        self.parent.results.push((name, bencher.median_ns()));
         self
     }
 
@@ -242,7 +261,9 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher::new(effective_samples(self.sample_size));
         f(&mut bencher, input);
-        report(&format!("{}/{}", self.name, id.id), &bencher);
+        let name = format!("{}/{}", self.name, id.id);
+        report(&name, &bencher);
+        self.parent.results.push((name, bencher.median_ns()));
         self
     }
 
