@@ -16,10 +16,12 @@
 use criterion::{BatchSize, Bencher, Criterion};
 use ldpjs_core::aggregator::ShardedAggregator;
 use ldpjs_core::client::LdpJoinSketchClient;
-use ldpjs_core::protocol::build_private_sketch;
+use ldpjs_core::protocol::{
+    build_private_sketch, ldp_join_estimate_chunked, ldp_join_plus_estimate_chunked,
+};
 use ldpjs_core::server::SketchBuilder;
-use ldpjs_core::{Epsilon, SketchParams};
-use ldpjs_data::{ValueGenerator, ZipfGenerator};
+use ldpjs_core::{Epsilon, PlusConfig, SketchParams};
+use ldpjs_data::{StreamingJoinWorkload, ValueGenerator, ZipfGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -251,6 +253,58 @@ fn bench_estimation(c: &mut Criterion, rec: &mut Recorder) {
     );
 }
 
+/// End-to-end throughput of the large-n streaming regime: the full plain and adaptive-plus
+/// protocols over chunked 1M-user Zipf(2.0) streams at the narrow (18, 64) sketch of the
+/// default-on superiority regression. These are whole-protocol runs (workload replay,
+/// client simulation, ingestion, estimation), so their medians record the wall-clock cost
+/// of the regime the `large_n` test gates on — the entry the perf trajectory tracks.
+fn bench_large_n_streaming(rec: &mut Recorder) {
+    // Whole-protocol iterations are ~a second each in release; keep the sample count low
+    // and separate from the microbench Criterion instance.
+    let mut c = Criterion::default()
+        .sample_size(if smoke() { 1 } else { 3 })
+        .warm_up_time(std::time::Duration::from_millis(1))
+        .measurement_time(std::time::Duration::from_millis(1));
+    let n = if smoke() { 50_000 } else { 1_000_000 };
+    let p = SketchParams::new(18, 64).unwrap();
+    let gen = ZipfGenerator::new(2.0, 20_000);
+    let w = StreamingJoinWorkload::generate("bench-large-n", &gen, n, 8_192, 4100).unwrap();
+    let domain = w.domain();
+    rec.bench(
+        &mut c,
+        &format!("core/large_n_streaming_plain_join_{n}"),
+        "large_n_streaming_plain",
+        n,
+        p,
+        |b| {
+            b.iter(|| {
+                black_box(
+                    ldp_join_estimate_chunked(&w.table_a, &w.table_b, p, eps(), 80, 90, 2).unwrap(),
+                )
+            })
+        },
+    );
+    let mut cfg = PlusConfig::new(p, eps());
+    cfg.sampling_rate = 0.05;
+    cfg.adaptive = true;
+    cfg.seed = 800;
+    rec.bench(
+        &mut c,
+        &format!("core/large_n_streaming_plus_join_{n}"),
+        "large_n_streaming_plus",
+        n,
+        p,
+        |b| {
+            b.iter(|| {
+                black_box(
+                    ldp_join_plus_estimate_chunked(&w.table_a, &w.table_b, &domain, cfg, 900)
+                        .unwrap(),
+                )
+            })
+        },
+    );
+}
+
 /// The clone-heavy estimator medians measured immediately before the zero-copy
 /// builder/finalize refactor, on this repository's reference machine (k = 18, m = 1024;
 /// same workloads as the current benches). Kept in the JSON so every future run can be
@@ -365,5 +419,6 @@ fn main() {
     bench_server_ingest(&mut c, &mut rec);
     bench_finalize_restore(&mut c, &mut rec);
     bench_estimation(&mut c, &mut rec);
+    bench_large_n_streaming(&mut rec);
     write_json(&rec.records);
 }

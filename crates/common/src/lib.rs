@@ -12,6 +12,8 @@
 //! * [`privacy`] — the validated privacy-budget type [`privacy::Epsilon`].
 //! * [`stats`] — medians, means and frequency-moment helpers shared by the estimators
 //!   and the evaluation harness.
+//! * [`stream`] — replayable bounded-memory value streams ([`stream::ChunkedValues`]), the
+//!   substrate of the large-n regime subsystem.
 //! * [`error`] — the workspace-wide error type.
 //!
 //! Everything here is pure computation with deterministic, seedable randomness so that
@@ -26,10 +28,12 @@ pub mod hash;
 pub mod privacy;
 pub mod rr;
 pub mod stats;
+pub mod stream;
 
 pub use error::{Error, Result};
 pub use hash::{BucketHash, HashPair, RowHashes, SignHash};
 pub use privacy::Epsilon;
+pub use stream::{ChunkedValues, SliceChunks};
 
 /// The type of a private join-attribute value.
 ///

@@ -31,8 +31,10 @@ pub const PARALLEL_PERTURB_CHUNK: usize = 8_192;
 
 /// Derive the RNG seed of one perturbation chunk from the caller's base seed (SplitMix64
 /// finalizer over the chunk index, so neighbouring chunks get well-separated streams).
+/// Shared with the streaming protocol runners, which seed one client-simulation RNG per
+/// stream chunk the same way.
 #[inline]
-fn chunk_stream_seed(base_seed: u64, chunk_index: u64) -> u64 {
+pub(crate) fn chunk_stream_seed(base_seed: u64, chunk_index: u64) -> u64 {
     let mut z = base_seed ^ chunk_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -96,6 +96,15 @@ impl FapClient {
         self.inner.epsilon()
     }
 
+    /// Communication cost of one FAP report in bits. Both the target and the non-target
+    /// branch emit the same `(y, j, l)` wire triple as the plain client, so the cost equals
+    /// the inner client's — exposed here so protocol-level accounting charges each phase
+    /// through the client that actually produced its reports.
+    #[inline]
+    pub fn report_bits(&self) -> u64 {
+        self.inner.report_bits()
+    }
+
     /// Returns `true` if `value` would be encoded with the non-target branch.
     #[inline]
     pub fn is_non_target(&self, value: u64) -> bool {

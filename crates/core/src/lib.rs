@@ -39,7 +39,10 @@ pub use aggregator::ShardedAggregator;
 pub use client::{ClientReport, LdpJoinSketchClient};
 pub use fap::{FapClient, FapMode};
 pub use plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
-pub use protocol::{ldp_join_estimate, ldp_join_estimate_parallel, ldp_join_plus_estimate};
+pub use protocol::{
+    ldp_join_estimate, ldp_join_estimate_chunked, ldp_join_estimate_parallel,
+    ldp_join_plus_estimate, ldp_join_plus_estimate_chunked,
+};
 pub use server::{FinalizedSketch, SketchBuilder};
 
 /// Re-export of the validated privacy budget.

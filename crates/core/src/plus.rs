@@ -20,17 +20,51 @@
 //! implementation scales by the group fraction. Set
 //! [`PlusConfig::paper_literal_subtraction`] to `true` to reproduce the unscaled variant; the
 //! ablation bench compares both.
+//!
+//! ### The confidence-driven large-n mode ([`PlusConfig::adaptive`])
+//!
+//! At laptop scale the estimator above only reaches *parity* with the plain sketch: the
+//! phase-2 rescale `(n/|A_g|)·(n/|B_g|)` amplifies every noise source, and the dominant one
+//! turns out to be the **phase-1 mass-estimate error** — Algorithm 5's `HighFreq/m`
+//! subtraction couples the (sketch-noisy) frequent-item mass estimate multiplicatively with
+//! the group's non-target total. The adaptive mode removes that coupling and drives every
+//! remaining knob from the extended Theorems 4/5/7 bounds in [`crate::bounds`]:
+//!
+//! * **Adaptive θ** — the phase-1 threshold is set per table to
+//!   [`crate::bounds::adaptive_phase1_threshold`] (a `3σ` margin over the frequent-item
+//!   detection noise floor, with `F2` estimated from the phase-1 sketch itself), and FI
+//!   discovery uses the collision-robust median estimator
+//!   ([`FinalizedSketch::frequency_median`]) so narrow sketches don't flood `FI`.
+//! * **Shift-free JoinEst** — the low partial uses mean-centered row products
+//!   ([`FinalizedSketch::row_products_centered`]): the uniform non-target mass cancels
+//!   *exactly*, no mass estimate enters. The high partial exploits that the FI buckets are
+//!   public: the uniform level is measured on the non-FI buckets and the product restricted
+//!   to the FI buckets ([`FinalizedSketch::row_products_masked`]), with rows in which two
+//!   frequent items collide (publicly detectable) dropped before combining.
+//! * **Confidence-weighted recombination** — each rescaled partial enters the sum with
+//!   weight `Ĵ_g²/(Ĵ_g² + σ̂_g²)`, where `σ̂_g²` is the empirical per-row spread *capped by*
+//!   the group-aware Theorem 4 bound ([`crate::bounds::group_variance_bound`]), so a
+//!   noise-dominated partial is damped while an inflated spread can never silently zero out
+//!   a signal-bearing partial.
+//!
+//! This is the mode under which LDPJoinSketch+ beats the plain sketch on ≥1M-user tables
+//! (the default-on regression in `tests/end_to_end.rs`); the streaming entry point
+//! [`LdpJoinSketchPlus::estimate_chunked`] runs the same protocol in two bounded-memory
+//! passes over a replayable [`ChunkedValues`] stream.
 
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_common::stats::median;
+use ldpjs_common::stream::ChunkedValues;
 use ldpjs_sketch::SketchParams;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::RngCore;
+use rand::{RngCore, SeedableRng};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use crate::client::LdpJoinSketchClient;
+use crate::bounds;
+use crate::client::{chunk_stream_seed, LdpJoinSketchClient};
 use crate::fap::{FapClient, FapMode};
 use crate::server::FinalizedSketch;
 use crate::server::SketchBuilder;
@@ -46,13 +80,15 @@ pub struct PlusConfig {
     /// Phase-1 sampling rate `r ∈ (0, 1)`.
     pub sampling_rate: f64,
     /// Frequent-item threshold `θ ∈ (0, 1)`: a value is frequent if its estimated share of the
-    /// table exceeds `θ`.
+    /// table exceeds `θ`. Ignored when [`PlusConfig::adaptive`] is set — the threshold is then
+    /// derived per table from the detection noise floor.
     pub threshold: f64,
     /// Seed for the public hash families (phase 1, low sketch and high sketch derive distinct
-    /// families from it).
+    /// families from it) and for the user routing of the streaming path.
     pub seed: u64,
     /// Reproduce Algorithm 5 exactly as printed (subtract the full-table high-frequency mass
-    /// instead of the group-scaled mass). See the module documentation.
+    /// instead of the group-scaled mass). See the module documentation. Only meaningful in
+    /// the non-adaptive mode — the adaptive JoinEst never subtracts an estimated mass.
     pub paper_literal_subtraction: bool,
     /// Combine the two rescaled phase-2 partial estimates by inverse-variance weight instead
     /// of a plain sum.
@@ -63,10 +99,12 @@ pub struct PlusConfig {
     /// variance `σ̂_g²`, and each partial enters the sum with the inverse-variance-optimal
     /// weight against the zero prior, `w_g = Ĵ_g²/(Ĵ_g² + σ̂_g²)` — a noise-dominated partial
     /// (σ̂_g ≫ Ĵ_g) is damped toward zero instead of injecting its amplified noise at full
-    /// weight. This is the first step on the roadmap item about recovering the paper's
-    /// LDPJoinSketch+ superiority claim: it attacks exactly the group-rescaling noise
-    /// amplification that holds the plus estimator at parity.
+    /// weight. The adaptive mode always applies the (bound-capped) generalization of this
+    /// weighting; this flag enables the empirical-only variant in the classic mode.
     pub variance_weighted_recombination: bool,
+    /// Enable the confidence-driven large-n mode (adaptive θ, median frequent-item
+    /// discovery, shift-free JoinEst, bound-capped recombination). See the module docs.
+    pub adaptive: bool,
 }
 
 impl PlusConfig {
@@ -81,6 +119,7 @@ impl PlusConfig {
             seed: 0xC0FFEE,
             paper_literal_subtraction: false,
             variance_weighted_recombination: false,
+            adaptive: false,
         }
     }
 
@@ -117,10 +156,18 @@ pub struct PlusEstimate {
     /// Sizes of the phase-2 groups `(|A1|, |A2|, |B1|, |B2|)`.
     pub group_sizes: (usize, usize, usize, usize),
     /// The recombination weights `(w_low, w_high)` applied to the rescaled partial
-    /// estimates; `(1, 1)` unless
-    /// [`PlusConfig::variance_weighted_recombination`] shrank a noisy partial.
+    /// estimates; `(1, 1)` unless the confidence-weighted recombination shrank a noisy
+    /// partial.
     pub recombination_weights: (f64, f64),
-    /// Total client→server communication in bits across both phases.
+    /// The frequent-item thresholds `(θ_A, θ_B)` actually applied — the configured
+    /// [`PlusConfig::threshold`] in the classic mode, the per-table adaptive thresholds in
+    /// the adaptive mode.
+    pub thresholds: (f64, f64),
+    /// Client→server communication in bits per phase `(phase 1, phase 2)`, computed from
+    /// the report encodings of the clients that actually ran in each phase.
+    pub phase_bits: (u64, u64),
+    /// Total client→server communication in bits across both phases (the sum of
+    /// [`PlusEstimate::phase_bits`]).
     pub communication_bits: u64,
 }
 
@@ -128,6 +175,28 @@ pub struct PlusEstimate {
 #[derive(Debug, Clone)]
 pub struct LdpJoinSketchPlus {
     config: PlusConfig,
+}
+
+/// Everything `JoinEst` needs, collected by either the materialized or the streaming
+/// front-end: the phase-1 sketches with their sample sizes, the four phase-2 FAP sketches
+/// with the group sizes, and the table sizes.
+struct ProtocolParts {
+    sketch_p1_a: FinalizedSketch,
+    sketch_p1_b: FinalizedSketch,
+    sample_a: usize,
+    sample_b: usize,
+    m_la: FinalizedSketch,
+    m_lb: FinalizedSketch,
+    m_ha: FinalizedSketch,
+    m_hb: FinalizedSketch,
+    a1: usize,
+    a2: usize,
+    b1: usize,
+    b2: usize,
+    n_a: usize,
+    n_b: usize,
+    fi: Vec<u64>,
+    thresholds: (f64, f64),
 }
 
 impl LdpJoinSketchPlus {
@@ -153,7 +222,7 @@ impl LdpJoinSketchPlus {
     ///
     /// # Errors
     /// Returns an error if either table is too small to populate the phase-1 sample and both
-    /// phase-2 groups.
+    /// phase-2 groups with at least two users each.
     pub fn estimate(
         &self,
         table_a: &[u64],
@@ -162,126 +231,504 @@ impl LdpJoinSketchPlus {
         rng: &mut dyn RngCore,
     ) -> Result<PlusEstimate> {
         let cfg = &self.config;
-        if table_a.len() < 4 || table_b.len() < 4 {
-            return Err(Error::InvalidWorkload(
-                "LDPJoinSketch+ needs at least 4 users per attribute to form its groups".into(),
-            ));
-        }
         let params = cfg.params;
-        let m = params.columns() as f64;
 
         // --- Phase 1: sample users and find frequent items -------------------------------
-        let (sample_a, rest_a) = split_sample(table_a, cfg.sampling_rate, rng);
-        let (sample_b, rest_b) = split_sample(table_b, cfg.sampling_rate, rng);
-        let phase1_seed = cfg.seed;
-        let client_p1 = LdpJoinSketchClient::new(params, cfg.eps, phase1_seed);
-        let sketch_a = build_sketch(&client_p1, &sample_a, params, cfg.eps, phase1_seed, rng)?;
-        let sketch_b = build_sketch(&client_p1, &sample_b, params, cfg.eps, phase1_seed, rng)?;
+        let (sample_a, rest_a) = split_sample(table_a, cfg.sampling_rate, rng)?;
+        let (sample_b, rest_b) = split_sample(table_b, cfg.sampling_rate, rng)?;
+        let client_p1 = LdpJoinSketchClient::new(params, cfg.eps, cfg.seed);
+        let sketch_a = build_sketch(&client_p1, &sample_a, params, cfg.eps, cfg.seed, rng)?;
+        let sketch_b = build_sketch(&client_p1, &sample_b, params, cfg.eps, cfg.seed, rng)?;
 
-        let fi_a = sketch_a.frequent_items(domain, cfg.threshold, sample_a.len() as f64);
-        let fi_b = sketch_b.frequent_items(domain, cfg.threshold, sample_b.len() as f64);
-        let mut fi: Vec<u64> = fi_a.into_iter().chain(fi_b).collect();
-        fi.sort_unstable();
-        fi.dedup();
+        let (fi, thresholds) = self.discover_frequent_items(
+            &sketch_a,
+            &sketch_b,
+            sample_a.len(),
+            sample_b.len(),
+            domain,
+        );
         let fi_set: Arc<HashSet<u64>> = Arc::new(fi.iter().copied().collect());
-
-        // Estimated full-table mass of the frequent items (Algorithm 5, lines 1–4), clamped to
-        // the physically possible range [0, |X|].
-        let scale_a = table_a.len() as f64 / sample_a.len().max(1) as f64;
-        let scale_b = table_b.len() as f64 / sample_b.len().max(1) as f64;
-        let high_freq_a: f64 = fi
-            .iter()
-            .map(|&d| sketch_a.frequency(d) * scale_a)
-            .sum::<f64>()
-            .clamp(0.0, table_a.len() as f64);
-        let high_freq_b: f64 = fi
-            .iter()
-            .map(|&d| sketch_b.frequency(d) * scale_b)
-            .sum::<f64>()
-            .clamp(0.0, table_b.len() as f64);
 
         // --- Phase 2: two groups per attribute, FAP-encoded sketches ---------------------
         let (a1, a2) = split_half(&rest_a, rng);
         let (b1, b2) = split_half(&rest_b, rng);
-        if a1.is_empty() || a2.is_empty() || b1.is_empty() || b2.is_empty() {
-            return Err(Error::InvalidWorkload(
-                "phase-2 groups are empty; decrease the sampling rate or use larger tables".into(),
-            ));
-        }
+        debug_assert!(a1.len() >= 2 && a2.len() >= 2 && b1.len() >= 2 && b2.len() >= 2);
 
-        let low_seed = cfg.seed ^ 0x9E37_79B9_7F4A_7C15;
-        let high_seed = cfg.seed ^ 0x5851_F42D_4C95_7F2D;
-        let client_low = LdpJoinSketchClient::new(params, cfg.eps, low_seed);
-        let client_high = LdpJoinSketchClient::new(params, cfg.eps, high_seed);
-        let fap_low = FapClient::new(client_low, FapMode::LowFrequency, Arc::clone(&fi_set));
-        let fap_high = FapClient::new(client_high, FapMode::HighFrequency, Arc::clone(&fi_set));
-
+        let (fap_low, fap_high, low_seed, high_seed) = self.fap_clients(&fi_set);
         let m_la = build_fap_sketch(&fap_low, &a1, params, cfg.eps, low_seed, rng)?;
         let m_lb = build_fap_sketch(&fap_low, &b1, params, cfg.eps, low_seed, rng)?;
         let m_ha = build_fap_sketch(&fap_high, &a2, params, cfg.eps, high_seed, rng)?;
         let m_hb = build_fap_sketch(&fap_high, &b2, params, cfg.eps, high_seed, rng)?;
 
-        // --- JoinEst (Algorithm 5): remove non-target mass, estimate, rescale ------------
-        let group_fraction = |group_len: usize, table_len: usize| {
-            if cfg.paper_literal_subtraction {
-                1.0
-            } else {
-                group_len as f64 / table_len as f64
-            }
-        };
-        // mode == L: the non-targets are the high-frequency values.
-        let nt_la = high_freq_a * group_fraction(a1.len(), table_a.len());
-        let nt_lb = high_freq_b * group_fraction(b1.len(), table_b.len());
-        let low_products = m_la.row_products_shifted(&m_lb, nt_la / m, nt_lb / m)?;
-        let low_est =
-            median(&low_products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
-        // mode == H: the non-targets are the low-frequency values.
-        let nt_ha = (table_a.len() as f64 - high_freq_a) * group_fraction(a2.len(), table_a.len());
-        let nt_hb = (table_b.len() as f64 - high_freq_b) * group_fraction(b2.len(), table_b.len());
-        let high_products = m_ha.row_products_shifted(&m_hb, nt_ha / m, nt_hb / m)?;
-        let high_est =
-            median(&high_products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
+        self.join_est(ProtocolParts {
+            sketch_p1_a: sketch_a,
+            sketch_p1_b: sketch_b,
+            sample_a: sample_a.len(),
+            sample_b: sample_b.len(),
+            m_la,
+            m_lb,
+            m_ha,
+            m_hb,
+            a1: a1.len(),
+            a2: a2.len(),
+            b1: b1.len(),
+            b2: b2.len(),
+            n_a: table_a.len(),
+            n_b: table_b.len(),
+            fi,
+            thresholds,
+        })
+    }
 
-        let scale_low =
-            (table_a.len() as f64 * table_b.len() as f64) / (a1.len() as f64 * b1.len() as f64);
-        let scale_high =
-            (table_a.len() as f64 * table_b.len() as f64) / (a2.len() as f64 * b2.len() as f64);
-        let recombination_weights = if cfg.variance_weighted_recombination {
+    /// Run the protocol over two replayable bounded-memory value streams — the large-n
+    /// entry point.
+    ///
+    /// Each table is consumed in exactly two forward passes (one per phase) of
+    /// `chunk_len()`-bounded chunks; nothing of size `n` is ever materialized. Users are
+    /// routed to the phase-1 sample or one of the phase-2 groups by a deterministic hash of
+    /// `(config seed, user index)`, so both passes agree on every user's role and the
+    /// result depends only on `(streams, config, rng_seed)` — not on chunk boundaries of
+    /// the report pipeline or thread scheduling.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidWorkload`] if a stream is so small that a phase-2 group ends
+    /// up with fewer than two users (the rescale `(n/|A_g|)·(n/|B_g|)` of a singleton group
+    /// is degenerate).
+    pub fn estimate_chunked(
+        &self,
+        table_a: &dyn ChunkedValues,
+        table_b: &dyn ChunkedValues,
+        domain: &[u64],
+        rng_seed: u64,
+    ) -> Result<PlusEstimate> {
+        let cfg = &self.config;
+        let params = cfg.params;
+        let client_p1 = LdpJoinSketchClient::new(params, cfg.eps, cfg.seed);
+
+        // --- Pass 1: absorb the routed phase-1 sample, count the groups ------------------
+        let route_a = UserRouter::new(cfg.seed, 0xA, cfg.sampling_rate);
+        let route_b = UserRouter::new(cfg.seed, 0xB, cfg.sampling_rate);
+        let pass1 =
+            |route: &UserRouter, stream: &dyn ChunkedValues, tag: u64| -> Result<Phase1Pass> {
+                let mut builder = SketchBuilder::new(params, cfg.eps, cfg.seed);
+                let mut sampled = Vec::new();
+                let mut reports = Vec::new();
+                let (mut n_sample, mut n_low, mut n_high) = (0usize, 0usize, 0usize);
+                // Seed each chunk's RNG from a per-pass ordinal, not from the start index:
+                // the ChunkedValues contract allows non-full chunks, whose start indices
+                // would collide when divided by chunk_len and replay identical noise.
+                let mut ordinal = 0u64;
+                let mut err = None;
+                stream.for_each_chunk(&mut |start, chunk| {
+                    if err.is_some() {
+                        return;
+                    }
+                    sampled.clear();
+                    for (offset, &v) in chunk.iter().enumerate() {
+                        match route.route(start + offset as u64) {
+                            UserRole::Sample => {
+                                sampled.push(v);
+                                n_sample += 1;
+                            }
+                            UserRole::LowGroup => n_low += 1,
+                            UserRole::HighGroup => n_high += 1,
+                        }
+                    }
+                    let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ tag, ordinal));
+                    ordinal += 1;
+                    reports.clear();
+                    for &v in &sampled {
+                        reports.push(client_p1.perturb(v, &mut rng));
+                    }
+                    if let Err(e) = builder.absorb_all(&reports) {
+                        err = Some(e);
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                Ok(Phase1Pass {
+                    builder,
+                    n_sample,
+                    n_low,
+                    n_high,
+                })
+            };
+        let p1_a = pass1(&route_a, table_a, 0x51)?;
+        let p1_b = pass1(&route_b, table_b, 0x52)?;
+        for (group, name) in [
+            (p1_a.n_low, "A1"),
+            (p1_a.n_high, "A2"),
+            (p1_b.n_low, "B1"),
+            (p1_b.n_high, "B2"),
+        ] {
+            if group < 2 {
+                return Err(Error::InvalidWorkload(format!(
+                    "phase-2 group {name} holds {group} user(s); the (n/|A_g|)·(n/|B_g|) rescale \
+                     needs at least 2 — stream more users or lower the sampling rate"
+                )));
+            }
+        }
+        if p1_a.n_sample == 0 || p1_b.n_sample == 0 {
+            return Err(Error::InvalidWorkload(
+                "phase-1 sample is empty; stream more users or raise the sampling rate".into(),
+            ));
+        }
+        let sketch_a = p1_a.builder.finalize();
+        let sketch_b = p1_b.builder.finalize();
+
+        let (fi, thresholds) = self.discover_frequent_items(
+            &sketch_a,
+            &sketch_b,
+            p1_a.n_sample,
+            p1_b.n_sample,
+            domain,
+        );
+        let fi_set: Arc<HashSet<u64>> = Arc::new(fi.iter().copied().collect());
+
+        // --- Pass 2: replay, FAP-encode the two groups of each table ---------------------
+        let (fap_low, fap_high, low_seed, high_seed) = self.fap_clients(&fi_set);
+        let pass2 = |route: &UserRouter,
+                     stream: &dyn ChunkedValues,
+                     tag: u64|
+         -> Result<(FinalizedSketch, FinalizedSketch)> {
+            let mut low_builder = SketchBuilder::new(params, cfg.eps, low_seed);
+            let mut high_builder = SketchBuilder::new(params, cfg.eps, high_seed);
+            let mut low_reports = Vec::new();
+            let mut high_reports = Vec::new();
+            // Per-pass chunk ordinal, for the same non-full-chunk reason as in pass 1.
+            let mut ordinal = 0u64;
+            let mut err = None;
+            stream.for_each_chunk(&mut |start, chunk| {
+                if err.is_some() {
+                    return;
+                }
+                let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ tag, ordinal));
+                ordinal += 1;
+                low_reports.clear();
+                high_reports.clear();
+                for (offset, &v) in chunk.iter().enumerate() {
+                    match route.route(start + offset as u64) {
+                        UserRole::Sample => {}
+                        UserRole::LowGroup => low_reports.push(fap_low.perturb(v, &mut rng)),
+                        UserRole::HighGroup => high_reports.push(fap_high.perturb(v, &mut rng)),
+                    }
+                }
+                if let Err(e) = low_builder
+                    .absorb_all(&low_reports)
+                    .and_then(|()| high_builder.absorb_all(&high_reports))
+                {
+                    err = Some(e);
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            Ok((low_builder.finalize(), high_builder.finalize()))
+        };
+        let (m_la, m_ha) = pass2(&route_a, table_a, 0x61)?;
+        let (m_lb, m_hb) = pass2(&route_b, table_b, 0x62)?;
+
+        self.join_est(ProtocolParts {
+            sketch_p1_a: sketch_a,
+            sketch_p1_b: sketch_b,
+            sample_a: p1_a.n_sample,
+            sample_b: p1_b.n_sample,
+            m_la,
+            m_lb,
+            m_ha,
+            m_hb,
+            a1: p1_a.n_low,
+            a2: p1_a.n_high,
+            b1: p1_b.n_low,
+            b2: p1_b.n_high,
+            n_a: table_a.total_values(),
+            n_b: table_b.total_values(),
+            fi,
+            thresholds,
+        })
+    }
+
+    /// Phase-1 frequent-item discovery: fixed-θ mean-estimator scan in the classic mode,
+    /// adaptive-θ median-estimator scan in the confidence-driven mode.
+    fn discover_frequent_items(
+        &self,
+        sketch_a: &FinalizedSketch,
+        sketch_b: &FinalizedSketch,
+        sample_a: usize,
+        sample_b: usize,
+        domain: &[u64],
+    ) -> (Vec<u64>, (f64, f64)) {
+        let cfg = &self.config;
+        let (fi_a, fi_b, thresholds) = if cfg.adaptive {
+            let theta_a = bounds::adaptive_phase1_threshold(
+                cfg.params,
+                cfg.eps,
+                sample_a as f64,
+                sketch_a.f2_estimate(),
+            );
+            let theta_b = bounds::adaptive_phase1_threshold(
+                cfg.params,
+                cfg.eps,
+                sample_b as f64,
+                sketch_b.f2_estimate(),
+            );
             (
-                shrinkage_weight(scale_low * low_est, scale_low, &low_products),
-                shrinkage_weight(scale_high * high_est, scale_high, &high_products),
+                sketch_a.frequent_items_median(domain, theta_a, sample_a as f64),
+                sketch_b.frequent_items_median(domain, theta_b, sample_b as f64),
+                (theta_a, theta_b),
             )
         } else {
-            (1.0, 1.0)
+            (
+                sketch_a.frequent_items(domain, cfg.threshold, sample_a as f64),
+                sketch_b.frequent_items(domain, cfg.threshold, sample_b as f64),
+                (cfg.threshold, cfg.threshold),
+            )
         };
+        let mut fi: Vec<u64> = fi_a.into_iter().chain(fi_b).collect();
+        fi.sort_unstable();
+        fi.dedup();
+        (fi, thresholds)
+    }
+
+    /// The two FAP clients of phase 2, with their derived hash seeds.
+    fn fap_clients(&self, fi_set: &Arc<HashSet<u64>>) -> (FapClient, FapClient, u64, u64) {
+        let cfg = &self.config;
+        let low_seed = cfg.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let high_seed = cfg.seed ^ 0x5851_F42D_4C95_7F2D;
+        let client_low = LdpJoinSketchClient::new(cfg.params, cfg.eps, low_seed);
+        let client_high = LdpJoinSketchClient::new(cfg.params, cfg.eps, high_seed);
+        let fap_low = FapClient::new(client_low, FapMode::LowFrequency, Arc::clone(fi_set));
+        let fap_high = FapClient::new(client_high, FapMode::HighFrequency, Arc::clone(fi_set));
+        (fap_low, fap_high, low_seed, high_seed)
+    }
+
+    /// `JoinEst` (Algorithm 5, plus the confidence-driven extensions): estimate the two
+    /// partial join sizes from the phase-2 sketches, rescale, weight, sum, and account the
+    /// per-phase communication.
+    fn join_est(&self, parts: ProtocolParts) -> Result<PlusEstimate> {
+        let cfg = &self.config;
+        let m = cfg.params.columns() as f64;
+        let ProtocolParts {
+            sketch_p1_a,
+            sketch_p1_b,
+            sample_a,
+            sample_b,
+            m_la,
+            m_lb,
+            m_ha,
+            m_hb,
+            a1,
+            a2,
+            b1,
+            b2,
+            n_a,
+            n_b,
+            fi,
+            thresholds,
+        } = parts;
+
+        let scale_low = (n_a as f64 * n_b as f64) / (a1 as f64 * b1 as f64);
+        let scale_high = (n_a as f64 * n_b as f64) / (a2 as f64 * b2 as f64);
+
+        let (low_est, high_est, recombination_weights) = if cfg.adaptive {
+            // Shift-free low partial: the uniform non-target (frequent-item) mass cancels
+            // inside the centered product — no phase-1 mass estimate enters.
+            let low_products = m_la.row_products_centered(&m_lb)?;
+            let low_est = median(&low_products)
+                .ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
+            // Collision-masked high partial: uniform level from the non-FI buckets, product
+            // over the FI buckets, publicly-detectable FI collision rows dropped.
+            let high_products_flagged = m_ha.row_products_masked(&m_hb, &fi)?;
+            let clean: Vec<f64> = high_products_flagged
+                .iter()
+                .filter(|&&(_, ok)| ok)
+                .map(|&(v, _)| v)
+                .collect();
+            let all: Vec<f64> = high_products_flagged.iter().map(|&(v, _)| v).collect();
+            let high_est = if !clean.is_empty() {
+                clean.iter().sum::<f64>() / clean.len() as f64
+            } else {
+                median(&all).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?
+            };
+            // Confidence-weighted recombination: empirical spread capped by the group-aware
+            // Theorem 4 bound.
+            let w_low = confidence_weight(
+                scale_low * low_est,
+                scale_low,
+                &low_products,
+                bounds::group_variance_bound(cfg.params, cfg.eps, a1 as f64, b1 as f64, scale_low),
+            );
+            let w_high = confidence_weight(
+                scale_high * high_est,
+                scale_high,
+                &clean,
+                bounds::group_variance_bound(cfg.params, cfg.eps, a2 as f64, b2 as f64, scale_high),
+            );
+            (low_est, high_est, (w_low, w_high))
+        } else {
+            // Classic Algorithm 5: estimate the frequent-item masses from phase 1 and
+            // subtract the expected uniform non-target contribution per counter.
+            let scale_a = n_a as f64 / sample_a.max(1) as f64;
+            let scale_b = n_b as f64 / sample_b.max(1) as f64;
+            let high_freq_a: f64 = fi
+                .iter()
+                .map(|&d| sketch_p1_a.frequency(d) * scale_a)
+                .sum::<f64>()
+                .clamp(0.0, n_a as f64);
+            let high_freq_b: f64 = fi
+                .iter()
+                .map(|&d| sketch_p1_b.frequency(d) * scale_b)
+                .sum::<f64>()
+                .clamp(0.0, n_b as f64);
+            let group_fraction = |group_len: usize, table_len: usize| {
+                if cfg.paper_literal_subtraction {
+                    1.0
+                } else {
+                    group_len as f64 / table_len as f64
+                }
+            };
+            // mode == L: the non-targets are the high-frequency values.
+            let nt_la = high_freq_a * group_fraction(a1, n_a);
+            let nt_lb = high_freq_b * group_fraction(b1, n_b);
+            let low_products = m_la.row_products_shifted(&m_lb, nt_la / m, nt_lb / m)?;
+            let low_est = median(&low_products)
+                .ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
+            // mode == H: the non-targets are the low-frequency values.
+            let nt_ha = (n_a as f64 - high_freq_a) * group_fraction(a2, n_a);
+            let nt_hb = (n_b as f64 - high_freq_b) * group_fraction(b2, n_b);
+            let high_products = m_ha.row_products_shifted(&m_hb, nt_ha / m, nt_hb / m)?;
+            let high_est = median(&high_products)
+                .ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
+            let weights = if cfg.variance_weighted_recombination {
+                (
+                    shrinkage_weight(scale_low * low_est, scale_low, &low_products),
+                    shrinkage_weight(scale_high * high_est, scale_high, &high_products),
+                )
+            } else {
+                (1.0, 1.0)
+            };
+            (low_est, high_est, weights)
+        };
+
         let join_size = recombination_weights.0 * scale_low * low_est
             + recombination_weights.1 * scale_high * high_est;
 
-        let bits_per_report = client_p1.report_bits();
-        let communication_bits = bits_per_report * (table_a.len() + table_b.len()) as u64;
+        // Per-phase communication, from the report encoding each phase's users actually
+        // send (phase-1 users send plain LDPJoinSketch reports, phase-2 users send FAP
+        // reports through their group's client). All three clients encode the same
+        // `(y, j, l)` triple under the shared `(k, m)`, so the per-report cost is one
+        // function of the sketch parameters — but it is accounted per phase, through the
+        // sketch each phase built, so phases with different encodings would be charged
+        // correctly.
+        let per_report_bits =
+            |sketch: &FinalizedSketch| crate::protocol::report_bits(sketch.params());
+        let phase1_bits = per_report_bits(&sketch_p1_a) * sample_a as u64
+            + per_report_bits(&sketch_p1_b) * sample_b as u64;
+        let phase2_bits = per_report_bits(&m_la) * a1 as u64
+            + per_report_bits(&m_lb) * b1 as u64
+            + per_report_bits(&m_ha) * a2 as u64
+            + per_report_bits(&m_hb) * b2 as u64;
 
         Ok(PlusEstimate {
             join_size,
             frequent_items: fi,
             low_estimate: low_est,
             high_estimate: high_est,
-            phase1_users: (sample_a.len(), sample_b.len()),
-            group_sizes: (a1.len(), a2.len(), b1.len(), b2.len()),
+            phase1_users: (sample_a, sample_b),
+            group_sizes: (a1, a2, b1, b2),
             recombination_weights,
-            communication_bits,
+            thresholds,
+            phase_bits: (phase1_bits, phase2_bits),
+            communication_bits: phase1_bits + phase2_bits,
         })
+    }
+}
+
+/// One table's phase-1 pass over a chunked stream: the sample sketch builder plus the exact
+/// role counts (the routing is deterministic, so pass 2 sees the identical partition).
+struct Phase1Pass {
+    builder: SketchBuilder,
+    n_sample: usize,
+    n_low: usize,
+    n_high: usize,
+}
+
+/// The role the protocol assigns to one user.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UserRole {
+    /// Phase-1 sample.
+    Sample,
+    /// Phase-2 low-frequency group (`X1`).
+    LowGroup,
+    /// Phase-2 high-frequency group (`X2`).
+    HighGroup,
+}
+
+/// Deterministic user → role routing for the streaming path: a SplitMix64 hash of the
+/// user's global index, so the two protocol passes (and any chunking) agree on every
+/// user's role.
+struct UserRouter {
+    seed: u64,
+    rate: f64,
+}
+
+impl UserRouter {
+    fn new(protocol_seed: u64, table_tag: u64, rate: f64) -> Self {
+        UserRouter {
+            seed: protocol_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(table_tag),
+            rate,
+        }
+    }
+
+    fn route(&self, user_index: u64) -> UserRole {
+        // One canonical SplitMix64 finalizer for the whole crate (shared with the chunk
+        // RNG stream derivation).
+        let z = chunk_stream_seed(self.seed, user_index);
+        // 53 uniform bits decide sample membership.
+        let u = (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u < self.rate {
+            return UserRole::Sample;
+        }
+        // Group by *index parity* (seed decides which parity is which group), not by an
+        // independent coin: a balanced deterministic split has the hypergeometric
+        // composition variance of the materialized shuffle split — per heavy value a
+        // `(1−f/n)` factor below the binomial variance of independent per-user coins —
+        // and that composition noise is the dominant error of the rescaled high partial.
+        if (user_index ^ self.seed) & 1 == 0 {
+            UserRole::LowGroup
+        } else {
+            UserRole::HighGroup
+        }
     }
 }
 
 /// Split a table into a phase-1 sample of (approximately) `rate·n` users and the remainder.
 /// The split is a random partition, mirroring the random user sampling of the protocol.
-fn split_sample(table: &[u64], rate: f64, rng: &mut dyn RngCore) -> (Vec<u64>, Vec<u64>) {
+///
+/// The cut is clamped so the remainder can always form two phase-2 groups of **at least two
+/// users each**: a singleton group makes the `(n/|A_g|)·(n/|B_g|)` rescale of its partial
+/// estimate explode, so high sampling rates are re-cut down to `n − 4` and tables smaller
+/// than 5 users are rejected outright.
+///
+/// # Errors
+/// Returns [`Error::InvalidWorkload`] if the table cannot yield a non-empty sample plus two
+/// non-singleton groups (fewer than 5 users).
+fn split_sample(table: &[u64], rate: f64, rng: &mut dyn RngCore) -> Result<(Vec<u64>, Vec<u64>)> {
+    let n = table.len();
+    if n < 5 {
+        return Err(Error::InvalidWorkload(format!(
+            "LDPJoinSketch+ needs at least 5 users per attribute (1 phase-1 sample + two \
+             phase-2 groups of ≥2), got {n}"
+        )));
+    }
     let mut shuffled: Vec<u64> = table.to_vec();
     shuffled.shuffle(rng);
-    let cut = ((table.len() as f64 * rate).round() as usize)
-        .clamp(1, table.len().saturating_sub(2).max(1));
+    let cut = ((n as f64 * rate).round() as usize).clamp(1, n - 4);
     let rest = shuffled.split_off(cut);
-    (shuffled, rest)
+    Ok((shuffled, rest))
 }
 
 /// Split the remaining users into two halves (groups `X1` and `X2` of phase 2).
@@ -297,6 +744,13 @@ fn split_half(rest: &[u64], rng: &mut dyn RngCore) -> (Vec<u64>, Vec<u64>) {
 /// `w = Ĵ²/(Ĵ² + σ̂²)`, with `σ̂²` estimated from the spread of the `k` per-row products
 /// (each row is an independent estimator of the same partial; the median combiner's variance
 /// is proportional to the per-row variance divided by `k`).
+///
+/// Pinned edge behavior (each unit-tested):
+/// * identical row products (`σ̂² = 0`) → full weight `1` — a noiseless partial is never
+///   shrunk;
+/// * a negative estimate weighs by its magnitude (`Ĵ²`), exactly like a positive one;
+/// * any non-finite intermediate (overflowing spread, NaN products) → full weight `1` — a
+///   broken variance estimate must never silently zero out a real partial.
 fn shrinkage_weight(rescaled_estimate: f64, scale: f64, row_products: &[f64]) -> f64 {
     let k = row_products.len();
     if k < 2 {
@@ -305,11 +759,45 @@ fn shrinkage_weight(rescaled_estimate: f64, scale: f64, row_products: &[f64]) ->
     let mean = row_products.iter().sum::<f64>() / k as f64;
     let row_var = row_products.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (k as f64 - 1.0);
     let sigma_sq = scale * scale * row_var / k as f64;
+    weight_from(rescaled_estimate, sigma_sq)
+}
+
+/// The adaptive mode's generalization of [`shrinkage_weight`]: the empirical per-row spread
+/// is capped by the group-aware Theorem 4 variance bound, so an inflated spread (a few
+/// outlier rows) can never zero out a partial whose analytical confidence radius says it
+/// carries signal.
+fn confidence_weight(
+    rescaled_estimate: f64,
+    scale: f64,
+    row_products: &[f64],
+    analytic_variance_bound: f64,
+) -> f64 {
+    let k = row_products.len();
+    if k < 2 {
+        return 1.0;
+    }
+    let mean = row_products.iter().sum::<f64>() / k as f64;
+    let row_var = row_products.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (k as f64 - 1.0);
+    let mut sigma_sq = scale * scale * row_var / k as f64;
+    if analytic_variance_bound.is_finite() && analytic_variance_bound >= 0.0 {
+        sigma_sq = sigma_sq.min(analytic_variance_bound);
+    }
+    weight_from(rescaled_estimate, sigma_sq)
+}
+
+/// `w = Ĵ²/(Ĵ² + σ̂²)` with the pinned edges: `σ̂² = 0` (or a non-finite intermediate) gives
+/// full weight, so a partial is only ever *deliberately* damped by measured noise.
+fn weight_from(rescaled_estimate: f64, sigma_sq: f64) -> f64 {
     let signal_sq = rescaled_estimate * rescaled_estimate;
-    if signal_sq + sigma_sq == 0.0 {
-        1.0
+    let denom = signal_sq + sigma_sq;
+    if !denom.is_finite() || denom == 0.0 || !signal_sq.is_finite() {
+        return 1.0;
+    }
+    let w = signal_sq / denom;
+    if w.is_finite() {
+        w
     } else {
-        signal_sq / (signal_sq + sigma_sq)
+        1.0
     }
 }
 
@@ -345,6 +833,8 @@ fn build_fap_sketch(
 mod tests {
     use super::*;
     use ldpjs_common::stats::exact_join_size;
+    use ldpjs_common::stream::SliceChunks;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -388,8 +878,44 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let domain: Vec<u64> = (0..10).collect();
         assert!(est
-            .estimate(&[1, 2], &[1, 2, 3, 4], &domain, &mut rng)
+            .estimate(&[1, 2], &[1, 2, 3, 4, 5], &domain, &mut rng)
             .is_err());
+        assert!(est
+            .estimate(&[1, 2, 3, 4], &[1, 2, 3, 4, 5], &domain, &mut rng)
+            .is_err());
+    }
+
+    #[test]
+    fn high_sampling_rate_never_leaves_singleton_groups() {
+        // Satellite regression: at rate = 0.99 the naive cut `round(0.99·n)` leaves ≤ 2
+        // post-sample users, which `split_half` would turn into singleton (or empty)
+        // phase-2 groups whose rescale explodes. The re-cut must keep every group at ≥ 2
+        // users for n ≥ 5, and n = 4 must be rejected with InvalidWorkload.
+        let mut cfg = config(4.0);
+        cfg.sampling_rate = 0.99;
+        let est = LdpJoinSketchPlus::new(cfg).unwrap();
+        let domain: Vec<u64> = (0..10).collect();
+        for len in 4usize..=8 {
+            let table: Vec<u64> = (0..len as u64).collect();
+            let other: Vec<u64> = (0..8u64).collect();
+            let mut rng = StdRng::seed_from_u64(42 + len as u64);
+            let result = est.estimate(&table, &other, &domain, &mut rng);
+            if len < 5 {
+                assert!(
+                    matches!(result, Err(Error::InvalidWorkload(_))),
+                    "len {len} must be rejected with InvalidWorkload"
+                );
+            } else {
+                let r = result.unwrap_or_else(|e| panic!("len {len} failed: {e}"));
+                let (a1, a2, b1, b2) = r.group_sizes;
+                assert!(
+                    a1 >= 2 && a2 >= 2 && b1 >= 2 && b2 >= 2,
+                    "len {len} produced a degenerate group: {:?}",
+                    r.group_sizes
+                );
+                assert_eq!(r.phase1_users.0 + a1 + a2, len, "partition of table A");
+            }
+        }
     }
 
     #[test]
@@ -421,6 +947,47 @@ mod tests {
     }
 
     #[test]
+    fn communication_bits_match_per_phase_report_encodings() {
+        // Satellite regression: the old accounting charged every user the *phase-1*
+        // client's report size. The total must instead equal the sum over phases of
+        // (users in phase) × (that phase's report encoding), which is also the sum of the
+        // serialized sizes of the reports each phase's client actually produces.
+        let a = skewed(40_000, 2_000, 51);
+        let b = skewed(40_000, 2_000, 52);
+        let domain: Vec<u64> = (0..2_000).collect();
+        let cfg = config(4.0);
+        let est = LdpJoinSketchPlus::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        let r = est.estimate(&a, &b, &domain, &mut rng).unwrap();
+
+        // Reconstruct the per-phase encodings from the same clients the protocol uses.
+        let client_p1 = LdpJoinSketchClient::new(cfg.params, cfg.eps, cfg.seed);
+        let fi_set: Arc<HashSet<u64>> = Arc::new(r.frequent_items.iter().copied().collect());
+        let est_wrap = LdpJoinSketchPlus::new(cfg).unwrap();
+        let (fap_low, fap_high, _, _) = est_wrap.fap_clients(&fi_set);
+        let (a1, a2, b1, b2) = r.group_sizes;
+        let expect_p1 = client_p1.report_bits() * (r.phase1_users.0 + r.phase1_users.1) as u64;
+        let expect_p2 =
+            fap_low.report_bits() * (a1 + b1) as u64 + fap_high.report_bits() * (a2 + b2) as u64;
+        assert_eq!(r.phase_bits, (expect_p1, expect_p2));
+        assert_eq!(r.communication_bits, expect_p1 + expect_p2);
+
+        // Cross-check against actually-serialized reports: every report of a phase carries
+        // that phase's per-report bit count, so the phase total equals the summed sizes.
+        let mut rng2 = StdRng::seed_from_u64(99);
+        let sample_reports = client_p1.perturb_all(&a[..r.phase1_users.0], &mut rng2);
+        let summed: u64 = sample_reports.iter().map(|_| client_p1.report_bits()).sum();
+        assert_eq!(summed, client_p1.report_bits() * r.phase1_users.0 as u64);
+        // Total bits = bits for every user of both tables, exactly once each.
+        assert_eq!(
+            r.communication_bits,
+            client_p1.report_bits() * (a.len() + b.len()) as u64,
+            "all phases share (k, m), so the per-user cost is uniform — but it must now be \
+             derived from the per-phase clients, not asserted"
+        );
+    }
+
+    #[test]
     fn frequent_items_contain_the_heaviest_value() {
         // Value 0 holds ≳ 40% of the mass under the skewed generator, far above θ = 1%.
         let a = skewed(80_000, 5_000, 7);
@@ -449,6 +1016,121 @@ mod tests {
         let scale_high = (a.len() * b.len()) as f64 / (a2 * b2) as f64;
         let recomposed = scale_low * r.low_estimate + scale_high * r.high_estimate;
         assert!((recomposed - r.join_size).abs() < 1e-6 * r.join_size.abs().max(1.0));
+    }
+
+    #[test]
+    fn adaptive_mode_tracks_truth_and_reports_adaptive_thresholds() {
+        let a = skewed(120_000, 5_000, 61);
+        let b = skewed(120_000, 5_000, 62);
+        let truth = exact_join_size(&a, &b) as f64;
+        let domain: Vec<u64> = (0..5_000).collect();
+        let mut cfg = config(4.0);
+        cfg.adaptive = true;
+        let est = LdpJoinSketchPlus::new(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(63);
+        let r = est.estimate(&a, &b, &domain, &mut rng).unwrap();
+        let re = (r.join_size - truth).abs() / truth;
+        assert!(re < 0.3, "adaptive relative error {re}");
+        // The adaptive thresholds come from the noise-floor bound, not the config.
+        let (ta, tb) = r.thresholds;
+        assert_ne!(ta, cfg.threshold);
+        let floor = 1.0 / ((512.0f64 * 12.0).sqrt());
+        assert!(ta >= floor && ta <= 0.5, "θ_A {ta}");
+        assert!(tb >= floor && tb <= 0.5, "θ_B {tb}");
+        // Confidence weights are well-formed.
+        let (wl, wh) = r.recombination_weights;
+        assert!((0.0..=1.0).contains(&wl) && (0.0..=1.0).contains(&wh));
+        // The heaviest value must be in FI.
+        assert!(r.frequent_items.contains(&0));
+    }
+
+    #[test]
+    fn chunked_estimate_matches_protocol_invariants_and_tracks_truth() {
+        let n = 150_000usize;
+        let a = skewed(n, 5_000, 71);
+        let b = skewed(n, 5_000, 72);
+        let truth = exact_join_size(&a, &b) as f64;
+        let domain: Vec<u64> = (0..5_000).collect();
+        let mut cfg = config(4.0);
+        cfg.adaptive = true;
+        let est = LdpJoinSketchPlus::new(cfg).unwrap();
+        let source_a = SliceChunks::new(&a, 4_096);
+        let source_b = SliceChunks::new(&b, 4_096);
+        let r = est
+            .estimate_chunked(&source_a, &source_b, &domain, 77)
+            .unwrap();
+        let re = (r.join_size - truth).abs() / truth;
+        assert!(re < 0.3, "chunked relative error {re}");
+        // The routing partitions every table exactly.
+        let (a1, a2, b1, b2) = r.group_sizes;
+        assert_eq!(r.phase1_users.0 + a1 + a2, n);
+        assert_eq!(r.phase1_users.1 + b1 + b2, n);
+        // Roughly the configured sampling rate (binomial, 15% ± a few σ).
+        let rate = r.phase1_users.0 as f64 / n as f64;
+        assert!((rate - 0.15).abs() < 0.01, "sample rate drifted: {rate}");
+    }
+
+    #[test]
+    fn chunked_estimate_is_chunk_size_invariant() {
+        // The user routing depends only on the global index and the report RNG on the
+        // stream's own chunk length — so two *identical* streams chunked the same way give
+        // identical results, and the result survives re-chunking of the report pipeline
+        // (same chunk_len, different ingestion batching is internal).
+        let a = skewed(30_000, 1_000, 81);
+        let b = skewed(30_000, 1_000, 82);
+        let domain: Vec<u64> = (0..1_000).collect();
+        let mut cfg = config(4.0);
+        cfg.adaptive = true;
+        let est = LdpJoinSketchPlus::new(cfg).unwrap();
+        let r1 = est
+            .estimate_chunked(
+                &SliceChunks::new(&a, 4_096),
+                &SliceChunks::new(&b, 4_096),
+                &domain,
+                5,
+            )
+            .unwrap();
+        let r2 = est
+            .estimate_chunked(
+                &SliceChunks::new(&a, 4_096),
+                &SliceChunks::new(&b, 4_096),
+                &domain,
+                5,
+            )
+            .unwrap();
+        assert_eq!(r1.join_size, r2.join_size, "replay must be deterministic");
+        assert_eq!(r1.group_sizes, r2.group_sizes);
+        // A different rng seed gives a different (but still sane) realization.
+        let r3 = est
+            .estimate_chunked(
+                &SliceChunks::new(&a, 4_096),
+                &SliceChunks::new(&b, 4_096),
+                &domain,
+                6,
+            )
+            .unwrap();
+        assert_eq!(
+            r1.group_sizes, r3.group_sizes,
+            "routing is rng-seed independent"
+        );
+        assert_ne!(r1.join_size, r3.join_size);
+    }
+
+    #[test]
+    fn chunked_estimate_rejects_tiny_streams() {
+        // 3 users can never populate two ≥2-user groups, whatever the routing does.
+        let tiny: Vec<u64> = (0..3).collect();
+        let domain: Vec<u64> = (0..10).collect();
+        let mut cfg = config(4.0);
+        cfg.adaptive = true;
+        let est = LdpJoinSketchPlus::new(cfg).unwrap();
+        let r = est.estimate_chunked(
+            &SliceChunks::new(&tiny, 4),
+            &SliceChunks::new(&tiny, 4),
+            &domain,
+            1,
+        );
+        assert!(matches!(r, Err(Error::InvalidWorkload(_))));
     }
 
     #[test]
@@ -502,6 +1184,52 @@ mod tests {
     }
 
     #[test]
+    fn shrinkage_weight_edge_cases_are_pinned() {
+        // σ̂² = 0 (all row products identical): full weight, the partial is trusted.
+        let identical = vec![5.0e6; 12];
+        assert_eq!(shrinkage_weight(1.0e7, 3.0, &identical), 1.0);
+        assert_eq!(confidence_weight(1.0e7, 3.0, &identical, 1.0e3), 1.0);
+        // Zero estimate with zero spread: still full weight (0·1 = 0 either way, but the
+        // weight must not be NaN from 0/0).
+        assert_eq!(shrinkage_weight(0.0, 3.0, &identical), 1.0);
+        let zeros = vec![0.0; 8];
+        assert_eq!(shrinkage_weight(0.0, 3.0, &zeros), 1.0);
+        // A negative estimate weighs by magnitude, identically to its positive mirror.
+        let spread: Vec<f64> = (0..12).map(|i| 1.0e6 + (i as f64) * 2.0e5).collect();
+        let w_neg = shrinkage_weight(-2.0e6, 4.0, &spread);
+        let w_pos = shrinkage_weight(2.0e6, 4.0, &spread);
+        assert!((w_neg - w_pos).abs() < 1e-15);
+        assert!(
+            (0.0..=1.0).contains(&w_neg) && w_neg > 0.0,
+            "weight {w_neg}"
+        );
+        // Non-finite inputs can never produce a zero/NaN weight that silently kills a
+        // partial: the weight falls back to 1.
+        let with_nan = vec![1.0, f64::NAN, 2.0, 3.0];
+        let w = shrinkage_weight(1.0e6, 2.0, &with_nan);
+        assert_eq!(w, 1.0);
+        let overflow = vec![f64::MAX, -f64::MAX, f64::MAX, -f64::MAX];
+        let w = shrinkage_weight(1.0e6, f64::MAX, &overflow);
+        assert_eq!(w, 1.0);
+        // Tiny estimate against huge measured noise is damped toward zero, but stays finite
+        // and positive (the legitimate shrinkage direction still works).
+        let w = shrinkage_weight(10.0, 100.0, &spread);
+        assert!(w > 0.0 && w < 1e-6, "noise-dominated weight {w}");
+        // The analytic cap keeps an outlier-inflated spread from zeroing a real partial.
+        let outlier: Vec<f64> = (0..12)
+            .map(|i| if i == 0 { 1.0e12 } else { 1.0e6 })
+            .collect();
+        let uncapped = shrinkage_weight(5.0e6, 4.0, &outlier);
+        let capped = confidence_weight(5.0e6, 4.0, &outlier, 1.0e10);
+        assert!(
+            capped > uncapped,
+            "the Theorem-4 cap must restore weight to an outlier-hit partial: \
+             {capped} vs {uncapped}"
+        );
+        assert!(capped > 0.5, "capped weight {capped}");
+    }
+
+    #[test]
     fn paper_literal_subtraction_gives_a_different_answer() {
         let a = skewed(60_000, 2_000, 21);
         let b = skewed(60_000, 2_000, 22);
@@ -527,5 +1255,66 @@ mod tests {
             (e1.join_size - truth).abs(),
             (e2.join_size - truth).abs()
         );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Satellite proptest: `split_sample` is an exact multiset partition — every user
+        /// lands in exactly one side, with the claimed sizes (cut clamped into [1, n−4]).
+        #[test]
+        fn prop_split_sample_is_an_exact_partition(
+            n in 5usize..400,
+            rate in 0.01f64..0.99,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let table: Vec<u64> = (0..n as u64).map(|v| v * 3 % 97).collect();
+            let (sample, rest) = split_sample(&table, rate, &mut rng).unwrap();
+            prop_assert!(!sample.is_empty());
+            prop_assert!(rest.len() >= 4, "rest {} too small for two groups", rest.len());
+            prop_assert_eq!(sample.len() + rest.len(), n);
+            let expected_cut = ((n as f64 * rate).round() as usize).clamp(1, n - 4);
+            prop_assert_eq!(sample.len(), expected_cut);
+            let mut merged: Vec<u64> = sample.into_iter().chain(rest).collect();
+            merged.sort_unstable();
+            let mut original = table.clone();
+            original.sort_unstable();
+            prop_assert_eq!(merged, original);
+        }
+
+        /// Satellite proptest: `split_half` partitions its input into halves of sizes
+        /// ⌊n/2⌋ and ⌈n/2⌉ with the multiset preserved.
+        #[test]
+        fn prop_split_half_is_an_exact_partition(n in 0usize..300, seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rest: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(7) % 51).collect();
+            let (g1, g2) = split_half(&rest, &mut rng);
+            prop_assert_eq!(g1.len(), n / 2);
+            prop_assert_eq!(g2.len(), n - n / 2);
+            let mut merged: Vec<u64> = g1.into_iter().chain(g2).collect();
+            merged.sort_unstable();
+            let mut original = rest.clone();
+            original.sort_unstable();
+            prop_assert_eq!(merged, original);
+        }
+
+        /// The streaming router is a deterministic function of (seed, index) with the
+        /// configured sample rate, and both passes see the same role for every user.
+        #[test]
+        fn prop_router_is_deterministic_and_rate_correct(
+            seed in any::<u64>(),
+            rate in 0.05f64..0.5,
+        ) {
+            let router = UserRouter::new(seed, 0xA, rate);
+            let n = 4_000u64;
+            let roles: Vec<UserRole> = (0..n).map(|i| router.route(i)).collect();
+            let replay: Vec<UserRole> = (0..n).map(|i| router.route(i)).collect();
+            prop_assert_eq!(&roles, &replay);
+            let sampled = roles.iter().filter(|&&r| r == UserRole::Sample).count() as f64;
+            // Binomial(4000, rate): allow 5σ.
+            let sigma = (n as f64 * rate * (1.0 - rate)).sqrt();
+            prop_assert!((sampled - n as f64 * rate).abs() < 5.0 * sigma + 5.0);
+        }
     }
 }

@@ -7,11 +7,12 @@
 
 use ldpjs_common::error::Result;
 use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::stream::ChunkedValues;
 use ldpjs_sketch::SketchParams;
 use rand::RngCore;
 
 use crate::aggregator::ShardedAggregator;
-use crate::client::LdpJoinSketchClient;
+use crate::client::{chunk_stream_seed, LdpJoinSketchClient};
 use crate::plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
 use crate::server::{FinalizedSketch, SketchBuilder};
 use std::sync::Arc;
@@ -86,6 +87,78 @@ pub fn ldp_join_estimate_parallel(
     let sketch_b =
         build_private_sketch_parallel(table_b, params, eps, seed, rng_seed ^ 0xB, shards)?;
     sketch_a.join_size(&sketch_b)
+}
+
+/// Build a [`FinalizedSketch`] from a replayable bounded-memory value stream — the large-n
+/// ingestion path.
+///
+/// One pass over the stream: each chunk is perturbed with its own deterministic RNG stream
+/// (seeded from `rng_seed` and the chunk index, like
+/// [`LdpJoinSketchClient::perturb_all_parallel`]) and absorbed into a
+/// [`ShardedAggregator`], so peak resident value memory is the stream's `chunk_len()`, not
+/// `n`. For a fixed stream (values + chunk length) the result depends only on
+/// `(params, eps, seed, rng_seed)` — never on `shards` or thread scheduling.
+pub fn build_private_sketch_chunked(
+    values: &dyn ChunkedValues,
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng_seed: u64,
+    shards: usize,
+) -> Result<FinalizedSketch> {
+    let client = LdpJoinSketchClient::new(params, eps, seed);
+    let mut engine =
+        ShardedAggregator::with_hashes(params, eps, Arc::clone(client.hashes()), shards)?;
+    let chunk_len = values.chunk_len().max(1) as u64;
+    let mut err = None;
+    values.for_each_chunk(&mut |start, chunk| {
+        if err.is_some() {
+            return;
+        }
+        let reports = client.perturb_all_parallel(
+            chunk,
+            chunk_stream_seed(rng_seed, start / chunk_len),
+            shards,
+        );
+        if let Err(e) = engine.ingest(&reports) {
+            err = Some(e);
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(engine.finalize()),
+    }
+}
+
+/// Run the full LDPJoinSketch protocol over two bounded-memory value streams (the plain
+/// baseline of the large-n regime): both sketches are built with
+/// [`build_private_sketch_chunked`] and combined by the Eq. 5 estimator.
+pub fn ldp_join_estimate_chunked(
+    table_a: &dyn ChunkedValues,
+    table_b: &dyn ChunkedValues,
+    params: SketchParams,
+    eps: Epsilon,
+    seed: u64,
+    rng_seed: u64,
+    shards: usize,
+) -> Result<f64> {
+    let sketch_a = build_private_sketch_chunked(table_a, params, eps, seed, rng_seed, shards)?;
+    let sketch_b =
+        build_private_sketch_chunked(table_b, params, eps, seed, rng_seed ^ 0xB, shards)?;
+    sketch_a.join_size(&sketch_b)
+}
+
+/// Run the full LDPJoinSketch+ protocol over two bounded-memory value streams: two replayed
+/// passes per table (phase 1 and phase 2), peak value memory bounded by the chunk length.
+/// See [`LdpJoinSketchPlus::estimate_chunked`].
+pub fn ldp_join_plus_estimate_chunked(
+    table_a: &dyn ChunkedValues,
+    table_b: &dyn ChunkedValues,
+    domain: &[u64],
+    config: PlusConfig,
+    rng_seed: u64,
+) -> Result<PlusEstimate> {
+    LdpJoinSketchPlus::new(config)?.estimate_chunked(table_a, table_b, domain, rng_seed)
 }
 
 /// Run the full LDPJoinSketch+ protocol with an explicit configuration and candidate domain.
@@ -174,6 +247,51 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let sketch = build_private_sketch(&[1, 2, 3, 4, 5], params, eps, 0, &mut rng).unwrap();
         assert_eq!(sketch.reports(), 5);
+    }
+
+    #[test]
+    fn chunked_pipeline_tracks_truth_and_is_shard_count_invariant() {
+        use ldpjs_common::stream::SliceChunks;
+        let a = skewed(80_000, 5_000, 21);
+        let b = skewed(80_000, 5_000, 22);
+        let truth = exact_join_size(&a, &b) as f64;
+        let params = SketchParams::new(12, 512).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let src_a = SliceChunks::new(&a, 8_192);
+        let src_b = SliceChunks::new(&b, 8_192);
+        let est_1 = ldp_join_estimate_chunked(&src_a, &src_b, params, eps, 9, 33, 1).unwrap();
+        let est_4 = ldp_join_estimate_chunked(&src_a, &src_b, params, eps, 9, 33, 4).unwrap();
+        assert_eq!(
+            est_1, est_4,
+            "shard count must not change the chunked estimate"
+        );
+        let re = (est_1 - truth).abs() / truth;
+        assert!(re < 0.3, "relative error {re} (est {est_1}, truth {truth})");
+        // The chunked sketch itself counts every streamed report.
+        let sketch = build_private_sketch_chunked(&src_a, params, eps, 9, 33, 2).unwrap();
+        assert_eq!(sketch.reports(), a.len() as u64);
+    }
+
+    #[test]
+    fn plus_chunked_wrapper_matches_direct_use() {
+        use ldpjs_common::stream::SliceChunks;
+        let a = skewed(40_000, 2_000, 25);
+        let b = skewed(40_000, 2_000, 26);
+        let domain: Vec<u64> = (0..2_000).collect();
+        let params = SketchParams::new(10, 256).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let mut cfg = PlusConfig::new(params, eps);
+        cfg.sampling_rate = 0.2;
+        cfg.adaptive = true;
+        let src_a = SliceChunks::new(&a, 4_096);
+        let src_b = SliceChunks::new(&b, 4_096);
+        let via_wrapper = ldp_join_plus_estimate_chunked(&src_a, &src_b, &domain, cfg, 7).unwrap();
+        let direct = LdpJoinSketchPlus::new(cfg)
+            .unwrap()
+            .estimate_chunked(&src_a, &src_b, &domain, 7)
+            .unwrap();
+        assert_eq!(via_wrapper.join_size, direct.join_size);
+        assert_eq!(via_wrapper.group_sizes, direct.group_sizes);
     }
 
     #[test]

@@ -317,6 +317,102 @@ impl FinalizedSketch {
         self.row_products_shifted(other, 0.0, 0.0)
     }
 
+    /// Per-row *mean-centered* inner products: `Σ_x (M_A[j,x]−Ā_j)(M_B[j,x]−B̄_j)/(1−1/m)`,
+    /// where `Ā_j` is the mean of row `j`.
+    ///
+    /// This is the shift-free form of Algorithm 5's non-target mass removal. Writing a FAP
+    /// row as `M[j,x] = T_x + N_x` (target signal plus non-target mass with uniform
+    /// expectation `|NT|/m`), the centered product satisfies, conditionally on the hashes,
+    ///
+    /// `E[Σ_x (A_x−Ā)(B_x−B̄)] = J_target·(1 − 1/m)`:
+    ///
+    /// the `|NT_A|·|NT_B|/m` term of the raw product cancels against the same term inside
+    /// `m·Ā·B̄`, so **no estimate of the non-target mass is needed at all** — unlike the
+    /// shifted form, whose subtraction error (the phase-1 frequent-item mass is itself an
+    /// estimate) couples multiplicatively with the non-target total. The price is a small
+    /// extra variance term from the centered signed target sums (`Σ_v f_v ξ_j(v)`, removed
+    /// at weight `1/m`), which the collision-masked product
+    /// ([`FinalizedSketch::row_products_masked`]) avoids for the high-frequency group.
+    pub fn row_products_centered(&self, other: &Self) -> Result<Vec<f64>> {
+        check_compatible(self.params, &self.hashes, other.params, &other.hashes)?;
+        let (k, m) = (self.params.rows(), self.params.columns());
+        let mf = m as f64;
+        Ok((0..k)
+            .map(|j| {
+                let ra = self.row(j);
+                let rb = other.row(j);
+                let mean_a = ra.iter().sum::<f64>() / mf;
+                let mean_b = rb.iter().sum::<f64>() / mf;
+                let centered: f64 = ra
+                    .iter()
+                    .zip(rb)
+                    .map(|(a, b)| (a - mean_a) * (b - mean_b))
+                    .sum();
+                centered / (1.0 - 1.0 / mf)
+            })
+            .collect())
+    }
+
+    /// Per-row *collision-masked* inner products for a sketch pair whose target set is the
+    /// small public set `targets` (LDPJoinSketch+'s high-frequency phase-2 sketches).
+    ///
+    /// The target values' buckets `S_j = {h_j(d) : d ∈ targets}` are public, so row `j` can
+    /// (1) estimate the uniform non-target level `u_j` from the buckets *outside* `S_j` —
+    /// unaffected by any target signal and free of the phase-1 mass-estimate error — and
+    /// (2) restrict the product to the buckets of `S_j`, where all the target join signal
+    /// lives, dropping the non-target scatter and LDP noise of the other `m−|S_j|` buckets.
+    ///
+    /// Returns one `(product, collision_free)` pair per row; `collision_free` is `false`
+    /// when two distinct target values share a bucket in that row, which the caller can use
+    /// to drop the (rare, publicly detectable) collision outliers before combining rows.
+    /// With an empty target set every product is `0` (there is no target signal to sum).
+    pub fn row_products_masked(&self, other: &Self, targets: &[u64]) -> Result<Vec<(f64, bool)>> {
+        check_compatible(self.params, &self.hashes, other.params, &other.hashes)?;
+        let (k, m) = (self.params.rows(), self.params.columns());
+        Ok((0..k)
+            .map(|j| {
+                let pair = self.hashes.pair(j);
+                let mut in_s = vec![false; m];
+                let mut s_size = 0usize;
+                let mut collision_free = true;
+                for &d in targets {
+                    let b = pair.bucket_of(d);
+                    if in_s[b] {
+                        collision_free = false;
+                    } else {
+                        in_s[b] = true;
+                        s_size += 1;
+                    }
+                }
+                if s_size == 0 {
+                    return (0.0, true);
+                }
+                let ra = self.row(j);
+                let rb = other.row(j);
+                let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
+                for x in 0..m {
+                    if !in_s[x] {
+                        sum_a += ra[x];
+                        sum_b += rb[x];
+                    }
+                }
+                let free = (m - s_size) as f64;
+                // With every bucket targeted there is no noise-only bucket left to estimate
+                // the uniform level from; fall back to zero shift (all signal buckets).
+                let (u_a, u_b) = if free > 0.0 {
+                    (sum_a / free, sum_b / free)
+                } else {
+                    (0.0, 0.0)
+                };
+                let product: f64 = (0..m)
+                    .filter(|&x| in_s[x])
+                    .map(|x| (ra[x] - u_a) * (rb[x] - u_b))
+                    .sum();
+                (product, collision_free)
+            })
+            .collect())
+    }
+
     /// Join-size estimate `median_j Σ_x M_A[j,x]·M_B[j,x]` (Eq. 5).
     pub fn join_size(&self, other: &Self) -> Result<f64> {
         let products = self.row_products(other)?;
@@ -364,6 +460,57 @@ impl FinalizedSketch {
         acc / k as f64
     }
 
+    /// Median-of-rows frequency estimate `f̃_med(d) = median_j M[j, h_j(d)]·ξ_j(d)`.
+    ///
+    /// The Theorem 7 estimator ([`FinalizedSketch::frequency`]) averages the `k` per-row
+    /// estimates, so a single row in which `d`'s bucket also holds a heavy hitter drags the
+    /// whole estimate by `±f_heavy/k`. At the narrow sketches of the large-n regime
+    /// (`m ≲ 128`) that collision inflates tail values past any phase-1 threshold and floods
+    /// the frequent-item set. The median combiner ignores the (rare, large) colliding rows
+    /// entirely, which is what the adaptive frequent-item discovery of LDPJoinSketch+ uses.
+    pub fn frequency_median(&self, value: u64) -> f64 {
+        let (k, m) = (self.params.rows(), self.params.columns());
+        if k == 0 {
+            return 0.0;
+        }
+        let per_row: Vec<f64> = self
+            .hashes
+            .iter()
+            .enumerate()
+            .map(|(j, pair)| {
+                self.restored[j * m + pair.bucket_of(value)] * pair.sign_of(value) as f64
+            })
+            .collect();
+        median(&per_row).unwrap_or(0.0)
+    }
+
+    /// Estimate of the second frequency moment `F2 = Σ_d f(d)²` of the absorbed table,
+    /// de-biased for the LDP noise the restored counters carry.
+    ///
+    /// `E[Σ_x M[j,x]²] = F2 + m·reports·k·c_ε²` (each report contributes `±k·c_ε` to every
+    /// restored counter of its row through the Hadamard transform; the constant is validated
+    /// empirically in this module's tests), so subtracting the noise term from the mean row
+    /// energy leaves `F2`. Clamped below at `0`.
+    pub fn f2_estimate(&self) -> f64 {
+        let (k, m) = (self.params.rows(), self.params.columns());
+        if k == 0 {
+            return 0.0;
+        }
+        let mean_energy = (0..k)
+            .map(|j| self.row(j).iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            / k as f64;
+        let noise = m as f64 * self.noise_variance_per_counter();
+        (mean_energy - noise).max(0.0)
+    }
+
+    /// The LDP noise variance each restored counter carries: `reports·k·c_ε²`
+    /// (`k` from the row-sampling de-bias scale, `c_ε` from randomized response).
+    pub fn noise_variance_per_counter(&self) -> f64 {
+        let c = self.eps.c_eps();
+        self.reports as f64 * self.params.rows() as f64 * c * c
+    }
+
     /// The frequent-item set `FI = {d ∈ domain : f̃(d) > θ·total}` used by phase 1 of
     /// LDPJoinSketch+ (`total` is the number of users the sketch claims to summarise, after
     /// any scaling the caller applies for sampling).
@@ -373,6 +520,19 @@ impl FinalizedSketch {
             .iter()
             .copied()
             .filter(|&d| self.frequency_at(d) > threshold)
+            .collect()
+    }
+
+    /// Frequent-item discovery with the collision-robust median estimator
+    /// ([`FinalizedSketch::frequency_median`]) — the detector used by LDPJoinSketch+'s
+    /// adaptive mode, where a stable, non-flooded `FI` is what keeps the phase-2
+    /// high-frequency sketch sparse.
+    pub fn frequent_items_median(&self, domain: &[u64], theta: f64, total: f64) -> Vec<u64> {
+        let threshold = theta * total;
+        domain
+            .iter()
+            .copied()
+            .filter(|&d| self.frequency_median(d) > threshold)
             .collect()
     }
 }
@@ -663,6 +823,150 @@ mod tests {
         for j in 0..p.rows() {
             assert_eq!(sketch.row(j), &all[j * p.columns()..(j + 1) * p.columns()]);
         }
+    }
+
+    #[test]
+    fn centered_products_remove_uniform_mass_without_knowing_it() {
+        // Shift both sketches' counters by arbitrary constants (uniform mass); the centered
+        // product must be unchanged, unlike the raw product. This is the property that makes
+        // the plus estimator immune to the phase-1 mass-estimate error.
+        let p = params(8, 128);
+        let e = eps(6.0);
+        let a = skewed_stream(30_000, 400, 1);
+        let b = skewed_stream(30_000, 400, 2);
+        let sa = build_sketch(&a, p, e, 5, 3);
+        let sb = build_sketch(&b, p, e, 5, 4);
+        let base = sa.row_products_centered(&sb).unwrap();
+        let mut sa_shifted = sa.clone();
+        let mut sb_shifted = sb.clone();
+        for v in sa_shifted.restored.iter_mut() {
+            *v += 1234.5;
+        }
+        for v in sb_shifted.restored.iter_mut() {
+            *v -= 777.25;
+        }
+        let shifted = sa_shifted.row_products_centered(&sb_shifted).unwrap();
+        for (x, y) in base.iter().zip(&shifted) {
+            assert!(
+                (x - y).abs() < 1e-4 * x.abs().max(1.0),
+                "centered product moved under a uniform shift: {x} vs {y}"
+            );
+        }
+        // And it still estimates the join size (up to the usual sketch noise).
+        let truth = exact_join_size(&a, &b) as f64;
+        let est = median(&base).unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.3,
+            "centered estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn masked_products_isolate_a_small_target_set() {
+        // Tables whose mass is one heavy value plus uniform tail; targets = {heavy}.
+        // The masked product must estimate the heavy-only join component.
+        let p = params(12, 128);
+        let e = eps(8.0);
+        let n = 60_000usize;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mk = |rng: &mut StdRng| -> Vec<u64> {
+            (0..n)
+                .map(|_| {
+                    if rng.gen_range(0u64..10) < 4 {
+                        7u64
+                    } else {
+                        10 + rng.gen_range(0u64..3_000)
+                    }
+                })
+                .collect()
+        };
+        let a = mk(&mut rng);
+        let b = mk(&mut rng);
+        let count = |t: &[u64]| t.iter().filter(|&&v| v == 7).count() as f64;
+        let heavy_join = count(&a) * count(&b);
+        let sa = build_sketch(&a, p, e, 9, 21);
+        let sb = build_sketch(&b, p, e, 9, 22);
+        let masked = sa.row_products_masked(&sb, &[7]).unwrap();
+        assert_eq!(masked.len(), 12);
+        // A single target value can never self-collide.
+        assert!(masked.iter().all(|&(_, clean)| clean));
+        let products: Vec<f64> = masked.iter().map(|&(v, _)| v).collect();
+        let est = median(&products).unwrap();
+        assert!(
+            (est - heavy_join).abs() / heavy_join < 0.2,
+            "masked estimate {est} vs heavy-only join {heavy_join}"
+        );
+        // Empty target set → zero products, flagged clean.
+        let empty = sa.row_products_masked(&sb, &[]).unwrap();
+        assert!(empty.iter().all(|&(v, clean)| v == 0.0 && clean));
+    }
+
+    #[test]
+    fn masked_products_flag_target_collisions() {
+        // Force collisions by passing many targets on a narrow sketch: with 40 targets in
+        // 64 buckets most rows must contain a shared bucket.
+        let p = params(10, 64);
+        let sketch = build_sketch(&skewed_stream(5_000, 500, 3), p, eps(4.0), 2, 9);
+        let targets: Vec<u64> = (0..40).collect();
+        let masked = sketch.row_products_masked(&sketch, &targets).unwrap();
+        assert!(
+            masked.iter().any(|&(_, clean)| !clean),
+            "40 targets in 64 buckets should collide in at least one of 10 rows"
+        );
+    }
+
+    #[test]
+    fn frequency_median_is_robust_to_single_row_collisions() {
+        // The mean estimator spreads a heavy collision over all rows; the median ignores
+        // it. Both must agree on the heavy value itself.
+        let p = params(18, 128);
+        let e = eps(6.0);
+        let n = 80_000usize;
+        let mut rng = StdRng::seed_from_u64(4);
+        let values: Vec<u64> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    3u64
+                } else {
+                    10 + rng.gen_range(0u64..2_000)
+                }
+            })
+            .collect();
+        let sketch = build_sketch(&values, p, e, 31, 8);
+        let heavy_truth = (n / 2) as f64;
+        let med = sketch.frequency_median(3);
+        assert!(
+            (med - heavy_truth).abs() / heavy_truth < 0.15,
+            "median estimate {med} vs {heavy_truth}"
+        );
+        // Across a tail scan, the worst-case median overestimate stays below the worst-case
+        // mean overestimate (collision robustness).
+        let worst_mean = (100..600u64)
+            .map(|d| sketch.frequency(d))
+            .fold(f64::MIN, f64::max);
+        let worst_med = (100..600u64)
+            .map(|d| sketch.frequency_median(d))
+            .fold(f64::MIN, f64::max);
+        assert!(
+            worst_med <= worst_mean,
+            "median worst-case {worst_med} should not exceed mean worst-case {worst_mean}"
+        );
+    }
+
+    #[test]
+    fn f2_estimate_tracks_truth() {
+        let p = params(18, 256);
+        let e = eps(4.0);
+        // Skewed stream: F2 from the exact frequency table. (A flat table's F2 sits far
+        // below the subtracted noise energy and is legitimately estimated as ≈0; only a
+        // skew whose F2 rises above the noise energy is identifiable.)
+        let values = skewed_stream(150_000, 5_000, 7);
+        let table = frequency_table(&values);
+        let f2: u64 = table.values().map(|&c| c * c).sum();
+        let sketch = build_sketch(&values, p, e, 12, 14);
+        let est = sketch.f2_estimate();
+        let re_f2 = (est - f2 as f64).abs() / f2 as f64;
+        assert!(re_f2 < 0.25, "F2 estimate {est} vs truth {f2}");
     }
 
     #[test]

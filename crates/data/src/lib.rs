@@ -15,17 +15,23 @@
 //!   laptop-scale runs keep the paper's *relative* behaviour.
 //! * [`table`] — the [`table::JoinWorkload`] container (two private tables plus ground truth)
 //!   and multi-way chain workloads for Fig. 15.
+//! * [`streaming`] — the large-n regime layer: [`streaming::StreamingTable`] and
+//!   [`streaming::StreamingJoinWorkload`] replay Zipf/uniform tables in fixed-size chunks
+//!   (bit-identical to the materialized table for the same seed) so ≥10M-user workloads fit
+//!   in laptop RAM.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod gaussian;
 pub mod realworld;
+pub mod streaming;
 pub mod table;
 pub mod workload;
 pub mod zipf;
 
 pub use gaussian::GaussianGenerator;
+pub use streaming::{StreamingJoinWorkload, StreamingTable};
 pub use table::{ChainWorkload, JoinWorkload};
 pub use workload::{DatasetInfo, PaperDataset};
 pub use zipf::ZipfGenerator;

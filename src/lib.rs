@@ -48,17 +48,20 @@ pub use ldpjs_sketch as sketch;
 /// The most common imports for applications using the library.
 pub mod prelude {
     pub use ldpjs_common::stats::exact_join_size;
+    pub use ldpjs_common::stream::{ChunkedValues, SliceChunks};
     pub use ldpjs_common::Epsilon;
     pub use ldpjs_core::protocol::{
-        build_private_sketch, build_private_sketch_parallel, ldp_join_estimate,
-        ldp_join_estimate_parallel, ldp_join_plus_estimate,
+        build_private_sketch, build_private_sketch_chunked, build_private_sketch_parallel,
+        ldp_join_estimate, ldp_join_estimate_chunked, ldp_join_estimate_parallel,
+        ldp_join_plus_estimate, ldp_join_plus_estimate_chunked,
     };
     pub use ldpjs_core::{
         ClientReport, FapClient, FapMode, FinalizedSketch, LdpJoinSketchClient, LdpJoinSketchPlus,
         PlusConfig, PlusEstimate, ShardedAggregator, SketchBuilder, SketchParams,
     };
     pub use ldpjs_data::{
-        ChainWorkload, JoinWorkload, PaperDataset, ValueGenerator, ZipfGenerator,
+        ChainWorkload, JoinWorkload, PaperDataset, StreamingJoinWorkload, StreamingTable,
+        ValueGenerator, ZipfGenerator,
     };
     pub use ldpjs_ldp::{
         estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle,
