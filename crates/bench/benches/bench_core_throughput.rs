@@ -22,6 +22,7 @@ use ldpjs_core::protocol::{
 use ldpjs_core::server::SketchBuilder;
 use ldpjs_core::{Epsilon, PlusConfig, SketchParams};
 use ldpjs_data::{StreamingJoinWorkload, ValueGenerator, ZipfGenerator};
+use ldpjs_service::{ServiceConfig, SketchService, WindowRange};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -305,6 +306,76 @@ fn bench_large_n_streaming(rec: &mut Recorder) {
     );
 }
 
+/// The online sketch service: continuous batch ingestion into the live engine, and the
+/// cached query layer — a cold `All`-range join query pays the 8-window merge + restore +
+/// row product, the repeated query is a hash lookup. The cold/cached pair is the service's
+/// headline trade-off, tracked as `service_query_{cold,cached}` in BENCH_core.json.
+fn bench_service(c: &mut Criterion, rec: &mut Recorder) {
+    let windows = 8usize;
+    let n_window = if smoke() { 4_000 } else { 32_000 };
+    let mut config = ServiceConfig::new(params(), eps());
+    config.shards = 2;
+    config.epoch_reports = u64::MAX >> 1; // rotation driven explicitly below
+    config.retained_windows = windows;
+    let mut service = SketchService::new(config).unwrap();
+    let a = service.register_attribute("bench.a", 7).unwrap();
+    let b = service.register_attribute("bench.b", 7).unwrap();
+    let gen = ZipfGenerator::new(1.3, 100_000);
+    let mut rng = StdRng::seed_from_u64(11);
+    for attr in [a, b] {
+        let client = service.client(attr).unwrap();
+        for _ in 0..windows {
+            let reports = client.perturb_all(&gen.sample_many(n_window, &mut rng), &mut rng);
+            service.ingest(attr, &reports).unwrap();
+            service.rotate(attr).unwrap();
+        }
+    }
+
+    let batch = service
+        .client(a)
+        .unwrap()
+        .perturb_all(&gen.sample_many(8_192, &mut rng), &mut rng);
+    rec.bench(
+        c,
+        "service/ingest_throughput_8192_report_batch",
+        "service_ingest_throughput",
+        8_192,
+        params(),
+        |bn| {
+            bn.iter(|| {
+                service.ingest(a, black_box(&batch)).unwrap();
+                black_box(service.live_reports(a).unwrap())
+            })
+        },
+    );
+
+    let n_total = 2 * windows * n_window;
+    rec.bench(
+        c,
+        "service/query_cold_all_windows_join",
+        "service_query_cold",
+        n_total,
+        params(),
+        |bn| {
+            bn.iter(|| {
+                service.clear_cache();
+                black_box(service.join_size(a, b, WindowRange::All).unwrap())
+            })
+        },
+    );
+    // Prime once, then every query is a memoized lookup.
+    service.clear_cache();
+    service.join_size(a, b, WindowRange::All).unwrap();
+    rec.bench(
+        c,
+        "service/query_cached_all_windows_join",
+        "service_query_cached",
+        n_total,
+        params(),
+        |bn| bn.iter(|| black_box(service.join_size(a, b, WindowRange::All).unwrap())),
+    );
+}
+
 /// The clone-heavy estimator medians measured immediately before the zero-copy
 /// builder/finalize refactor, on this repository's reference machine (k = 18, m = 1024;
 /// same workloads as the current benches). Kept in the JSON so every future run can be
@@ -419,6 +490,7 @@ fn main() {
     bench_server_ingest(&mut c, &mut rec);
     bench_finalize_restore(&mut c, &mut rec);
     bench_estimation(&mut c, &mut rec);
+    bench_service(&mut c, &mut rec);
     bench_large_n_streaming(&mut rec);
     write_json(&rec.records);
 }

@@ -32,6 +32,11 @@ pub enum Error {
     },
     /// An estimator was asked to run with an empty input where at least one element is required.
     EmptyInput(String),
+    /// A sketch-service call referenced a join attribute that was never registered.
+    UnknownAttribute(String),
+    /// A sketch-service query asked for epoch windows the snapshot ring does not hold
+    /// (nothing sealed yet, or the windows were evicted by the retention bound).
+    WindowUnavailable(String),
 }
 
 impl fmt::Display for Error {
@@ -53,6 +58,8 @@ impl fmt::Display for Error {
                 "client report targets counter ({row}, {col}) but the sketch is {rows}x{cols}"
             ),
             Error::EmptyInput(msg) => write!(f, "empty input: {msg}"),
+            Error::UnknownAttribute(msg) => write!(f, "unknown join attribute: {msg}"),
+            Error::WindowUnavailable(msg) => write!(f, "window unavailable: {msg}"),
         }
     }
 }
@@ -84,6 +91,14 @@ mod tests {
             Error::InvalidSketchParameter("k".into()),
             Error::InvalidSketchParameter("m".into())
         );
+    }
+
+    #[test]
+    fn service_variants_are_human_readable() {
+        let e = Error::UnknownAttribute("orders.user_id".into());
+        assert!(e.to_string().contains("orders.user_id"));
+        let e = Error::WindowUnavailable("no sealed windows".into());
+        assert!(e.to_string().contains("no sealed windows"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod stream;
 pub use error::{Error, Result};
 pub use hash::{BucketHash, HashPair, RowHashes, SignHash};
 pub use privacy::Epsilon;
-pub use stream::{ChunkedValues, SliceChunks};
+pub use stream::{ChunkedTuples, ChunkedValues, SliceChunks, TupleSliceChunks};
 
 /// The type of a private join-attribute value.
 ///

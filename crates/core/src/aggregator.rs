@@ -134,9 +134,14 @@ impl ShardedAggregator {
         self.shards[0].absorb_all(reports)
     }
 
-    /// Merge all shards counter-wise and finalize: one de-bias + Hadamard restore pass over
-    /// the merged counters, yielding the immutable zero-copy estimation view.
-    pub fn finalize(self) -> FinalizedSketch {
+    /// Seal the engine into a single merged [`SketchBuilder`] via the public
+    /// [`SketchBuilder::merge`]: counter-wise exact integer addition over the shards, so the
+    /// result is bit-for-bit the builder a sequential absorption would have produced.
+    ///
+    /// This is the epoch-rotation hook of the online sketch service: a sealed window keeps
+    /// the merged builder (still mergeable with other windows, still exact) instead of — or
+    /// alongside — the finalized estimation view.
+    pub fn into_builder(self) -> SketchBuilder {
         let mut shards = self.shards.into_iter();
         let mut merged = shards
             .next()
@@ -146,7 +151,13 @@ impl ShardedAggregator {
                 .merge(&shard)
                 .expect("shards share parameters, hashes and ε by construction");
         }
-        merged.finalize()
+        merged
+    }
+
+    /// Merge all shards counter-wise and finalize: one de-bias + Hadamard restore pass over
+    /// the merged counters, yielding the immutable zero-copy estimation view.
+    pub fn finalize(self) -> FinalizedSketch {
+        self.into_builder().finalize()
     }
 }
 
@@ -227,6 +238,32 @@ mod tests {
         single.absorb_all(&all).unwrap();
         assert_eq!(
             engine.finalize().restored_counters(),
+            single.finalize().restored_counters()
+        );
+    }
+
+    #[test]
+    fn into_builder_seals_the_merged_exact_counters() {
+        // Sealing the engine must hand back the same builder a sequential absorption
+        // produces, and that builder must remain mergeable (the window-merge path).
+        let p = params(8, 128);
+        let e = eps(3.0);
+        let reports = reports_for(2_501, p, e, 13);
+        let (first, second) = reports.split_at(1_200);
+
+        let mut engine_a = ShardedAggregator::new(p, e, 13, 4).unwrap();
+        engine_a.ingest(first).unwrap();
+        let mut sealed_a = engine_a.into_builder();
+        let mut engine_b = ShardedAggregator::new(p, e, 13, 3).unwrap();
+        engine_b.ingest(second).unwrap();
+        let sealed_b = engine_b.into_builder();
+        sealed_a.merge(&sealed_b).unwrap();
+
+        let mut single = SketchBuilder::new(p, e, 13);
+        single.absorb_all(&reports).unwrap();
+        assert_eq!(sealed_a.reports(), single.reports());
+        assert_eq!(
+            sealed_a.finalize().restored_counters(),
             single.finalize().restored_counters()
         );
     }

@@ -41,7 +41,7 @@ pub use fap::{FapClient, FapMode};
 pub use plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
 pub use protocol::{
     ldp_join_estimate, ldp_join_estimate_chunked, ldp_join_estimate_parallel,
-    ldp_join_plus_estimate, ldp_join_plus_estimate_chunked,
+    ldp_join_plus_estimate, ldp_join_plus_estimate_chunked, stream_reports_chunked,
 };
 pub use server::{FinalizedSketch, SketchBuilder};
 

@@ -12,7 +12,7 @@ use ldpjs_sketch::SketchParams;
 use rand::RngCore;
 
 use crate::aggregator::ShardedAggregator;
-use crate::client::{chunk_stream_seed, LdpJoinSketchClient};
+use crate::client::{chunk_stream_seed, ClientReport, LdpJoinSketchClient};
 use crate::plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
 use crate::server::{FinalizedSketch, SketchBuilder};
 use std::sync::Arc;
@@ -89,12 +89,54 @@ pub fn ldp_join_estimate_parallel(
     sketch_a.join_size(&sketch_b)
 }
 
+/// Replay a bounded-memory value stream as the protocol's perturbed report batches, feeding
+/// each batch to `sink`.
+///
+/// This is the canonical client-simulation pass of the chunked pipeline, exposed so that
+/// *any* report consumer — [`build_private_sketch_chunked`], the online `SketchService`'s
+/// continuous ingestion, a soak driver — sees the exact same report stream for the same
+/// `(client, rng_seed)`: each chunk is perturbed with its own deterministic RNG stream
+/// (seeded from `rng_seed` and the chunk ordinal, like
+/// [`LdpJoinSketchClient::perturb_all_parallel`]), so the stream is thread-count-invariant
+/// and bit-reproducible. A consumer absorbing these batches into exact-counter builders is
+/// therefore bit-identical to the one-shot runners, no matter how it windows the batches.
+///
+/// # Errors
+/// Stops at and returns the first error `sink` reports.
+pub fn stream_reports_chunked(
+    values: &dyn ChunkedValues,
+    client: &LdpJoinSketchClient,
+    rng_seed: u64,
+    threads: usize,
+    sink: &mut dyn FnMut(&[ClientReport]) -> Result<()>,
+) -> Result<()> {
+    // Pass-local chunk ordinal (not `start / chunk_len`): `chunk_len()` is only an *upper
+    // bound* on chunk length, so a custom stream emitting non-full mid-stream chunks would
+    // otherwise collide ordinals and replay a noise stream. For full-chunk streams the
+    // ordinal equals `start / chunk_len`, so existing pinned seeds are unchanged.
+    let mut ordinal = 0u64;
+    let mut err = None;
+    values.for_each_chunk(&mut |_start, chunk| {
+        if err.is_some() {
+            return;
+        }
+        let reports =
+            client.perturb_all_parallel(chunk, chunk_stream_seed(rng_seed, ordinal), threads);
+        ordinal += 1;
+        if let Err(e) = sink(&reports) {
+            err = Some(e);
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
 /// Build a [`FinalizedSketch`] from a replayable bounded-memory value stream — the large-n
 /// ingestion path.
 ///
-/// One pass over the stream: each chunk is perturbed with its own deterministic RNG stream
-/// (seeded from `rng_seed` and the chunk index, like
-/// [`LdpJoinSketchClient::perturb_all_parallel`]) and absorbed into a
+/// One pass over the stream via [`stream_reports_chunked`], absorbed into a
 /// [`ShardedAggregator`], so peak resident value memory is the stream's `chunk_len()`, not
 /// `n`. For a fixed stream (values + chunk length) the result depends only on
 /// `(params, eps, seed, rng_seed)` — never on `shards` or thread scheduling.
@@ -109,25 +151,10 @@ pub fn build_private_sketch_chunked(
     let client = LdpJoinSketchClient::new(params, eps, seed);
     let mut engine =
         ShardedAggregator::with_hashes(params, eps, Arc::clone(client.hashes()), shards)?;
-    let chunk_len = values.chunk_len().max(1) as u64;
-    let mut err = None;
-    values.for_each_chunk(&mut |start, chunk| {
-        if err.is_some() {
-            return;
-        }
-        let reports = client.perturb_all_parallel(
-            chunk,
-            chunk_stream_seed(rng_seed, start / chunk_len),
-            shards,
-        );
-        if let Err(e) = engine.ingest(&reports) {
-            err = Some(e);
-        }
-    });
-    match err {
-        Some(e) => Err(e),
-        None => Ok(engine.finalize()),
-    }
+    stream_reports_chunked(values, &client, rng_seed, shards, &mut |reports| {
+        engine.ingest(reports)
+    })?;
+    Ok(engine.finalize())
 }
 
 /// Run the full LDPJoinSketch protocol over two bounded-memory value streams (the plain
@@ -270,6 +297,33 @@ mod tests {
         // The chunked sketch itself counts every streamed report.
         let sketch = build_private_sketch_chunked(&src_a, params, eps, 9, 33, 2).unwrap();
         assert_eq!(sketch.reports(), a.len() as u64);
+    }
+
+    #[test]
+    fn streamed_report_batches_reproduce_the_chunked_pipeline_bit_for_bit() {
+        use crate::server::SketchBuilder;
+        use ldpjs_common::stream::SliceChunks;
+        // An external consumer absorbing the batches of `stream_reports_chunked` — in any
+        // windowing — must land on the same sketch as `build_private_sketch_chunked`.
+        let values = skewed(30_000, 2_000, 41);
+        let src = SliceChunks::new(&values, 4_096);
+        let params = SketchParams::new(10, 256).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let reference = build_private_sketch_chunked(&src, params, eps, 5, 61, 2).unwrap();
+
+        let client = LdpJoinSketchClient::new(params, eps, 5);
+        let mut consumer = SketchBuilder::new(params, eps, 5);
+        let mut batches = 0usize;
+        stream_reports_chunked(&src, &client, 61, 2, &mut |reports| {
+            batches += 1;
+            consumer.absorb_all(reports)
+        })
+        .unwrap();
+        assert_eq!(batches, values.len().div_ceil(4_096));
+        assert_eq!(
+            consumer.finalize().restored_counters(),
+            reference.restored_counters()
+        );
     }
 
     #[test]

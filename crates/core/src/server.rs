@@ -216,24 +216,55 @@ impl SketchBuilder {
             params,
             eps,
             hashes,
-            mut raw,
+            raw,
             reports,
         } = self;
-        let scale = params.rows() as f64 * eps.c_eps();
-        for v in raw.iter_mut() {
-            *v *= scale;
-        }
-        let m = params.columns();
-        for j in 0..params.rows() {
-            fwht_in_place(&mut raw[j * m..(j + 1) * m]);
-        }
-        FinalizedSketch {
-            params,
-            eps,
-            hashes,
-            restored: raw,
-            reports,
-        }
+        restore(params, eps, hashes, raw, reports)
+    }
+
+    /// Restore a *snapshot* of the sketch without consuming the builder: the exact raw
+    /// counters are cloned and pushed through the identical de-bias + Hadamard pipeline as
+    /// [`SketchBuilder::finalize`], so the two entry points can never diverge bit-wise.
+    ///
+    /// This is the epoch-sealing hook of the online sketch service: a sealed window keeps
+    /// its builder (exact integer counters, mergeable with other windows at zero rounding
+    /// error) *and* an estimation view, and a k-window merge re-aggregates the raw counters
+    /// before a single restore — which is why merged-window estimates are bit-identical to
+    /// one-shot aggregation of the same reports.
+    pub fn finalize_view(&self) -> FinalizedSketch {
+        restore(
+            self.params,
+            self.eps,
+            Arc::clone(&self.hashes),
+            self.raw.clone(),
+            self.reports,
+        )
+    }
+}
+
+/// The single de-bias + Hadamard restore pipeline shared by [`SketchBuilder::finalize`] and
+/// [`SketchBuilder::finalize_view`].
+fn restore(
+    params: SketchParams,
+    eps: Epsilon,
+    hashes: Arc<RowHashes>,
+    mut raw: Vec<f64>,
+    reports: u64,
+) -> FinalizedSketch {
+    let scale = params.rows() as f64 * eps.c_eps();
+    for v in raw.iter_mut() {
+        *v *= scale;
+    }
+    let m = params.columns();
+    for j in 0..params.rows() {
+        fwht_in_place(&mut raw[j * m..(j + 1) * m]);
+    }
+    FinalizedSketch {
+        params,
+        eps,
+        hashes,
+        restored: raw,
+        reports,
     }
 }
 
@@ -994,6 +1025,36 @@ mod tests {
         assert_eq!(shard_a.reports(), single.reports());
         assert_eq!(
             shard_a.finalize().restored_counters(),
+            single.finalize().restored_counters()
+        );
+    }
+
+    #[test]
+    fn finalize_view_is_bit_identical_to_consuming_finalize() {
+        // The non-consuming snapshot restore must agree bit-for-bit with `finalize`, and the
+        // builder must stay usable (absorbing more reports) afterwards.
+        let p = params(8, 128);
+        let e = eps(3.0);
+        let client = LdpJoinSketchClient::new(p, e, 21);
+        let mut rng = StdRng::seed_from_u64(6);
+        let reports = client.perturb_all(&skewed_stream(3_000, 150, 12), &mut rng);
+        let (first, second) = reports.split_at(1_700);
+
+        let mut builder = SketchBuilder::new(p, e, 21);
+        builder.absorb_all(first).unwrap();
+        let view = builder.finalize_view();
+        assert_eq!(view.reports(), 1_700);
+        assert_eq!(
+            view.restored_counters(),
+            builder.clone().finalize().restored_counters()
+        );
+
+        // The builder keeps accumulating; a later view covers the full stream.
+        builder.absorb_all(second).unwrap();
+        let mut single = SketchBuilder::new(p, e, 21);
+        single.absorb_all(&reports).unwrap();
+        assert_eq!(
+            builder.finalize_view().restored_counters(),
             single.finalize().restored_counters()
         );
     }

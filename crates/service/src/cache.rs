@@ -1,0 +1,283 @@
+//! The memoized query cache: answers keyed by (attribute, epoch-span) pairs, merged
+//! estimation views keyed by (attribute, epoch-span), both invalidated when the attribute
+//! rotates.
+//!
+//! Epoch spans — `(first_epoch, last_epoch)` over per-attribute, never-reused epoch ids —
+//! identify immutable sealed data, so a cached answer can never go stale; invalidation on
+//! rotation exists to (1) bound the cache to answers the *current* ring can still derive
+//! and (2) keep `Latest`/`LastK` queries, which re-resolve to new spans after every
+//! rotation, from accumulating dead entries.
+
+use ldpjs_core::FinalizedSketch;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A query answer as stored in (and served from) the cache.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct CachedAnswer {
+    /// The estimate.
+    pub value: f64,
+    /// Sealed windows consulted (both sides summed for a join).
+    pub windows: usize,
+    /// Reports covered by those windows (both sides summed for a join).
+    pub reports: u64,
+}
+
+/// Cache key: the query shape plus the resolved epoch spans it covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum QueryKey {
+    /// Join-size query over two attributes' spans (normalized so `a <= b`).
+    Join {
+        a: usize,
+        b: usize,
+        span_a: (u64, u64),
+        span_b: (u64, u64),
+    },
+    /// Frequency query for one value over one attribute's span.
+    Frequency {
+        attr: usize,
+        value: u64,
+        span: (u64, u64),
+    },
+}
+
+impl QueryKey {
+    /// Build a join key normalized under operand order (the row product is commutative down
+    /// to the bit level, so both orders share one entry).
+    pub(crate) fn join(a: usize, span_a: (u64, u64), b: usize, span_b: (u64, u64)) -> Self {
+        if a <= b {
+            QueryKey::Join {
+                a,
+                b,
+                span_a,
+                span_b,
+            }
+        } else {
+            QueryKey::Join {
+                a: b,
+                b: a,
+                span_a: span_b,
+                span_b: span_a,
+            }
+        }
+    }
+
+    fn touches(&self, attr: usize) -> bool {
+        match *self {
+            QueryKey::Join { a, b, .. } => a == attr || b == attr,
+            QueryKey::Frequency { attr: f, .. } => f == attr,
+        }
+    }
+}
+
+/// Counters describing the cache's behaviour since service start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to be computed.
+    pub misses: u64,
+    /// Result entries currently held.
+    pub entries: usize,
+    /// Merged multi-window estimation views currently held.
+    pub views: usize,
+    /// Invalidation events (one per rotation of any attribute, plus explicit clears).
+    pub invalidations: u64,
+    /// Result entries evicted by the capacity bound (oldest first).
+    pub evictions: u64,
+}
+
+/// The service-wide memoization layer.
+///
+/// Result entries are bounded by `capacity` with oldest-insertion-first eviction:
+/// frequency queries are keyed by arbitrary caller-supplied values, so without a bound a
+/// domain scan against a quiet attribute (rotation being the only invalidation trigger)
+/// would grow the always-on service's memory without limit. Merged views need no bound of
+/// their own — ranges resolve to ring suffixes, so an attribute can only ever have
+/// `retained_windows` distinct spans alive between rotations.
+#[derive(Debug)]
+pub(crate) struct QueryCache {
+    capacity: usize,
+    results: HashMap<QueryKey, CachedAnswer>,
+    /// Insertion order of result keys (may hold keys already invalidated; pruned lazily).
+    order: VecDeque<QueryKey>,
+    views: HashMap<(usize, u64, u64), Arc<FinalizedSketch>>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+}
+
+impl QueryCache {
+    /// An empty cache bounded to `capacity` result entries.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        QueryCache {
+            capacity,
+            results: HashMap::new(),
+            order: VecDeque::new(),
+            views: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Look a result up, counting the hit or miss.
+    pub(crate) fn lookup(&mut self, key: &QueryKey) -> Option<CachedAnswer> {
+        match self.results.get(key) {
+            Some(ans) => {
+                self.hits += 1;
+                Some(*ans)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a freshly computed result, evicting the oldest entries past the capacity
+    /// bound.
+    pub(crate) fn insert(&mut self, key: QueryKey, answer: CachedAnswer) {
+        self.results.insert(key, answer);
+        self.order.push_back(key);
+        while self.results.len() > self.capacity {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            // Stale order entries (already invalidated) pop without counting as evictions.
+            if self.results.remove(&old).is_some() {
+                self.evictions += 1;
+            }
+        }
+        // Invalidations can leave the order queue full of dead keys; prune it before it
+        // outgrows the live map by more than a constant factor.
+        if self.order.len() > self.capacity.saturating_mul(2) {
+            let results = &self.results;
+            self.order.retain(|k| results.contains_key(k));
+        }
+    }
+
+    /// A memoized merged view for `(attr, first_epoch, last_epoch)`, if present.
+    pub(crate) fn view(&self, key: (usize, u64, u64)) -> Option<Arc<FinalizedSketch>> {
+        self.views.get(&key).map(Arc::clone)
+    }
+
+    /// Memoize a merged multi-window view.
+    pub(crate) fn insert_view(&mut self, key: (usize, u64, u64), view: Arc<FinalizedSketch>) {
+        self.views.insert(key, view);
+    }
+
+    /// Rotation hook: drop every result and merged view touching `attr`.
+    pub(crate) fn invalidate_attribute(&mut self, attr: usize) {
+        self.results.retain(|key, _| !key.touches(attr));
+        self.views.retain(|&(a, _, _), _| a != attr);
+        self.invalidations += 1;
+    }
+
+    /// Drop everything (the explicit `clear_cache` entry point; also counted as an
+    /// invalidation).
+    pub(crate) fn clear(&mut self) {
+        self.results.clear();
+        self.order.clear();
+        self.views.clear();
+        self.invalidations += 1;
+    }
+
+    /// Current counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.results.len(),
+            views: self.views.len(),
+            invalidations: self.invalidations,
+            evictions: self.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_keys_normalize_operand_order() {
+        let k1 = QueryKey::join(3, (0, 4), 1, (2, 5));
+        let k2 = QueryKey::join(1, (2, 5), 3, (0, 4));
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_results_first() {
+        let mut cache = QueryCache::with_capacity(3);
+        let key = |v: u64| QueryKey::Frequency {
+            attr: 0,
+            value: v,
+            span: (0, 0),
+        };
+        let ans = CachedAnswer {
+            value: 0.0,
+            windows: 1,
+            reports: 1,
+        };
+        for v in 0..10 {
+            cache.insert(key(v), ans);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3, "bounded to capacity");
+        assert_eq!(stats.evictions, 7);
+        // The newest entries survive, the oldest are gone.
+        assert!(cache.lookup(&key(9)).is_some());
+        assert!(cache.lookup(&key(0)).is_none());
+        // Stale order entries left by invalidation do not count as evictions.
+        cache.invalidate_attribute(0);
+        for v in 0..3 {
+            cache.insert(key(v), ans);
+        }
+        assert_eq!(cache.stats().evictions, 7);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses_and_invalidation_is_selective() {
+        let mut cache = QueryCache::with_capacity(64);
+        let key_a = QueryKey::join(0, (0, 1), 1, (0, 1));
+        let key_b = QueryKey::Frequency {
+            attr: 2,
+            value: 7,
+            span: (0, 0),
+        };
+        assert!(cache.lookup(&key_a).is_none());
+        cache.insert(
+            key_a,
+            CachedAnswer {
+                value: 1.0,
+                windows: 4,
+                reports: 100,
+            },
+        );
+        cache.insert(
+            key_b,
+            CachedAnswer {
+                value: 2.0,
+                windows: 1,
+                reports: 50,
+            },
+        );
+        assert!(cache.lookup(&key_a).is_some());
+        // Rotating attribute 0 drops the join touching it but keeps attribute 2's entry.
+        cache.invalidate_attribute(0);
+        assert!(cache.lookup(&key_a).is_none());
+        assert!(cache.lookup(&key_b).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.invalidations, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+}

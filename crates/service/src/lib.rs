@@ -1,0 +1,37 @@
+//! # ldpjs-service
+//!
+//! The **online sketch service**: the always-on serving layer that turns the one-shot
+//! LDPJoinSketch protocol (collect every report, aggregate, estimate once) into a
+//! long-running system under continuous report traffic.
+//!
+//! * [`service::SketchService`] registers join attributes and accepts continuous
+//!   [`ClientReport`](ldpjs_core::ClientReport) batches (from the plain client *or* the FAP
+//!   client — both emit the same report type), feeding one parallel
+//!   [`ShardedAggregator`](ldpjs_core::ShardedAggregator) per attribute.
+//! * An **epoch rotator** seals the live engine every `epoch_reports` reports (or on an
+//!   explicit [`service::SketchService::rotate`]) into an immutable
+//!   [`window::WindowSnapshot`] kept in a bounded ring of recent windows. A snapshot holds
+//!   both the sealed [`SketchBuilder`](ldpjs_core::SketchBuilder) — exact integer counters,
+//!   mergeable at zero rounding error — and its finalized estimation view.
+//! * **Window merge** re-aggregates the sealed raw counters before a single Hadamard
+//!   restore, so a k-window merged sketch is **bit-identical** to one-shot aggregation of
+//!   the same reports (property-tested across window splits).
+//! * The **query layer** answers join-size and frequency queries over any
+//!   [`window::WindowRange`] (`Latest`, `LastK`, `All`) with a memoized
+//!   per-(attribute-pair, window-range) cache invalidated on rotation, so a repeated
+//!   dashboard-style query costs a hash lookup instead of an `O(k·m)` row product.
+//!
+//! The crate is deliberately transport-free: report delivery, authentication and wire
+//! decoding happen upstream ([`ClientReport::from_wire`](ldpjs_core::ClientReport)); this
+//! layer owns windowing, retention, merging and query serving.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod service;
+pub mod window;
+
+pub use cache::CacheStats;
+pub use service::{AttributeId, IngestSummary, QueryResult, ServiceConfig, SketchService};
+pub use window::{WindowRange, WindowSnapshot};

@@ -1,0 +1,868 @@
+//! The [`SketchService`]: continuous per-attribute ingestion, the epoch rotator, and the
+//! cached window-range query layer.
+
+use crate::cache::{CachedAnswer, QueryCache, QueryKey};
+use crate::window::{WindowRange, WindowSnapshot};
+use ldpjs_common::error::{Error, Result};
+use ldpjs_common::hash::RowHashes;
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_core::{ClientReport, FinalizedSketch, LdpJoinSketchClient, ShardedAggregator};
+use ldpjs_sketch::SketchParams;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+pub use crate::cache::CacheStats;
+
+/// Static configuration of a [`SketchService`], shared by every registered attribute.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Sketch dimensions `(k, m)` used by every attribute.
+    pub params: SketchParams,
+    /// Privacy budget every client perturbs with.
+    pub eps: Epsilon,
+    /// Shards of each attribute's live ingestion engine.
+    pub shards: usize,
+    /// Seal the live engine into a window once it holds at least this many reports.
+    /// Rotation happens at batch granularity: the batch that crosses the threshold
+    /// completes its window, so windows can slightly exceed this count.
+    pub epoch_reports: u64,
+    /// How many sealed windows the per-attribute ring retains; older windows are evicted.
+    pub retained_windows: usize,
+    /// How many memoized query results the cache holds before evicting oldest-first
+    /// (frequency queries are keyed by caller-supplied values, so the result cache needs an
+    /// explicit bound to keep a long-lived service's memory flat).
+    pub cache_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A configuration with serving defaults: 2 shards, 64Ki-report epochs, 16 retained
+    /// windows, 4096 cached results.
+    pub fn new(params: SketchParams, eps: Epsilon) -> Self {
+        ServiceConfig {
+            params,
+            eps,
+            shards: 2,
+            epoch_reports: 64 * 1024,
+            retained_windows: 16,
+            cache_capacity: 4_096,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(Error::InvalidWorkload(
+                "a sketch service needs at least one ingestion shard".into(),
+            ));
+        }
+        if self.epoch_reports == 0 {
+            return Err(Error::InvalidWorkload(
+                "epoch_reports must be positive (every epoch needs at least one report)".into(),
+            ));
+        }
+        if self.retained_windows == 0 {
+            return Err(Error::InvalidWorkload(
+                "retained_windows must be positive (the ring must hold at least one window)".into(),
+            ));
+        }
+        if self.cache_capacity == 0 {
+            return Err(Error::InvalidWorkload(
+                "cache_capacity must be positive (set it to 1 to effectively disable reuse)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Opaque handle to a registered join attribute (cheap to copy, valid for the service's
+/// lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttributeId(usize);
+
+impl AttributeId {
+    /// The attribute's index in registration order.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What one [`SketchService::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestSummary {
+    /// Reports absorbed into the live engine by this call.
+    pub reports: u64,
+    /// Epochs sealed by this call (0 or 1: rotation is batch-granular).
+    pub rotations: u64,
+}
+
+/// One answered query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryResult {
+    /// The estimate.
+    pub value: f64,
+    /// Sealed windows consulted (both sides summed for a join).
+    pub windows: usize,
+    /// Reports covered by those windows (both sides summed for a join).
+    pub reports: u64,
+    /// Whether the answer came from the memoization cache.
+    pub cached: bool,
+}
+
+/// One registered join attribute: its public hash family, the live sharded engine, and the
+/// bounded ring of sealed epoch windows.
+#[derive(Debug)]
+struct Attribute {
+    name: String,
+    hashes: Arc<RowHashes>,
+    live: ShardedAggregator,
+    windows: VecDeque<WindowSnapshot>,
+    next_epoch: u64,
+    evicted: u64,
+    total_reports: u64,
+}
+
+/// The online sketch service: epoch-windowed continuous ingestion, mergeable snapshots, and
+/// a cached query layer.
+///
+/// ```
+/// use ldpjs_core::{Epsilon, SketchParams};
+/// use ldpjs_service::{ServiceConfig, SketchService, WindowRange};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut config = ServiceConfig::new(
+///     SketchParams::new(8, 256).unwrap(),
+///     Epsilon::new(4.0).unwrap(),
+/// );
+/// config.epoch_reports = 1_000;
+/// let mut service = SketchService::new(config).unwrap();
+/// // Join partners share the public hash seed — that is what makes their sketches joinable.
+/// let orders = service.register_attribute("orders.user_id", 7).unwrap();
+/// let clicks = service.register_attribute("clicks.user_id", 7).unwrap();
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let client = service.client(orders).unwrap();
+/// let values: Vec<u64> = (0..2_000).map(|i| i % 50).collect();
+/// service.ingest(orders, &client.perturb_all(&values, &mut rng)).unwrap();
+/// let client = service.client(clicks).unwrap();
+/// service.ingest(clicks, &client.perturb_all(&values, &mut rng)).unwrap();
+/// service.rotate(orders).unwrap();
+/// service.rotate(clicks).unwrap();
+///
+/// let first = service.join_size(orders, clicks, WindowRange::All).unwrap();
+/// let again = service.join_size(orders, clicks, WindowRange::All).unwrap();
+/// assert!(!first.cached && again.cached);
+/// assert_eq!(first.value, again.value);
+/// ```
+#[derive(Debug)]
+pub struct SketchService {
+    config: ServiceConfig,
+    attributes: Vec<Attribute>,
+    cache: QueryCache,
+}
+
+impl SketchService {
+    /// Create an empty service.
+    ///
+    /// # Errors
+    /// [`Error::InvalidWorkload`] if the configuration is degenerate (zero shards, epoch
+    /// size, or retention).
+    pub fn new(config: ServiceConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SketchService {
+            config,
+            attributes: Vec::new(),
+            cache: QueryCache::with_capacity(config.cache_capacity),
+        })
+    }
+
+    /// The service configuration.
+    #[inline]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Register a join attribute under `name` with the public hash-family seed `seed`.
+    ///
+    /// Attributes that will be joined against each other must share `seed` (the protocol's
+    /// public common randomness); attributes that never join may use distinct seeds.
+    ///
+    /// # Errors
+    /// [`Error::InvalidWorkload`] if `name` is already registered.
+    pub fn register_attribute(&mut self, name: &str, seed: u64) -> Result<AttributeId> {
+        if self.attributes.iter().any(|a| a.name == name) {
+            return Err(Error::InvalidWorkload(format!(
+                "attribute '{name}' is already registered"
+            )));
+        }
+        let hashes = Arc::new(RowHashes::from_seed(
+            seed,
+            self.config.params.rows(),
+            self.config.params.columns(),
+        ));
+        let live = fresh_engine(&self.config, &hashes);
+        self.attributes.push(Attribute {
+            name: name.to_string(),
+            hashes,
+            live,
+            windows: VecDeque::with_capacity(self.config.retained_windows),
+            next_epoch: 0,
+            evicted: 0,
+            total_reports: 0,
+        });
+        Ok(AttributeId(self.attributes.len() - 1))
+    }
+
+    /// Resolve an attribute handle by name.
+    pub fn attribute_id(&self, name: &str) -> Option<AttributeId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttributeId)
+    }
+
+    /// The attribute's registered name.
+    pub fn attribute_name(&self, attr: AttributeId) -> Result<&str> {
+        Ok(&self.attr(attr)?.name)
+    }
+
+    /// A client-side encoder sharing this attribute's public hash family (for simulation
+    /// and tests; real deployments ship the `(params, eps, seed)` triple to devices).
+    pub fn client(&self, attr: AttributeId) -> Result<LdpJoinSketchClient> {
+        let a = self.attr(attr)?;
+        Ok(LdpJoinSketchClient::with_hashes(
+            self.config.params,
+            self.config.eps,
+            Arc::clone(&a.hashes),
+        ))
+    }
+
+    /// Absorb a batch of perturbed client reports into the attribute's live engine,
+    /// auto-rotating if the epoch threshold is crossed.
+    ///
+    /// Reports from the plain LDPJoinSketch client and from the FAP client are both
+    /// [`ClientReport`]s and mix freely within an attribute's traffic.
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`] for a bad handle; [`Error::ReportOutOfRange`] if a report
+    /// does not fit the sketch (the batch is rejected atomically).
+    pub fn ingest(&mut self, attr: AttributeId, reports: &[ClientReport]) -> Result<IngestSummary> {
+        let config = self.config;
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get_mut(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        a.live.ingest(reports)?;
+        a.total_reports += reports.len() as u64;
+        let mut rotations = 0;
+        if a.live.reports() >= config.epoch_reports {
+            rotate_attribute(&config, &mut self.cache, idx, a);
+            rotations = 1;
+        }
+        Ok(IngestSummary {
+            reports: reports.len() as u64,
+            rotations,
+        })
+    }
+
+    /// Explicitly seal the attribute's live engine into a new epoch window (a no-op
+    /// returning `None` when the live engine holds no reports).
+    ///
+    /// Returns the sealed window's epoch id. Every rotation — explicit or automatic —
+    /// invalidates the query cache entries touching this attribute.
+    pub fn rotate(&mut self, attr: AttributeId) -> Result<Option<u64>> {
+        let config = self.config;
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get_mut(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        Ok(rotate_attribute(&config, &mut self.cache, idx, a))
+    }
+
+    /// Number of sealed windows the ring currently retains for `attr`.
+    pub fn window_count(&self, attr: AttributeId) -> Result<usize> {
+        Ok(self.attr(attr)?.windows.len())
+    }
+
+    /// Reports currently sitting in the attribute's live (unsealed) engine.
+    pub fn live_reports(&self, attr: AttributeId) -> Result<u64> {
+        Ok(self.attr(attr)?.live.reports())
+    }
+
+    /// Windows evicted from the ring so far (sealed but no longer queryable).
+    pub fn evicted_windows(&self, attr: AttributeId) -> Result<u64> {
+        Ok(self.attr(attr)?.evicted)
+    }
+
+    /// Lifetime reports ingested for `attr` (live + sealed + evicted).
+    pub fn total_reports(&self, attr: AttributeId) -> Result<u64> {
+        Ok(self.attr(attr)?.total_reports)
+    }
+
+    /// The sealed windows of `attr`, oldest first (epoch ids, report counts and per-window
+    /// views — the raw material for custom dashboards).
+    pub fn windows(&self, attr: AttributeId) -> Result<impl Iterator<Item = &WindowSnapshot>> {
+        Ok(self.attr(attr)?.windows.iter())
+    }
+
+    /// The merged estimation view covering `range`: a single window's view is borrowed, a
+    /// multi-window range re-aggregates the sealed exact counters and restores once (then
+    /// memoizes the merged view per epoch span).
+    ///
+    /// The returned sketch is **bit-identical** to finalizing one builder that absorbed
+    /// every report of the covered windows — the window-merge guarantee.
+    pub fn merged_view(
+        &mut self,
+        attr: AttributeId,
+        range: WindowRange,
+    ) -> Result<Arc<FinalizedSketch>> {
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        let meta = resolve_span(a, range)?;
+        Ok(span_view(&mut self.cache, idx, a, &meta))
+    }
+
+    /// Join-size estimate between two attributes over `range` (resolved per attribute
+    /// against its own ring), served from the memoization cache when possible.
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`], [`Error::WindowUnavailable`] /
+    /// [`Error::InvalidWorkload`] from range resolution, or
+    /// [`Error::IncompatibleSketches`] if the attributes do not share a hash seed.
+    pub fn join_size(
+        &mut self,
+        a: AttributeId,
+        b: AttributeId,
+        range: WindowRange,
+    ) -> Result<QueryResult> {
+        let (ia, ib) = (a.index(), b.index());
+        let attr_a = self
+            .attributes
+            .get(ia)
+            .ok_or_else(|| unknown_attribute(ia))?;
+        let attr_b = self
+            .attributes
+            .get(ib)
+            .ok_or_else(|| unknown_attribute(ib))?;
+        let meta_a = resolve_span(attr_a, range)?;
+        let meta_b = resolve_span(attr_b, range)?;
+        let key = QueryKey::join(ia, meta_a.epochs, ib, meta_b.epochs);
+        if let Some(ans) = self.cache.lookup(&key) {
+            return Ok(served(ans, true));
+        }
+        let va = span_view(&mut self.cache, ia, attr_a, &meta_a);
+        let vb = span_view(&mut self.cache, ib, attr_b, &meta_b);
+        let value = va.join_size(&vb)?;
+        let ans = CachedAnswer {
+            value,
+            windows: meta_a.windows + meta_b.windows,
+            reports: meta_a.reports + meta_b.reports,
+        };
+        self.cache.insert(key, ans);
+        Ok(served(ans, false))
+    }
+
+    /// Frequency estimate of `value` in `attr` over `range`, served from the cache when
+    /// possible.
+    pub fn frequency(
+        &mut self,
+        attr: AttributeId,
+        value: u64,
+        range: WindowRange,
+    ) -> Result<QueryResult> {
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        let meta = resolve_span(a, range)?;
+        let key = QueryKey::Frequency {
+            attr: idx,
+            value,
+            span: meta.epochs,
+        };
+        if let Some(ans) = self.cache.lookup(&key) {
+            return Ok(served(ans, true));
+        }
+        let v = span_view(&mut self.cache, idx, a, &meta);
+        let ans = CachedAnswer {
+            value: v.frequency(value),
+            windows: meta.windows,
+            reports: meta.reports,
+        };
+        self.cache.insert(key, ans);
+        Ok(served(ans, false))
+    }
+
+    /// Cache behaviour counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop every memoized answer and merged view (counted as an invalidation).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    fn attr(&self, attr: AttributeId) -> Result<&Attribute> {
+        self.attributes
+            .get(attr.index())
+            .ok_or_else(|| unknown_attribute(attr.index()))
+    }
+}
+
+fn unknown_attribute(index: usize) -> Error {
+    Error::UnknownAttribute(format!("no attribute registered with index {index}"))
+}
+
+fn fresh_engine(config: &ServiceConfig, hashes: &Arc<RowHashes>) -> ShardedAggregator {
+    ShardedAggregator::with_hashes(config.params, config.eps, Arc::clone(hashes), config.shards)
+        .expect("shard count validated at service construction")
+}
+
+/// Seal `attr`'s live engine into a window, evict past the retention bound, and invalidate
+/// the attribute's cache entries. Returns the new window's epoch id, or `None` if the live
+/// engine was empty.
+fn rotate_attribute(
+    config: &ServiceConfig,
+    cache: &mut QueryCache,
+    idx: usize,
+    attr: &mut Attribute,
+) -> Option<u64> {
+    if attr.live.reports() == 0 {
+        return None;
+    }
+    let engine = std::mem::replace(&mut attr.live, fresh_engine(config, &attr.hashes));
+    let epoch = attr.next_epoch;
+    attr.next_epoch += 1;
+    attr.windows
+        .push_back(WindowSnapshot::seal(epoch, engine.into_builder()));
+    if attr.windows.len() > config.retained_windows {
+        attr.windows.pop_front();
+        attr.evicted += 1;
+    }
+    cache.invalidate_attribute(idx);
+    Some(epoch)
+}
+
+/// Metadata of a resolved window span.
+struct SpanMeta {
+    start: usize,
+    windows: usize,
+    reports: u64,
+    epochs: (u64, u64),
+}
+
+fn resolve_span(attr: &Attribute, range: WindowRange) -> Result<SpanMeta> {
+    let len = attr.windows.len();
+    let start = range.resolve(len, &attr.name)?;
+    let covered = attr.windows.range(start..);
+    let reports = covered.clone().map(|w| w.reports()).sum();
+    Ok(SpanMeta {
+        start,
+        windows: len - start,
+        reports,
+        epochs: (attr.windows[start].epoch(), attr.windows[len - 1].epoch()),
+    })
+}
+
+/// The (possibly memoized) merged estimation view of an already-resolved span.
+fn span_view(
+    cache: &mut QueryCache,
+    idx: usize,
+    attr: &Attribute,
+    meta: &SpanMeta,
+) -> Arc<FinalizedSketch> {
+    if meta.windows == 1 {
+        // Single-window queries borrow the snapshot's precomputed view.
+        Arc::clone(attr.windows[meta.start].view())
+    } else if let Some(v) = cache.view((idx, meta.epochs.0, meta.epochs.1)) {
+        v
+    } else {
+        // Re-aggregate the sealed exact-integer counters, restore once: bit-identical to
+        // one-shot aggregation of the covered reports.
+        let mut merged = attr.windows[meta.start].builder().clone();
+        for w in attr.windows.range(meta.start + 1..) {
+            merged
+                .merge(w.builder())
+                .expect("windows of one attribute share params, hashes and ε by construction");
+        }
+        let view = Arc::new(merged.finalize_view());
+        cache.insert_view((idx, meta.epochs.0, meta.epochs.1), Arc::clone(&view));
+        view
+    }
+}
+
+fn served(ans: CachedAnswer, cached: bool) -> QueryResult {
+    QueryResult {
+        value: ans.value,
+        windows: ans.windows,
+        reports: ans.reports,
+        cached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ldpjs_core::SketchBuilder;
+    use ldpjs_data::{ValueGenerator, ZipfGenerator};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(k: usize, m: usize) -> ServiceConfig {
+        ServiceConfig::new(SketchParams::new(k, m).unwrap(), Epsilon::new(4.0).unwrap())
+    }
+
+    /// A service whose epochs only rotate explicitly (threshold out of reach).
+    fn manual_service(k: usize, m: usize, retained: usize) -> SketchService {
+        let mut cfg = config(k, m);
+        cfg.epoch_reports = u64::MAX;
+        cfg.retained_windows = retained;
+        SketchService::new(cfg).unwrap()
+    }
+
+    fn reports_for(
+        service: &SketchService,
+        attr: AttributeId,
+        n: usize,
+        seed: u64,
+    ) -> Vec<ClientReport> {
+        let gen = ZipfGenerator::new(1.5, 500);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = gen.sample_many(n, &mut rng);
+        service.client(attr).unwrap().perturb_all(&values, &mut rng)
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        let mut cfg = config(4, 64);
+        cfg.shards = 0;
+        assert!(SketchService::new(cfg).is_err());
+        let mut cfg = config(4, 64);
+        cfg.epoch_reports = 0;
+        assert!(SketchService::new(cfg).is_err());
+        let mut cfg = config(4, 64);
+        cfg.retained_windows = 0;
+        assert!(SketchService::new(cfg).is_err());
+        let mut cfg = config(4, 64);
+        cfg.cache_capacity = 0;
+        assert!(SketchService::new(cfg).is_err());
+    }
+
+    #[test]
+    fn result_cache_stays_bounded_under_a_frequency_domain_scan() {
+        // Frequency queries are keyed by arbitrary caller values; a dashboard scanning a
+        // large domain against a quiet attribute must not grow the service without limit.
+        let mut cfg = config(6, 64);
+        cfg.epoch_reports = u64::MAX;
+        cfg.cache_capacity = 16;
+        let mut service = SketchService::new(cfg).unwrap();
+        let attr = service.register_attribute("a", 3).unwrap();
+        service
+            .ingest(attr, &reports_for(&service, attr, 400, 7))
+            .unwrap();
+        service.rotate(attr).unwrap();
+        for v in 0..100u64 {
+            assert!(!service.frequency(attr, v, WindowRange::All).unwrap().cached);
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 16, "bounded to cache_capacity");
+        assert_eq!(stats.evictions, 84);
+        // The newest answers are still warm, the oldest were evicted.
+        assert!(
+            service
+                .frequency(attr, 99, WindowRange::All)
+                .unwrap()
+                .cached
+        );
+        assert!(!service.frequency(attr, 0, WindowRange::All).unwrap().cached);
+    }
+
+    #[test]
+    fn registration_is_name_unique_and_resolvable() {
+        let mut service = manual_service(4, 64, 4);
+        let a = service.register_attribute("orders.user_id", 1).unwrap();
+        assert!(service.register_attribute("orders.user_id", 2).is_err());
+        let b = service.register_attribute("clicks.user_id", 1).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(service.attribute_id("clicks.user_id"), Some(b));
+        assert_eq!(service.attribute_id("nope"), None);
+        assert_eq!(service.attribute_name(a).unwrap(), "orders.user_id");
+        // Unknown handles are rejected everywhere.
+        let bogus = AttributeId(99);
+        assert!(matches!(
+            service.ingest(bogus, &[]),
+            Err(Error::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            service.join_size(a, bogus, WindowRange::All),
+            Err(Error::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn auto_rotation_seals_at_the_batch_that_crosses_the_threshold() {
+        let mut cfg = config(6, 64);
+        cfg.epoch_reports = 1_000;
+        let mut service = SketchService::new(cfg).unwrap();
+        let attr = service.register_attribute("a", 3).unwrap();
+        let reports = reports_for(&service, attr, 2_500, 9);
+        // Batches of 400: rotations complete at cumulative 1200 and 2400 reports.
+        let mut rotations = 0;
+        for batch in reports.chunks(400) {
+            rotations += service.ingest(attr, batch).unwrap().rotations;
+        }
+        assert_eq!(rotations, 2);
+        assert_eq!(service.window_count(attr).unwrap(), 2);
+        let sealed: Vec<u64> = service
+            .windows(attr)
+            .unwrap()
+            .map(|w| w.reports())
+            .collect();
+        assert_eq!(sealed, vec![1_200, 1_200]);
+        assert_eq!(service.live_reports(attr).unwrap(), 100);
+        assert_eq!(service.total_reports(attr).unwrap(), 2_500);
+        // The tail only becomes queryable after an explicit rotation.
+        let epoch = service.rotate(attr).unwrap();
+        assert_eq!(epoch, Some(2));
+        assert_eq!(service.rotate(attr).unwrap(), None, "empty live is a no-op");
+        assert_eq!(service.window_count(attr).unwrap(), 3);
+        assert_eq!(service.live_reports(attr).unwrap(), 0);
+    }
+
+    #[test]
+    fn ring_retention_evicts_oldest_windows() {
+        let mut service = manual_service(4, 64, 3);
+        let attr = service.register_attribute("a", 5).unwrap();
+        let reports = reports_for(&service, attr, 500, 11);
+        for (i, batch) in reports.chunks(100).enumerate() {
+            service.ingest(attr, batch).unwrap();
+            assert_eq!(service.rotate(attr).unwrap(), Some(i as u64));
+        }
+        assert_eq!(service.window_count(attr).unwrap(), 3);
+        assert_eq!(service.evicted_windows(attr).unwrap(), 2);
+        // The retained suffix is epochs {2, 3, 4}; lifetime accounting is unaffected.
+        let epochs: Vec<u64> = service.windows(attr).unwrap().map(|w| w.epoch()).collect();
+        assert_eq!(epochs, vec![2, 3, 4]);
+        assert_eq!(service.total_reports(attr).unwrap(), 500);
+    }
+
+    #[test]
+    fn window_merge_is_bit_identical_to_single_pass_aggregation() {
+        let mut service = manual_service(8, 128, 8);
+        let attr = service.register_attribute("a", 21).unwrap();
+        let reports = reports_for(&service, attr, 5_003, 13);
+        for batch in reports.chunks(1_301) {
+            service.ingest(attr, batch).unwrap();
+            service.rotate(attr).unwrap();
+        }
+        assert_eq!(service.window_count(attr).unwrap(), 4);
+        let merged = service.merged_view(attr, WindowRange::All).unwrap();
+
+        let mut single = SketchBuilder::new(
+            SketchParams::new(8, 128).unwrap(),
+            Epsilon::new(4.0).unwrap(),
+            21,
+        );
+        single.absorb_all(&reports).unwrap();
+        let reference = single.finalize();
+        assert_eq!(merged.reports(), reference.reports());
+        assert_eq!(merged.restored_counters(), reference.restored_counters());
+    }
+
+    #[test]
+    fn query_ranges_cover_the_expected_window_suffixes() {
+        let mut service = manual_service(8, 128, 8);
+        let a = service.register_attribute("a", 3).unwrap();
+        let b = service.register_attribute("b", 3).unwrap();
+        for (i, n) in [(0u64, 300usize), (1, 400), (2, 500)] {
+            service
+                .ingest(a, &reports_for(&service, a, n, 100 + i))
+                .unwrap();
+            service.rotate(a).unwrap();
+            service
+                .ingest(b, &reports_for(&service, b, n, 200 + i))
+                .unwrap();
+            service.rotate(b).unwrap();
+        }
+        let latest = service.join_size(a, b, WindowRange::Latest).unwrap();
+        assert_eq!((latest.windows, latest.reports), (2, 1_000));
+        let last2 = service.join_size(a, b, WindowRange::LastK(2)).unwrap();
+        assert_eq!((last2.windows, last2.reports), (4, 1_800));
+        let all = service.join_size(a, b, WindowRange::All).unwrap();
+        assert_eq!((all.windows, all.reports), (6, 2_400));
+        // Over-long LastK clamps to the ring.
+        let clamped = service.join_size(a, b, WindowRange::LastK(99)).unwrap();
+        assert_eq!(clamped.value, all.value);
+        assert!(matches!(
+            service.join_size(a, b, WindowRange::LastK(0)),
+            Err(Error::InvalidWorkload(_))
+        ));
+        // An attribute with no sealed windows is unqueryable.
+        let c = service.register_attribute("c", 3).unwrap();
+        assert!(matches!(
+            service.join_size(a, c, WindowRange::All),
+            Err(Error::WindowUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_and_rotation_invalidates() {
+        let mut service = manual_service(8, 128, 8);
+        let a = service.register_attribute("a", 7).unwrap();
+        let b = service.register_attribute("b", 7).unwrap();
+        let c = service.register_attribute("c", 7).unwrap();
+        for (attr, seed) in [(a, 1u64), (b, 2), (c, 3)] {
+            for batch_seed in 0..2u64 {
+                service
+                    .ingest(
+                        attr,
+                        &reports_for(&service, attr, 600, seed * 10 + batch_seed),
+                    )
+                    .unwrap();
+                service.rotate(attr).unwrap();
+            }
+        }
+        let cold = service.join_size(a, b, WindowRange::All).unwrap();
+        assert!(!cold.cached);
+        let warm = service.join_size(a, b, WindowRange::All).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.value, cold.value);
+        // Operand order shares the entry (the product is commutative bit-for-bit).
+        assert!(service.join_size(b, a, WindowRange::All).unwrap().cached);
+        // A frequency query on the same span is its own entry.
+        let f_cold = service.frequency(a, 0, WindowRange::All).unwrap();
+        assert!(!f_cold.cached);
+        let f_warm = service.frequency(a, 0, WindowRange::All).unwrap();
+        assert!(f_warm.cached);
+        assert_eq!(f_warm.value, f_cold.value);
+        let stats = service.cache_stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert!(stats.entries >= 2 && stats.views >= 1);
+
+        // Rotating an *unrelated* attribute keeps the entries warm …
+        service
+            .ingest(c, &reports_for(&service, c, 100, 99))
+            .unwrap();
+        service.rotate(c).unwrap();
+        assert!(service.join_size(a, b, WindowRange::All).unwrap().cached);
+        // … but rotating a participant invalidates them.
+        service
+            .ingest(a, &reports_for(&service, a, 100, 98))
+            .unwrap();
+        service.rotate(a).unwrap();
+        let recomputed = service.join_size(a, b, WindowRange::All).unwrap();
+        assert!(!recomputed.cached);
+        assert_ne!(recomputed.reports, cold.reports);
+        // clear_cache drops everything.
+        service.clear_cache();
+        assert_eq!(service.cache_stats().entries, 0);
+        assert!(!service.join_size(a, b, WindowRange::All).unwrap().cached);
+    }
+
+    #[test]
+    fn join_partners_must_share_the_hash_seed() {
+        let mut service = manual_service(6, 64, 4);
+        let a = service.register_attribute("a", 1).unwrap();
+        let b = service.register_attribute("b", 2).unwrap();
+        for attr in [a, b] {
+            service
+                .ingest(attr, &reports_for(&service, attr, 200, 5))
+                .unwrap();
+            service.rotate(attr).unwrap();
+        }
+        assert!(matches!(
+            service.join_size(a, b, WindowRange::All),
+            Err(Error::IncompatibleSketches(_))
+        ));
+    }
+
+    #[test]
+    fn windowed_estimates_track_truth_at_service_scale() {
+        // Sanity: the serving path is still a correct estimator — two attributes with the
+        // same value stream joined over all windows tracks the exact join size.
+        let mut cfg = config(12, 512);
+        cfg.epoch_reports = 10_000;
+        cfg.retained_windows = 8;
+        let mut service = SketchService::new(cfg).unwrap();
+        let a = service.register_attribute("a", 17).unwrap();
+        let b = service.register_attribute("b", 17).unwrap();
+        let gen = ZipfGenerator::new(1.4, 5_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let va = gen.sample_many(60_000, &mut rng);
+        let vb = gen.sample_many(60_000, &mut rng);
+        let mut rng = StdRng::seed_from_u64(4);
+        for (attr, values) in [(a, &va), (b, &vb)] {
+            let client = service.client(attr).unwrap();
+            for chunk in values.chunks(8_192) {
+                service
+                    .ingest(attr, &client.perturb_all(chunk, &mut rng))
+                    .unwrap();
+            }
+            service.rotate(attr).unwrap();
+        }
+        assert!(service.window_count(a).unwrap() >= 4);
+        let truth = ldpjs_common::stats::exact_join_size(&va, &vb) as f64;
+        let est = service.join_size(a, b, WindowRange::All).unwrap();
+        let re = (est.value - truth).abs() / truth;
+        assert!(
+            re < 0.3,
+            "relative error {re} (est {}, truth {truth})",
+            est.value
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The window-merge satellite guarantee: splitting any report multiset across
+        /// {1, 2, 4, 7} windows, rotating after each split, and merging the snapshots is
+        /// bit-identical to single-pass aggregation of the same reports — the same
+        /// exactness the sharded engine pins, lifted to the window layer.
+        #[test]
+        fn prop_window_split_is_bit_identical_to_single_pass(
+            n in 1usize..800,
+            seed in any::<u64>(),
+        ) {
+            // Must match `manual_service`'s (params, eps) — the de-bias scale is part of
+            // the restore, so a mismatched ε would break bit-identity by construction.
+            let params = SketchParams::new(6, 64).unwrap();
+            let eps = Epsilon::new(4.0).unwrap();
+            let gen = ZipfGenerator::new(1.3, 200);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let values = gen.sample_many(n, &mut rng);
+            let client = LdpJoinSketchClient::new(params, eps, 77);
+            let reports = client.perturb_all(&values, &mut rng);
+
+            let mut single = SketchBuilder::new(params, eps, 77);
+            single.absorb_all(&reports).unwrap();
+            let reference = single.finalize();
+
+            for windows in [1usize, 2, 4, 7] {
+                let mut service = manual_service(6, 64, 8);
+                let attr = service.register_attribute("a", 77).unwrap();
+                let per = n.div_ceil(windows);
+                for part in reports.chunks(per) {
+                    service.ingest(attr, part).unwrap();
+                    service.rotate(attr).unwrap();
+                }
+                let merged = service.merged_view(attr, WindowRange::All).unwrap();
+                prop_assert_eq!(merged.reports(), reference.reports());
+                prop_assert!(
+                    merged.restored_counters() == reference.restored_counters(),
+                    "windows={} n={}: merged windows diverged from single-pass",
+                    windows,
+                    n
+                );
+            }
+        }
+    }
+}

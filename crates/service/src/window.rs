@@ -1,0 +1,121 @@
+//! Epoch windows: immutable sealed snapshots of the live sketch and the ranges queries
+//! address them by.
+
+use ldpjs_common::error::{Error, Result};
+use ldpjs_core::{FinalizedSketch, SketchBuilder};
+use std::sync::Arc;
+
+/// Which sealed epoch windows a query covers. Ranges always resolve to a contiguous
+/// *suffix* of the retained ring — the most recent windows — because that is what a
+/// sliding-window dashboard asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowRange {
+    /// The most recently sealed window only.
+    Latest,
+    /// The `k` most recently sealed windows (clamped to the ring length; `k = 0` is
+    /// rejected).
+    LastK(usize),
+    /// Every window the ring currently retains.
+    All,
+}
+
+impl WindowRange {
+    /// Resolve the range against a ring of `len` sealed windows: returns the start index of
+    /// the covered suffix.
+    ///
+    /// # Errors
+    /// [`Error::WindowUnavailable`] if the ring is empty, [`Error::InvalidWorkload`] for
+    /// `LastK(0)`.
+    pub fn resolve(self, len: usize, attribute: &str) -> Result<usize> {
+        if len == 0 {
+            return Err(Error::WindowUnavailable(format!(
+                "attribute '{attribute}' has no sealed windows yet (ingest and rotate first)"
+            )));
+        }
+        match self {
+            WindowRange::Latest => Ok(len - 1),
+            WindowRange::LastK(0) => Err(Error::InvalidWorkload(
+                "a LastK window range needs at least one window".into(),
+            )),
+            WindowRange::LastK(k) => Ok(len - k.min(len)),
+            WindowRange::All => Ok(0),
+        }
+    }
+}
+
+/// One sealed epoch window.
+///
+/// The snapshot keeps **two** representations of the same reports: the sealed
+/// [`SketchBuilder`] (raw exact-integer counter sums, still mergeable with other windows at
+/// zero rounding error) and the finalized estimation view (de-biased + Hadamard-restored,
+/// shareable via [`Arc`]). Single-window queries borrow the view; multi-window queries
+/// re-aggregate the sealed builders and restore once, which is what makes merged-window
+/// estimates bit-identical to one-shot aggregation.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    epoch: u64,
+    sealed: SketchBuilder,
+    view: Arc<FinalizedSketch>,
+}
+
+impl WindowSnapshot {
+    /// Seal a builder into a window snapshot, computing the finalized view once.
+    pub(crate) fn seal(epoch: u64, sealed: SketchBuilder) -> Self {
+        let view = Arc::new(sealed.finalize_view());
+        WindowSnapshot {
+            epoch,
+            sealed,
+            view,
+        }
+    }
+
+    /// The window's epoch id (per-attribute, strictly increasing, never reused).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of reports sealed into this window.
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.sealed.reports()
+    }
+
+    /// The sealed accumulation-stage builder (exact integer counters).
+    #[inline]
+    pub fn builder(&self) -> &SketchBuilder {
+        &self.sealed
+    }
+
+    /// The finalized estimation view of this window alone.
+    #[inline]
+    pub fn view(&self) -> &Arc<FinalizedSketch> {
+        &self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_resolve_to_suffixes() {
+        assert_eq!(WindowRange::Latest.resolve(5, "a").unwrap(), 4);
+        assert_eq!(WindowRange::LastK(2).resolve(5, "a").unwrap(), 3);
+        assert_eq!(WindowRange::LastK(99).resolve(5, "a").unwrap(), 0);
+        assert_eq!(WindowRange::All.resolve(5, "a").unwrap(), 0);
+        assert_eq!(WindowRange::Latest.resolve(1, "a").unwrap(), 0);
+    }
+
+    #[test]
+    fn empty_ring_and_zero_k_are_rejected() {
+        assert!(matches!(
+            WindowRange::All.resolve(0, "orders.user_id"),
+            Err(Error::WindowUnavailable(msg)) if msg.contains("orders.user_id")
+        ));
+        assert!(matches!(
+            WindowRange::LastK(0).resolve(3, "a"),
+            Err(Error::InvalidWorkload(_))
+        ));
+    }
+}

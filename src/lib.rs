@@ -9,6 +9,8 @@
 //! depend on a single crate:
 //!
 //! * [`core`] — LDPJoinSketch, FAP, LDPJoinSketch+, multi-way joins (the paper's contribution).
+//! * [`service`] — the online sketch service: epoch-windowed continuous ingestion, mergeable
+//!   window snapshots, and a cached query layer.
 //! * [`sketch`] — non-private substrates: AGMS, Fast-AGMS, Count-Min/Mean, COMPASS.
 //! * [`ldp`] — baseline LDP frequency oracles: k-RR, OLH/FLH, Apple-HCMS.
 //! * [`data`] — workload generators matching the paper's datasets.
@@ -43,17 +45,18 @@ pub use ldpjs_core as core;
 pub use ldpjs_data as data;
 pub use ldpjs_ldp as ldp;
 pub use ldpjs_metrics as metrics;
+pub use ldpjs_service as service;
 pub use ldpjs_sketch as sketch;
 
 /// The most common imports for applications using the library.
 pub mod prelude {
     pub use ldpjs_common::stats::exact_join_size;
-    pub use ldpjs_common::stream::{ChunkedValues, SliceChunks};
+    pub use ldpjs_common::stream::{ChunkedTuples, ChunkedValues, SliceChunks, TupleSliceChunks};
     pub use ldpjs_common::Epsilon;
     pub use ldpjs_core::protocol::{
         build_private_sketch, build_private_sketch_chunked, build_private_sketch_parallel,
         ldp_join_estimate, ldp_join_estimate_chunked, ldp_join_estimate_parallel,
-        ldp_join_plus_estimate, ldp_join_plus_estimate_chunked,
+        ldp_join_plus_estimate, ldp_join_plus_estimate_chunked, stream_reports_chunked,
     };
     pub use ldpjs_core::{
         ClientReport, FapClient, FapMode, FinalizedSketch, LdpJoinSketchClient, LdpJoinSketchPlus,
@@ -61,11 +64,15 @@ pub mod prelude {
     };
     pub use ldpjs_data::{
         ChainWorkload, JoinWorkload, PaperDataset, StreamingJoinWorkload, StreamingTable,
-        ValueGenerator, ZipfGenerator,
+        StreamingTupleTable, ValueGenerator, ZipfGenerator,
     };
     pub use ldpjs_ldp::{
         estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle,
     };
     pub use ldpjs_metrics::{absolute_error, relative_error, TrialErrors};
+    pub use ldpjs_service::{
+        AttributeId, CacheStats, IngestSummary, QueryResult, ServiceConfig, SketchService,
+        WindowRange, WindowSnapshot,
+    };
     pub use ldpjs_sketch::FastAgmsSketch;
 }

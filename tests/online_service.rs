@@ -1,0 +1,111 @@
+//! Online-service soak: the serving layer under ≥1M reports per table with epoch rotation.
+//!
+//! This is both the default-on acceptance test of the `ldpjs-service` subsystem and the CI
+//! release-mode soak lane. It pins the two guarantees the service layer adds on top of the
+//! offline protocol:
+//!
+//! 1. **Windowing is invisible to the estimate.** Streaming the protocol's report batches
+//!    through `SketchService` — sealed into 16 epoch windows along the way — and then
+//!    merging all windows yields a join estimate **bit-identical** to the one-shot
+//!    `ldp_join_estimate_chunked` run over the same streams and seeds. (Sealed windows keep
+//!    exact integer counters; the merge re-aggregates them before a single restore.)
+//! 2. **Repeated queries are served from the cache** with identical output (hit counter
+//!    asserted), and the snapshot ring stays within its configured retention bound.
+
+use ldp_join_sketch::prelude::*;
+use ldp_join_sketch::service::WindowRange;
+
+#[test]
+fn service_soak_1m_reports_is_bit_identical_to_one_shot_and_caches_queries() {
+    let n = 1_000_000usize;
+    let chunk = 8_192usize;
+    let shards = 2usize;
+    let params = SketchParams::new(18, 64).unwrap();
+    let eps = Epsilon::new(4.0).unwrap();
+    let (hash_seed, rng_seed) = (83u64, 93u64);
+
+    // The same streamed workload regime as the large-n regression (Zipf(2.0), 20k domain).
+    let generator = ZipfGenerator::new(2.0, 20_000);
+    let w = StreamingJoinWorkload::generate("service-soak", &generator, n, chunk, 4103).unwrap();
+    let truth = w.true_join_size() as f64;
+
+    // The service: rotation every 64k reports, ring sized to hold the whole soak.
+    let mut config = ServiceConfig::new(params, eps);
+    config.shards = shards;
+    config.epoch_reports = 64_000;
+    config.retained_windows = 16;
+    let mut service = SketchService::new(config).unwrap();
+    let orders = service
+        .register_attribute("orders.user_id", hash_seed)
+        .unwrap();
+    let clicks = service
+        .register_attribute("clicks.user_id", hash_seed)
+        .unwrap();
+
+    // Drive the protocol's canonical chunked report stream into the service. The batches
+    // (and their per-chunk RNG streams) are exactly what `ldp_join_estimate_chunked` feeds
+    // its own aggregators: table A from `rng_seed`, table B from `rng_seed ^ 0xB`.
+    for (attr, table, seed) in [
+        (orders, &w.table_a, rng_seed),
+        (clicks, &w.table_b, rng_seed ^ 0xB),
+    ] {
+        let client = service.client(attr).unwrap();
+        stream_reports_chunked(table, &client, seed, shards, &mut |reports| {
+            service.ingest(attr, reports).map(|_| ())
+        })
+        .unwrap();
+        // Seal the sub-threshold tail into the final window.
+        service.rotate(attr).unwrap();
+    }
+
+    // Epoch accounting: 15 auto-rotations at 65,536 reports (the 8k batch that crosses the
+    // 64k threshold) plus the sealed tail; the ring held every window (bounded, no
+    // eviction), and nothing is left unsealed.
+    for attr in [orders, clicks] {
+        assert_eq!(service.total_reports(attr).unwrap(), n as u64);
+        assert_eq!(service.window_count(attr).unwrap(), 16);
+        assert!(service.window_count(attr).unwrap() <= config.retained_windows);
+        assert_eq!(service.evicted_windows(attr).unwrap(), 0);
+        assert_eq!(service.live_reports(attr).unwrap(), 0);
+    }
+
+    // The one-shot offline reference over the identical streams and seeds.
+    let one_shot = ldp_join_estimate_chunked(
+        &w.table_a, &w.table_b, params, eps, hash_seed, rng_seed, shards,
+    )
+    .unwrap();
+
+    // Guarantee 1: merged-all-windows == one-shot, bit for bit.
+    let cold = service.join_size(orders, clicks, WindowRange::All).unwrap();
+    assert!(!cold.cached);
+    assert_eq!((cold.windows, cold.reports), (32, 2 * n as u64));
+    assert_eq!(
+        cold.value.to_bits(),
+        one_shot.to_bits(),
+        "windowed estimate {} diverged from one-shot {one_shot}",
+        cold.value
+    );
+    let re = (cold.value - truth).abs() / truth;
+    assert!(re < 0.1, "merged estimate lost the truth: RE {re}");
+
+    // Guarantee 2: the repeat is a cache hit with identical output.
+    let warm = service.join_size(orders, clicks, WindowRange::All).unwrap();
+    assert!(warm.cached, "repeated query must be served from the cache");
+    assert_eq!(warm.value.to_bits(), cold.value.to_bits());
+    let stats = service.cache_stats();
+    assert_eq!(stats.hits, 1, "exactly the repeat hits");
+    assert_eq!(stats.misses, 1, "exactly the cold query misses");
+
+    // Final-window sanity: one 16,960-report window still yields a finite, positive
+    // estimate of a positive join (a sanity bound, not an accuracy claim — a single small
+    // window is legitimately noisy).
+    let latest = service
+        .join_size(orders, clicks, WindowRange::Latest)
+        .unwrap();
+    assert_eq!(latest.reports, 2 * 16_960);
+    assert!(latest.value.is_finite());
+    assert!(
+        latest.value > 0.0,
+        "latest-window estimate should see the (heavily skewed) join signal"
+    );
+}
