@@ -20,9 +20,11 @@ use ldpjs_core::protocol::{
     build_private_sketch, ldp_join_estimate_chunked, ldp_join_plus_estimate_chunked,
 };
 use ldpjs_core::server::SketchBuilder;
-use ldpjs_core::{Epsilon, PlusConfig, SketchParams};
+use ldpjs_core::{
+    Epsilon, LdpJoinSketchPlus, PlusConfig, PlusReportBatch, PlusTableRole, SketchParams,
+};
 use ldpjs_data::{StreamingJoinWorkload, ValueGenerator, ZipfGenerator};
-use ldpjs_service::{ServiceConfig, SketchService, WindowRange};
+use ldpjs_service::{PlusAttributeConfig, ServiceConfig, SketchService, WindowRange};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -376,6 +378,116 @@ fn bench_service(c: &mut Criterion, rec: &mut Recorder) {
     );
 }
 
+/// The windowed LDPJoinSketch+ serving path: labeled three-lane batch ingestion, and the
+/// cold/cached cost of a plus join-size query — cold pays the per-lane window merge, three
+/// restores, cross-window FI re-discovery over the public domain, and the `JoinEst` kernel;
+/// the repeat is a hash lookup. Tracked as `service_plus_ingest_throughput` and
+/// `service_plus_query_{cold,cached}` in BENCH_core.json.
+fn bench_service_plus(c: &mut Criterion, rec: &mut Recorder) {
+    let windows = 8usize;
+    let n_window = if smoke() { 4_000 } else { 32_000 };
+    let n = windows * n_window;
+    let chunk = 2_000usize;
+    let p = params();
+    let generator = ZipfGenerator::new(2.0, 4_096);
+    let w = StreamingJoinWorkload::generate("bench-plus-svc", &generator, n, chunk, 4200).unwrap();
+    let domain = w.domain();
+
+    let mut plus_cfg = PlusConfig::new(p, eps());
+    plus_cfg.sampling_rate = 0.05;
+    plus_cfg.adaptive = true;
+    plus_cfg.seed = 4300;
+    let est = LdpJoinSketchPlus::new(plus_cfg).unwrap();
+    let rng_seed = 4400u64;
+    let discovery = est
+        .discover_frequent_items_chunked(&w.table_a, &w.table_b, &domain, rng_seed)
+        .unwrap();
+
+    let mut config = ServiceConfig::new(p, eps());
+    config.epoch_reports = u64::MAX >> 1; // rotation driven explicitly below
+    config.retained_windows = windows;
+    let mut service = SketchService::new(config).unwrap();
+    let attr_cfg = PlusAttributeConfig::from_plus_config(&plus_cfg, domain.clone());
+    let a = service
+        .register_plus_attribute("bench.plus.a", plus_cfg.seed, attr_cfg.clone())
+        .unwrap();
+    let b = service
+        .register_plus_attribute("bench.plus.b", plus_cfg.seed, attr_cfg)
+        .unwrap();
+
+    // Drive the full labeled stream in, sealing `windows` epochs per attribute, and keep
+    // one emitted batch around as the ingest-throughput payload.
+    let batches_per_window = n.div_ceil(chunk).div_ceil(windows);
+    let mut payload = PlusReportBatch::default();
+    for (attr, table, role) in [
+        (a, &w.table_a, PlusTableRole::A),
+        (b, &w.table_b, PlusTableRole::B),
+    ] {
+        let mut in_window = 0usize;
+        est.stream_plus_reports(
+            table,
+            role,
+            &discovery.frequent_items,
+            rng_seed,
+            true,
+            &mut |batch| {
+                if payload.is_empty() {
+                    payload = batch.clone();
+                }
+                service.ingest_plus(attr, batch)?;
+                in_window += 1;
+                if in_window == batches_per_window {
+                    service.rotate(attr)?;
+                    in_window = 0;
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        service.rotate(attr).unwrap();
+    }
+
+    rec.bench(
+        c,
+        &format!("service/plus_ingest_throughput_{chunk}_report_batch"),
+        "service_plus_ingest_throughput",
+        chunk,
+        p,
+        |bn| {
+            bn.iter(|| {
+                service.ingest_plus(a, black_box(&payload)).unwrap();
+                black_box(service.live_reports(a).unwrap())
+            })
+        },
+    );
+
+    let n_total = 2 * n;
+    rec.bench(
+        c,
+        "service/plus_query_cold_all_windows_join",
+        "service_plus_query_cold",
+        n_total,
+        p,
+        |bn| {
+            bn.iter(|| {
+                service.clear_cache();
+                black_box(service.plus_join_size(a, b, WindowRange::All).unwrap())
+            })
+        },
+    );
+    // Prime once, then every query is a memoized lookup.
+    service.clear_cache();
+    service.plus_join_size(a, b, WindowRange::All).unwrap();
+    rec.bench(
+        c,
+        "service/plus_query_cached_all_windows_join",
+        "service_plus_query_cached",
+        n_total,
+        p,
+        |bn| bn.iter(|| black_box(service.plus_join_size(a, b, WindowRange::All).unwrap())),
+    );
+}
+
 /// The clone-heavy estimator medians measured immediately before the zero-copy
 /// builder/finalize refactor, on this repository's reference machine (k = 18, m = 1024;
 /// same workloads as the current benches). Kept in the JSON so every future run can be
@@ -491,6 +603,7 @@ fn main() {
     bench_finalize_restore(&mut c, &mut rec);
     bench_estimation(&mut c, &mut rec);
     bench_service(&mut c, &mut rec);
+    bench_service_plus(&mut c, &mut rec);
     bench_large_n_streaming(&mut rec);
     write_json(&rec.records);
 }

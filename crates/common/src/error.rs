@@ -37,6 +37,12 @@ pub enum Error {
     /// A sketch-service query asked for epoch windows the snapshot ring does not hold
     /// (nothing sealed yet, or the windows were evicted by the retention bound).
     WindowUnavailable(String),
+    /// A query (or ingestion call) addressed an attribute whose estimator mode cannot
+    /// serve it — e.g. a plus join-size query against a plain attribute, plain report
+    /// ingestion into a plus attribute, or a kernel dispatched on the wrong input shape.
+    /// Answering with the wrong kernel would silently produce a wrong estimate, so the
+    /// mismatch is a first-class error instead.
+    ModeMismatch(String),
 }
 
 impl fmt::Display for Error {
@@ -60,6 +66,7 @@ impl fmt::Display for Error {
             Error::EmptyInput(msg) => write!(f, "empty input: {msg}"),
             Error::UnknownAttribute(msg) => write!(f, "unknown join attribute: {msg}"),
             Error::WindowUnavailable(msg) => write!(f, "window unavailable: {msg}"),
+            Error::ModeMismatch(msg) => write!(f, "estimator mode mismatch: {msg}"),
         }
     }
 }
@@ -99,6 +106,8 @@ mod tests {
         assert!(e.to_string().contains("orders.user_id"));
         let e = Error::WindowUnavailable("no sealed windows".into());
         assert!(e.to_string().contains("no sealed windows"));
+        let e = Error::ModeMismatch("plus query on plain attribute".into());
+        assert!(e.to_string().contains("plus query on plain attribute"));
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! * [`plus`] — Algorithm 3 + 5, the two-phase LDPJoinSketch+ protocol (frequent-item
 //!   discovery, high/low-frequency separation, non-target mass removal).
 //! * [`multiway`] — Section VI, the COMPASS-style extension to multi-way chain joins.
+//! * [`kernel`] — the unified query-engine kernels ([`PlainKernel`], [`PlusKernel`],
+//!   [`ChainKernel`] behind the [`JoinKernel`] dispatch): the single implementation of every
+//!   estimator, shared by the offline runners, the experiment harness and the online
+//!   service.
+//! * [`plus_state`] — the sealed/finalized two-stage lifecycle of LDPJoinSketch+'s
+//!   per-attribute state (three mergeable report lanes + query-time FI discovery).
 //! * [`bounds`] — the analytical error bound of Theorem 5.
 //! * [`protocol`] — end-to-end convenience runners used by the examples and the experiment
 //!   harness (simulate all clients, build the sketches, return the estimate).
@@ -30,15 +36,19 @@ pub mod aggregator;
 pub mod bounds;
 pub mod client;
 pub mod fap;
+pub mod kernel;
 pub mod multiway;
 pub mod plus;
+pub mod plus_state;
 pub mod protocol;
 pub mod server;
 
 pub use aggregator::ShardedAggregator;
 pub use client::{ClientReport, LdpJoinSketchClient};
 pub use fap::{FapClient, FapMode};
-pub use plus::{LdpJoinSketchPlus, PlusConfig, PlusEstimate};
+pub use kernel::{ChainKernel, JoinKernel, PlainKernel, PlusKernel, QueryInput};
+pub use plus::{LdpJoinSketchPlus, PlusConfig, PlusDiscovery, PlusEstimate, PlusTableRole};
+pub use plus_state::{FiPolicy, FinalizedPlusState, PlusReportBatch, PlusStateBuilder};
 pub use protocol::{
     ldp_join_estimate, ldp_join_estimate_chunked, ldp_join_estimate_parallel,
     ldp_join_plus_estimate, ldp_join_plus_estimate_chunked, stream_reports_chunked,

@@ -20,7 +20,6 @@ use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hadamard::{fwht_in_place, hadamard_entry_f64};
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_common::rr::sample_sign_bit;
-use ldpjs_common::stats::median;
 use ldpjs_sketch::compass::JoinAttribute;
 use rand::{Rng, RngCore};
 
@@ -224,41 +223,67 @@ impl EdgeSketchBuilder {
             attr_a,
             attr_b,
             eps,
-            mut raw,
+            raw,
             reports,
         } = self;
-        let k = attr_a.replicas();
-        let (ma, mb) = (attr_a.buckets(), attr_b.buckets());
-        let scale = k as f64 * eps.c_eps();
-        for v in raw.iter_mut() {
-            *v *= scale;
+        restore_edge(attr_a, attr_b, eps, raw, reports)
+    }
+
+    /// Restore a *snapshot* of the edge sketch without consuming the builder: the exact raw
+    /// counters are cloned and pushed through the identical de-bias + 2-D Hadamard pipeline
+    /// as [`EdgeSketchBuilder::finalize`], so the two entry points can never diverge
+    /// bit-wise. This is the epoch-sealing hook of the online service's edge attributes.
+    pub fn finalize_view(&self) -> FinalizedEdgeSketch {
+        restore_edge(
+            self.attr_a.clone(),
+            self.attr_b.clone(),
+            self.eps,
+            self.raw.clone(),
+            self.reports,
+        )
+    }
+}
+
+/// The single de-bias + two-dimensional Hadamard restore pipeline shared by
+/// [`EdgeSketchBuilder::finalize`] and [`EdgeSketchBuilder::finalize_view`].
+fn restore_edge(
+    attr_a: JoinAttribute,
+    attr_b: JoinAttribute,
+    eps: Epsilon,
+    mut raw: Vec<f64>,
+    reports: u64,
+) -> FinalizedEdgeSketch {
+    let k = attr_a.replicas();
+    let (ma, mb) = (attr_a.buckets(), attr_b.buckets());
+    let scale = k as f64 * eps.c_eps();
+    for v in raw.iter_mut() {
+        *v *= scale;
+    }
+    let per = ma * mb;
+    let mut column = vec![0.0; ma];
+    for j in 0..k {
+        let replica = &mut raw[j * per..(j + 1) * per];
+        // Transform along the second dimension (rows of the matrix).
+        for row in 0..ma {
+            fwht_in_place(&mut replica[row * mb..(row + 1) * mb]);
         }
-        let per = ma * mb;
-        let mut column = vec![0.0; ma];
-        for j in 0..k {
-            let replica = &mut raw[j * per..(j + 1) * per];
-            // Transform along the second dimension (rows of the matrix).
+        // Transform along the first dimension (columns of the matrix).
+        for col in 0..mb {
             for row in 0..ma {
-                fwht_in_place(&mut replica[row * mb..(row + 1) * mb]);
+                column[row] = replica[row * mb + col];
             }
-            // Transform along the first dimension (columns of the matrix).
-            for col in 0..mb {
-                for row in 0..ma {
-                    column[row] = replica[row * mb + col];
-                }
-                fwht_in_place(&mut column);
-                for row in 0..ma {
-                    replica[row * mb + col] = column[row];
-                }
+            fwht_in_place(&mut column);
+            for row in 0..ma {
+                replica[row * mb + col] = column[row];
             }
         }
-        FinalizedEdgeSketch {
-            attr_a,
-            attr_b,
-            eps,
-            restored: raw,
-            reports,
-        }
+    }
+    FinalizedEdgeSketch {
+        attr_a,
+        attr_b,
+        eps,
+        restored: raw,
+        reports,
     }
 }
 
@@ -319,9 +344,10 @@ fn check_shared(left: &JoinAttribute, right: &JoinAttribute, what: &str) -> Resu
 /// Estimate the 3-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B)|` from LDP sketches.
 ///
 /// `t1` and `t3` are plain [`crate::server::FinalizedSketch`]es built over the hash families
-/// of attributes A and B respectively; `t2` is the finalized two-dimensional edge sketch. The
-/// attribute hash families must match across the sketches; every per-replica contraction
-/// works on borrowed restored rows.
+/// of attributes A and B respectively; `t2` is the finalized two-dimensional edge sketch.
+/// Thin driver over the shared [`ChainKernel`](crate::kernel::ChainKernel) — the same
+/// per-replica contraction the online service's chain queries run — after checking the
+/// caller's attribute handles against the edge sketch's own families.
 pub fn ldp_chain_join_3(
     t1: &crate::server::FinalizedSketch,
     attr_a: &JoinAttribute,
@@ -331,33 +357,11 @@ pub fn ldp_chain_join_3(
 ) -> Result<f64> {
     check_shared(attr_a, t2.attribute_a(), "attribute A")?;
     check_shared(attr_b, t2.attribute_b(), "attribute B")?;
-    if t1.hashes().as_ref() != attr_a.hashes() || t3.hashes().as_ref() != attr_b.hashes() {
-        return Err(Error::IncompatibleSketches(
-            "vertex sketches must be built over the chain's attribute hash families".into(),
-        ));
-    }
-    let k = attr_a.replicas();
-    let (ma, mb) = (attr_a.buckets(), attr_b.buckets());
-    let mut per_replica = Vec::with_capacity(k);
-    for j in 0..k {
-        let v1 = t1.row(j);
-        let v3 = t3.row(j);
-        let e = t2.replica(j);
-        let mut acc = 0.0;
-        for la in 0..ma {
-            if v1[la] == 0.0 {
-                continue;
-            }
-            let row = &e[la * mb..(la + 1) * mb];
-            let inner: f64 = row.iter().zip(v3.iter()).map(|(x, y)| x * y).sum();
-            acc += v1[la] * inner;
-        }
-        per_replica.push(acc);
-    }
-    median(&per_replica).ok_or_else(|| Error::EmptyInput("no replicas".into()))
+    crate::kernel::ChainKernel.chain_3(t1, t2, t3)
 }
 
-/// Estimate the 4-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B,C) ⋈ T4(C)|` from LDP sketches.
+/// Estimate the 4-way chain join `|T1(A) ⋈ T2(A,B) ⋈ T3(B,C) ⋈ T4(C)|` from LDP sketches
+/// (thin driver over [`ChainKernel::chain_4`](crate::kernel::ChainKernel::chain_4)).
 #[allow(clippy::too_many_arguments)]
 pub fn ldp_chain_join_4(
     t1: &crate::server::FinalizedSketch,
@@ -372,37 +376,7 @@ pub fn ldp_chain_join_4(
     check_shared(attr_b, t2.attribute_b(), "attribute B")?;
     check_shared(attr_b, t3.attribute_a(), "attribute B")?;
     check_shared(attr_c, t3.attribute_b(), "attribute C")?;
-    if t1.hashes().as_ref() != attr_a.hashes() || t4.hashes().as_ref() != attr_c.hashes() {
-        return Err(Error::IncompatibleSketches(
-            "vertex sketches must be built over the chain's attribute hash families".into(),
-        ));
-    }
-    let k = attr_a.replicas();
-    let (ma, mb, mc) = (attr_a.buckets(), attr_b.buckets(), attr_c.buckets());
-    let mut per_replica = Vec::with_capacity(k);
-    for j in 0..k {
-        let v1 = t1.row(j);
-        let v4 = t4.row(j);
-        let e2 = t2.replica(j);
-        let e3 = t3.replica(j);
-        // w[lb] = Σ_lc e3[lb, lc] · v4[lc]
-        let mut w = vec![0.0; mb];
-        for lb in 0..mb {
-            let row = &e3[lb * mc..(lb + 1) * mc];
-            w[lb] = row.iter().zip(v4.iter()).map(|(x, y)| x * y).sum();
-        }
-        let mut acc = 0.0;
-        for la in 0..ma {
-            if v1[la] == 0.0 {
-                continue;
-            }
-            let row = &e2[la * mb..(la + 1) * mb];
-            let inner: f64 = row.iter().zip(w.iter()).map(|(x, y)| x * y).sum();
-            acc += v1[la] * inner;
-        }
-        per_replica.push(acc);
-    }
-    median(&per_replica).ok_or_else(|| Error::EmptyInput("no replicas".into()))
+    crate::kernel::ChainKernel.chain_4(t1, t2, t3, t4)
 }
 
 /// Convenience: build a [`crate::server::FinalizedSketch`] for a single-attribute table over a

@@ -54,7 +54,6 @@
 
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::privacy::Epsilon;
-use ldpjs_common::stats::median;
 use ldpjs_common::stream::ChunkedValues;
 use ldpjs_sketch::SketchParams;
 use rand::rngs::StdRng;
@@ -63,9 +62,10 @@ use rand::{RngCore, SeedableRng};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use crate::bounds;
 use crate::client::{chunk_stream_seed, LdpJoinSketchClient};
 use crate::fap::{FapClient, FapMode};
+use crate::kernel::PlusKernel;
+use crate::plus_state::{lane_seeds, FiPolicy, FinalizedPlusState, PlusReportBatch};
 use crate::server::FinalizedSketch;
 use crate::server::SketchBuilder;
 
@@ -177,26 +177,56 @@ pub struct LdpJoinSketchPlus {
     config: PlusConfig,
 }
 
-/// Everything `JoinEst` needs, collected by either the materialized or the streaming
-/// front-end: the phase-1 sketches with their sample sizes, the four phase-2 FAP sketches
-/// with the group sizes, and the table sizes.
-struct ProtocolParts {
-    sketch_p1_a: FinalizedSketch,
-    sketch_p1_b: FinalizedSketch,
-    sample_a: usize,
-    sample_b: usize,
-    m_la: FinalizedSketch,
-    m_lb: FinalizedSketch,
-    m_ha: FinalizedSketch,
-    m_hb: FinalizedSketch,
-    a1: usize,
-    a2: usize,
-    b1: usize,
-    b2: usize,
-    n_a: usize,
-    n_b: usize,
-    fi: Vec<u64>,
-    thresholds: (f64, f64),
+/// Which side of the join a stream plays in the two-table plus protocol. The role fixes the
+/// deterministic user-routing tag and the per-phase RNG stream tags, so any consumer of
+/// [`LdpJoinSketchPlus::stream_plus_reports`] reproduces exactly the report streams the
+/// one-shot [`LdpJoinSketchPlus::estimate_chunked`] absorbs internally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlusTableRole {
+    /// The left table (attribute A).
+    A,
+    /// The right table (attribute B).
+    B,
+}
+
+impl PlusTableRole {
+    #[inline]
+    fn router_tag(self) -> u64 {
+        match self {
+            PlusTableRole::A => 0xA,
+            PlusTableRole::B => 0xB,
+        }
+    }
+
+    #[inline]
+    fn phase1_tag(self) -> u64 {
+        match self {
+            PlusTableRole::A => 0x51,
+            PlusTableRole::B => 0x52,
+        }
+    }
+
+    #[inline]
+    fn phase2_tag(self) -> u64 {
+        match self {
+            PlusTableRole::A => 0x61,
+            PlusTableRole::B => 0x62,
+        }
+    }
+}
+
+/// The outcome of the phase-1 discovery pass over two chunked streams — the frequent-item
+/// set a server broadcasts before phase 2, plus the diagnostics the pass collected.
+#[derive(Debug, Clone)]
+pub struct PlusDiscovery {
+    /// The discovered frequent-item set (union over both tables, sorted).
+    pub frequent_items: Vec<u64>,
+    /// The thresholds `(θ_A, θ_B)` applied per table.
+    pub thresholds: (f64, f64),
+    /// Phase-1 sample users per table.
+    pub phase1_users: (usize, usize),
+    /// Phase-2 group sizes `(|A1|, |A2|, |B1|, |B2|)` the deterministic routing implies.
+    pub group_sizes: (usize, usize, usize, usize),
 }
 
 impl LdpJoinSketchPlus {
@@ -240,14 +270,9 @@ impl LdpJoinSketchPlus {
         let sketch_a = build_sketch(&client_p1, &sample_a, params, cfg.eps, cfg.seed, rng)?;
         let sketch_b = build_sketch(&client_p1, &sample_b, params, cfg.eps, cfg.seed, rng)?;
 
-        let (fi, thresholds) = self.discover_frequent_items(
-            &sketch_a,
-            &sketch_b,
-            sample_a.len(),
-            sample_b.len(),
-            domain,
-        );
-        let fi_set: Arc<HashSet<u64>> = Arc::new(fi.iter().copied().collect());
+        let discovery =
+            self.discover_pair(&sketch_a, &sketch_b, sample_a.len(), sample_b.len(), domain);
+        let fi_set: Arc<HashSet<u64>> = Arc::new(discovery.union.iter().copied().collect());
 
         // --- Phase 2: two groups per attribute, FAP-encoded sketches ---------------------
         let (a1, a2) = split_half(&rest_a, rng);
@@ -260,24 +285,24 @@ impl LdpJoinSketchPlus {
         let m_ha = build_fap_sketch(&fap_high, &a2, params, cfg.eps, high_seed, rng)?;
         let m_hb = build_fap_sketch(&fap_high, &b2, params, cfg.eps, high_seed, rng)?;
 
-        self.join_est(ProtocolParts {
-            sketch_p1_a: sketch_a,
-            sketch_p1_b: sketch_b,
-            sample_a: sample_a.len(),
-            sample_b: sample_b.len(),
+        // Assemble the per-table finalized states from the discovery already run above
+        // (no second domain scan) and run the shared kernel; its union of the per-table
+        // sets is exactly the `fi_set` the FAP clients encoded against.
+        let state_a = FinalizedPlusState::with_discovery(
+            sketch_a,
             m_la,
-            m_lb,
             m_ha,
+            discovery.fi_a,
+            discovery.theta_a,
+        );
+        let state_b = FinalizedPlusState::with_discovery(
+            sketch_b,
+            m_lb,
             m_hb,
-            a1: a1.len(),
-            a2: a2.len(),
-            b1: b1.len(),
-            b2: b2.len(),
-            n_a: table_a.len(),
-            n_b: table_b.len(),
-            fi,
-            thresholds,
-        })
+            discovery.fi_b,
+            discovery.theta_b,
+        );
+        PlusKernel::from_config(cfg).join_est(&state_a, &state_b)
     }
 
     /// Run the protocol over two replayable bounded-memory value streams — the large-n
@@ -302,347 +327,275 @@ impl LdpJoinSketchPlus {
         rng_seed: u64,
     ) -> Result<PlusEstimate> {
         let cfg = &self.config;
-        let params = cfg.params;
-        let client_p1 = LdpJoinSketchClient::new(params, cfg.eps, cfg.seed);
 
         // --- Pass 1: absorb the routed phase-1 sample, count the groups ------------------
-        let route_a = UserRouter::new(cfg.seed, 0xA, cfg.sampling_rate);
-        let route_b = UserRouter::new(cfg.seed, 0xB, cfg.sampling_rate);
-        let pass1 =
-            |route: &UserRouter, stream: &dyn ChunkedValues, tag: u64| -> Result<Phase1Pass> {
-                let mut builder = SketchBuilder::new(params, cfg.eps, cfg.seed);
-                let mut sampled = Vec::new();
-                let mut reports = Vec::new();
-                let (mut n_sample, mut n_low, mut n_high) = (0usize, 0usize, 0usize);
-                // Seed each chunk's RNG from a per-pass ordinal, not from the start index:
-                // the ChunkedValues contract allows non-full chunks, whose start indices
-                // would collide when divided by chunk_len and replay identical noise.
-                let mut ordinal = 0u64;
-                let mut err = None;
-                stream.for_each_chunk(&mut |start, chunk| {
-                    if err.is_some() {
-                        return;
-                    }
-                    sampled.clear();
-                    for (offset, &v) in chunk.iter().enumerate() {
-                        match route.route(start + offset as u64) {
-                            UserRole::Sample => {
-                                sampled.push(v);
-                                n_sample += 1;
-                            }
-                            UserRole::LowGroup => n_low += 1,
-                            UserRole::HighGroup => n_high += 1,
-                        }
-                    }
-                    let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ tag, ordinal));
-                    ordinal += 1;
-                    reports.clear();
-                    for &v in &sampled {
-                        reports.push(client_p1.perturb(v, &mut rng));
-                    }
-                    if let Err(e) = builder.absorb_all(&reports) {
-                        err = Some(e);
-                    }
-                });
-                if let Some(e) = err {
-                    return Err(e);
-                }
-                Ok(Phase1Pass {
-                    builder,
-                    n_sample,
-                    n_low,
-                    n_high,
-                })
-            };
-        let p1_a = pass1(&route_a, table_a, 0x51)?;
-        let p1_b = pass1(&route_b, table_b, 0x52)?;
-        for (group, name) in [
-            (p1_a.n_low, "A1"),
-            (p1_a.n_high, "A2"),
-            (p1_b.n_low, "B1"),
-            (p1_b.n_high, "B2"),
-        ] {
-            if group < 2 {
-                return Err(Error::InvalidWorkload(format!(
-                    "phase-2 group {name} holds {group} user(s); the (n/|A_g|)·(n/|B_g|) rescale \
-                     needs at least 2 — stream more users or lower the sampling rate"
-                )));
-            }
-        }
-        if p1_a.n_sample == 0 || p1_b.n_sample == 0 {
-            return Err(Error::InvalidWorkload(
-                "phase-1 sample is empty; stream more users or raise the sampling rate".into(),
-            ));
-        }
+        let p1_a = self.phase1_chunked(table_a, PlusTableRole::A, rng_seed)?;
+        let p1_b = self.phase1_chunked(table_b, PlusTableRole::B, rng_seed)?;
+        validate_phase1(&p1_a, &p1_b)?;
         let sketch_a = p1_a.builder.finalize();
         let sketch_b = p1_b.builder.finalize();
 
-        let (fi, thresholds) = self.discover_frequent_items(
-            &sketch_a,
-            &sketch_b,
-            p1_a.n_sample,
-            p1_b.n_sample,
-            domain,
-        );
-        let fi_set: Arc<HashSet<u64>> = Arc::new(fi.iter().copied().collect());
+        let discovery =
+            self.discover_pair(&sketch_a, &sketch_b, p1_a.n_sample, p1_b.n_sample, domain);
 
-        // --- Pass 2: replay, FAP-encode the two groups of each table ---------------------
-        let (fap_low, fap_high, low_seed, high_seed) = self.fap_clients(&fi_set);
-        let pass2 = |route: &UserRouter,
-                     stream: &dyn ChunkedValues,
-                     tag: u64|
+        // --- Pass 2: replay, FAP-encode the two groups of each table. The emission is the
+        // shared streaming driver (`stream_plus_reports`), so the online service absorbing
+        // the same labeled batches into windowed builders lands on bit-identical sketches.
+        let (low_seed, high_seed) = lane_seeds(cfg.seed);
+        let pass2 = |stream: &dyn ChunkedValues,
+                     role: PlusTableRole|
          -> Result<(FinalizedSketch, FinalizedSketch)> {
-            let mut low_builder = SketchBuilder::new(params, cfg.eps, low_seed);
-            let mut high_builder = SketchBuilder::new(params, cfg.eps, high_seed);
-            let mut low_reports = Vec::new();
-            let mut high_reports = Vec::new();
-            // Per-pass chunk ordinal, for the same non-full-chunk reason as in pass 1.
-            let mut ordinal = 0u64;
-            let mut err = None;
-            stream.for_each_chunk(&mut |start, chunk| {
-                if err.is_some() {
-                    return;
-                }
-                let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ tag, ordinal));
-                ordinal += 1;
-                low_reports.clear();
-                high_reports.clear();
-                for (offset, &v) in chunk.iter().enumerate() {
-                    match route.route(start + offset as u64) {
-                        UserRole::Sample => {}
-                        UserRole::LowGroup => low_reports.push(fap_low.perturb(v, &mut rng)),
-                        UserRole::HighGroup => high_reports.push(fap_high.perturb(v, &mut rng)),
-                    }
-                }
-                if let Err(e) = low_builder
-                    .absorb_all(&low_reports)
-                    .and_then(|()| high_builder.absorb_all(&high_reports))
-                {
-                    err = Some(e);
-                }
-            });
-            if let Some(e) = err {
-                return Err(e);
-            }
+            let mut low_builder = SketchBuilder::new(cfg.params, cfg.eps, low_seed);
+            let mut high_builder = SketchBuilder::new(cfg.params, cfg.eps, high_seed);
+            self.stream_plus_reports(
+                stream,
+                role,
+                &discovery.union,
+                rng_seed,
+                false,
+                &mut |batch| {
+                    low_builder
+                        .absorb_all(&batch.low)
+                        .and_then(|()| high_builder.absorb_all(&batch.high))
+                },
+            )?;
             Ok((low_builder.finalize(), high_builder.finalize()))
         };
-        let (m_la, m_ha) = pass2(&route_a, table_a, 0x61)?;
-        let (m_lb, m_hb) = pass2(&route_b, table_b, 0x62)?;
+        let (m_la, m_ha) = pass2(table_a, PlusTableRole::A)?;
+        let (m_lb, m_hb) = pass2(table_b, PlusTableRole::B)?;
 
-        self.join_est(ProtocolParts {
-            sketch_p1_a: sketch_a,
-            sketch_p1_b: sketch_b,
-            sample_a: p1_a.n_sample,
-            sample_b: p1_b.n_sample,
+        // States assembled from the discovery already run above — no second domain scan.
+        let state_a = FinalizedPlusState::with_discovery(
+            sketch_a,
             m_la,
-            m_lb,
             m_ha,
+            discovery.fi_a,
+            discovery.theta_a,
+        );
+        let state_b = FinalizedPlusState::with_discovery(
+            sketch_b,
+            m_lb,
             m_hb,
-            a1: p1_a.n_low,
-            a2: p1_a.n_high,
-            b1: p1_b.n_low,
-            b2: p1_b.n_high,
-            n_a: table_a.total_values(),
-            n_b: table_b.total_values(),
-            fi,
-            thresholds,
+            discovery.fi_b,
+            discovery.theta_b,
+        );
+        PlusKernel::from_config(cfg).join_est(&state_a, &state_b)
+    }
+
+    /// Run the phase-1 discovery pass over both chunked streams and return the frequent-item
+    /// set (plus routing diagnostics) — the "server broadcasts `FI`" step an *online*
+    /// deployment performs before clients start emitting phase-2 reports.
+    ///
+    /// The pass is bit-identical to the internal pass 1 of
+    /// [`LdpJoinSketchPlus::estimate_chunked`] for the same `(streams, config, rng_seed)`,
+    /// so a discovery followed by [`LdpJoinSketchPlus::stream_plus_reports`] ingestion
+    /// reproduces the one-shot protocol exactly.
+    ///
+    /// # Errors
+    /// [`Error::InvalidWorkload`] if a stream is too small to populate the sample and two
+    /// phase-2 groups of at least two users each.
+    pub fn discover_frequent_items_chunked(
+        &self,
+        table_a: &dyn ChunkedValues,
+        table_b: &dyn ChunkedValues,
+        domain: &[u64],
+        rng_seed: u64,
+    ) -> Result<PlusDiscovery> {
+        let p1_a = self.phase1_chunked(table_a, PlusTableRole::A, rng_seed)?;
+        let p1_b = self.phase1_chunked(table_b, PlusTableRole::B, rng_seed)?;
+        validate_phase1(&p1_a, &p1_b)?;
+        let sketch_a = p1_a.builder.finalize();
+        let sketch_b = p1_b.builder.finalize();
+        let discovery =
+            self.discover_pair(&sketch_a, &sketch_b, p1_a.n_sample, p1_b.n_sample, domain);
+        Ok(PlusDiscovery {
+            frequent_items: discovery.union,
+            thresholds: (discovery.theta_a, discovery.theta_b),
+            phase1_users: (p1_a.n_sample, p1_b.n_sample),
+            group_sizes: (p1_a.n_low, p1_a.n_high, p1_b.n_low, p1_b.n_high),
         })
     }
 
-    /// Phase-1 frequent-item discovery: fixed-θ mean-estimator scan in the classic mode,
-    /// adaptive-θ median-estimator scan in the confidence-driven mode.
-    fn discover_frequent_items(
+    /// Replay one table's value stream as the plus protocol's labeled report batches —
+    /// the canonical client-simulation pass of the windowed/online plus path.
+    ///
+    /// One bounded-memory pass over the stream; each chunk yields one [`PlusReportBatch`]
+    /// whose lanes carry exactly the reports the one-shot
+    /// [`LdpJoinSketchPlus::estimate_chunked`] would absorb for that chunk: the phase-1
+    /// sample lane (included when `include_phase1` is set — the one-shot runner builds it in
+    /// its own pass 1) and the two FAP phase-2 lanes encoded against `frequent_items`. The
+    /// per-chunk RNG streams and the deterministic user routing are shared with the one-shot
+    /// passes, so a consumer absorbing these batches into exact-counter builders — in any
+    /// epoch windowing — is bit-identical to the one-shot protocol.
+    ///
+    /// # Errors
+    /// Stops at and returns the first error `sink` reports.
+    pub fn stream_plus_reports(
+        &self,
+        table: &dyn ChunkedValues,
+        role: PlusTableRole,
+        frequent_items: &[u64],
+        rng_seed: u64,
+        include_phase1: bool,
+        sink: &mut dyn FnMut(&PlusReportBatch) -> Result<()>,
+    ) -> Result<()> {
+        let cfg = &self.config;
+        let route = UserRouter::new(cfg.seed, role.router_tag(), cfg.sampling_rate);
+        let client_p1 = LdpJoinSketchClient::new(cfg.params, cfg.eps, cfg.seed);
+        let fi_set: Arc<HashSet<u64>> = Arc::new(frequent_items.iter().copied().collect());
+        let (fap_low, fap_high, _, _) = self.fap_clients(&fi_set);
+        let (p1_tag, p2_tag) = (role.phase1_tag(), role.phase2_tag());
+        let mut batch = PlusReportBatch::default();
+        let mut sampled: Vec<u64> = Vec::new();
+        // Per-pass chunk ordinals (not `start / chunk_len`): the ChunkedValues contract
+        // allows non-full mid-stream chunks, whose start indices would collide and replay
+        // a noise stream.
+        let mut ordinal = 0u64;
+        let mut err = None;
+        table.for_each_chunk(&mut |start, chunk| {
+            if err.is_some() {
+                return;
+            }
+            batch.phase1.clear();
+            batch.low.clear();
+            batch.high.clear();
+            if include_phase1 {
+                sampled.clear();
+                for (offset, &v) in chunk.iter().enumerate() {
+                    if route.route(start + offset as u64) == UserRole::Sample {
+                        sampled.push(v);
+                    }
+                }
+                let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ p1_tag, ordinal));
+                for &v in &sampled {
+                    batch.phase1.push(client_p1.perturb(v, &mut rng));
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ p2_tag, ordinal));
+            ordinal += 1;
+            for (offset, &v) in chunk.iter().enumerate() {
+                match route.route(start + offset as u64) {
+                    UserRole::Sample => {}
+                    UserRole::LowGroup => batch.low.push(fap_low.perturb(v, &mut rng)),
+                    UserRole::HighGroup => batch.high.push(fap_high.perturb(v, &mut rng)),
+                }
+            }
+            if let Err(e) = sink(&batch) {
+                err = Some(e);
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// One table's phase-1 pass (the routed sample sketch plus exact role counts), shared by
+    /// [`LdpJoinSketchPlus::estimate_chunked`] and the standalone discovery entry point.
+    fn phase1_chunked(
+        &self,
+        stream: &dyn ChunkedValues,
+        role: PlusTableRole,
+        rng_seed: u64,
+    ) -> Result<Phase1Pass> {
+        let cfg = &self.config;
+        let client_p1 = LdpJoinSketchClient::new(cfg.params, cfg.eps, cfg.seed);
+        let route = UserRouter::new(cfg.seed, role.router_tag(), cfg.sampling_rate);
+        let tag = role.phase1_tag();
+        let mut builder = SketchBuilder::new(cfg.params, cfg.eps, cfg.seed);
+        let mut sampled = Vec::new();
+        let mut reports = Vec::new();
+        let (mut n_sample, mut n_low, mut n_high) = (0usize, 0usize, 0usize);
+        // Seed each chunk's RNG from a per-pass ordinal, not from the start index: the
+        // ChunkedValues contract allows non-full chunks, whose start indices would collide
+        // when divided by chunk_len and replay identical noise.
+        let mut ordinal = 0u64;
+        let mut err = None;
+        stream.for_each_chunk(&mut |start, chunk| {
+            if err.is_some() {
+                return;
+            }
+            sampled.clear();
+            for (offset, &v) in chunk.iter().enumerate() {
+                match route.route(start + offset as u64) {
+                    UserRole::Sample => {
+                        sampled.push(v);
+                        n_sample += 1;
+                    }
+                    UserRole::LowGroup => n_low += 1,
+                    UserRole::HighGroup => n_high += 1,
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ tag, ordinal));
+            ordinal += 1;
+            reports.clear();
+            for &v in &sampled {
+                reports.push(client_p1.perturb(v, &mut rng));
+            }
+            if let Err(e) = builder.absorb_all(&reports) {
+                err = Some(e);
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(Phase1Pass {
+            builder,
+            n_sample,
+            n_low,
+            n_high,
+        })
+    }
+
+    /// Phase-1 frequent-item discovery: per-table [`FiPolicy::discover`] scans (fixed-θ
+    /// mean-estimator in the classic mode, adaptive-θ median-estimator in the
+    /// confidence-driven mode) unioned across the pair — the same single implementation the
+    /// finalized plus states run, so the broadcast set and the query-time reconciled set
+    /// cannot drift.
+    fn discover_pair(
         &self,
         sketch_a: &FinalizedSketch,
         sketch_b: &FinalizedSketch,
         sample_a: usize,
         sample_b: usize,
         domain: &[u64],
-    ) -> (Vec<u64>, (f64, f64)) {
-        let cfg = &self.config;
-        let (fi_a, fi_b, thresholds) = if cfg.adaptive {
-            let theta_a = bounds::adaptive_phase1_threshold(
-                cfg.params,
-                cfg.eps,
-                sample_a as f64,
-                sketch_a.f2_estimate(),
-            );
-            let theta_b = bounds::adaptive_phase1_threshold(
-                cfg.params,
-                cfg.eps,
-                sample_b as f64,
-                sketch_b.f2_estimate(),
-            );
-            (
-                sketch_a.frequent_items_median(domain, theta_a, sample_a as f64),
-                sketch_b.frequent_items_median(domain, theta_b, sample_b as f64),
-                (theta_a, theta_b),
-            )
-        } else {
-            (
-                sketch_a.frequent_items(domain, cfg.threshold, sample_a as f64),
-                sketch_b.frequent_items(domain, cfg.threshold, sample_b as f64),
-                (cfg.threshold, cfg.threshold),
-            )
-        };
-        let mut fi: Vec<u64> = fi_a.into_iter().chain(fi_b).collect();
-        fi.sort_unstable();
-        fi.dedup();
-        (fi, thresholds)
+    ) -> PairDiscovery {
+        let policy = FiPolicy::from_config(&self.config);
+        let (fi_a, theta_a) = policy.discover(sketch_a, sample_a, domain);
+        let (fi_b, theta_b) = policy.discover(sketch_b, sample_b, domain);
+        let mut union: Vec<u64> = fi_a.iter().chain(fi_b.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        PairDiscovery {
+            fi_a,
+            theta_a,
+            fi_b,
+            theta_b,
+            union,
+        }
     }
 
     /// The two FAP clients of phase 2, with their derived hash seeds.
     fn fap_clients(&self, fi_set: &Arc<HashSet<u64>>) -> (FapClient, FapClient, u64, u64) {
         let cfg = &self.config;
-        let low_seed = cfg.seed ^ 0x9E37_79B9_7F4A_7C15;
-        let high_seed = cfg.seed ^ 0x5851_F42D_4C95_7F2D;
+        let (low_seed, high_seed) = lane_seeds(cfg.seed);
         let client_low = LdpJoinSketchClient::new(cfg.params, cfg.eps, low_seed);
         let client_high = LdpJoinSketchClient::new(cfg.params, cfg.eps, high_seed);
         let fap_low = FapClient::new(client_low, FapMode::LowFrequency, Arc::clone(fi_set));
         let fap_high = FapClient::new(client_high, FapMode::HighFrequency, Arc::clone(fi_set));
         (fap_low, fap_high, low_seed, high_seed)
     }
+}
 
-    /// `JoinEst` (Algorithm 5, plus the confidence-driven extensions): estimate the two
-    /// partial join sizes from the phase-2 sketches, rescale, weight, sum, and account the
-    /// per-phase communication.
-    fn join_est(&self, parts: ProtocolParts) -> Result<PlusEstimate> {
-        let cfg = &self.config;
-        let m = cfg.params.columns() as f64;
-        let ProtocolParts {
-            sketch_p1_a,
-            sketch_p1_b,
-            sample_a,
-            sample_b,
-            m_la,
-            m_lb,
-            m_ha,
-            m_hb,
-            a1,
-            a2,
-            b1,
-            b2,
-            n_a,
-            n_b,
-            fi,
-            thresholds,
-        } = parts;
-
-        let scale_low = (n_a as f64 * n_b as f64) / (a1 as f64 * b1 as f64);
-        let scale_high = (n_a as f64 * n_b as f64) / (a2 as f64 * b2 as f64);
-
-        let (low_est, high_est, recombination_weights) = if cfg.adaptive {
-            // Shift-free low partial: the uniform non-target (frequent-item) mass cancels
-            // inside the centered product — no phase-1 mass estimate enters.
-            let low_products = m_la.row_products_centered(&m_lb)?;
-            let low_est = median(&low_products)
-                .ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
-            // Collision-masked high partial: uniform level from the non-FI buckets, product
-            // over the FI buckets, publicly-detectable FI collision rows dropped.
-            let high_products_flagged = m_ha.row_products_masked(&m_hb, &fi)?;
-            let clean: Vec<f64> = high_products_flagged
-                .iter()
-                .filter(|&&(_, ok)| ok)
-                .map(|&(v, _)| v)
-                .collect();
-            let all: Vec<f64> = high_products_flagged.iter().map(|&(v, _)| v).collect();
-            let high_est = if !clean.is_empty() {
-                clean.iter().sum::<f64>() / clean.len() as f64
-            } else {
-                median(&all).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?
-            };
-            // Confidence-weighted recombination: empirical spread capped by the group-aware
-            // Theorem 4 bound.
-            let w_low = confidence_weight(
-                scale_low * low_est,
-                scale_low,
-                &low_products,
-                bounds::group_variance_bound(cfg.params, cfg.eps, a1 as f64, b1 as f64, scale_low),
-            );
-            let w_high = confidence_weight(
-                scale_high * high_est,
-                scale_high,
-                &clean,
-                bounds::group_variance_bound(cfg.params, cfg.eps, a2 as f64, b2 as f64, scale_high),
-            );
-            (low_est, high_est, (w_low, w_high))
-        } else {
-            // Classic Algorithm 5: estimate the frequent-item masses from phase 1 and
-            // subtract the expected uniform non-target contribution per counter.
-            let scale_a = n_a as f64 / sample_a.max(1) as f64;
-            let scale_b = n_b as f64 / sample_b.max(1) as f64;
-            let high_freq_a: f64 = fi
-                .iter()
-                .map(|&d| sketch_p1_a.frequency(d) * scale_a)
-                .sum::<f64>()
-                .clamp(0.0, n_a as f64);
-            let high_freq_b: f64 = fi
-                .iter()
-                .map(|&d| sketch_p1_b.frequency(d) * scale_b)
-                .sum::<f64>()
-                .clamp(0.0, n_b as f64);
-            let group_fraction = |group_len: usize, table_len: usize| {
-                if cfg.paper_literal_subtraction {
-                    1.0
-                } else {
-                    group_len as f64 / table_len as f64
-                }
-            };
-            // mode == L: the non-targets are the high-frequency values.
-            let nt_la = high_freq_a * group_fraction(a1, n_a);
-            let nt_lb = high_freq_b * group_fraction(b1, n_b);
-            let low_products = m_la.row_products_shifted(&m_lb, nt_la / m, nt_lb / m)?;
-            let low_est = median(&low_products)
-                .ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
-            // mode == H: the non-targets are the low-frequency values.
-            let nt_ha = (n_a as f64 - high_freq_a) * group_fraction(a2, n_a);
-            let nt_hb = (n_b as f64 - high_freq_b) * group_fraction(b2, n_b);
-            let high_products = m_ha.row_products_shifted(&m_hb, nt_ha / m, nt_hb / m)?;
-            let high_est = median(&high_products)
-                .ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))?;
-            let weights = if cfg.variance_weighted_recombination {
-                (
-                    shrinkage_weight(scale_low * low_est, scale_low, &low_products),
-                    shrinkage_weight(scale_high * high_est, scale_high, &high_products),
-                )
-            } else {
-                (1.0, 1.0)
-            };
-            (low_est, high_est, weights)
-        };
-
-        let join_size = recombination_weights.0 * scale_low * low_est
-            + recombination_weights.1 * scale_high * high_est;
-
-        // Per-phase communication, from the report encoding each phase's users actually
-        // send (phase-1 users send plain LDPJoinSketch reports, phase-2 users send FAP
-        // reports through their group's client). All three clients encode the same
-        // `(y, j, l)` triple under the shared `(k, m)`, so the per-report cost is one
-        // function of the sketch parameters — but it is accounted per phase, through the
-        // sketch each phase built, so phases with different encodings would be charged
-        // correctly.
-        let per_report_bits =
-            |sketch: &FinalizedSketch| crate::protocol::report_bits(sketch.params());
-        let phase1_bits = per_report_bits(&sketch_p1_a) * sample_a as u64
-            + per_report_bits(&sketch_p1_b) * sample_b as u64;
-        let phase2_bits = per_report_bits(&m_la) * a1 as u64
-            + per_report_bits(&m_lb) * b1 as u64
-            + per_report_bits(&m_ha) * a2 as u64
-            + per_report_bits(&m_hb) * b2 as u64;
-
-        Ok(PlusEstimate {
-            join_size,
-            frequent_items: fi,
-            low_estimate: low_est,
-            high_estimate: high_est,
-            phase1_users: (sample_a, sample_b),
-            group_sizes: (a1, a2, b1, b2),
-            recombination_weights,
-            thresholds,
-            phase_bits: (phase1_bits, phase2_bits),
-            communication_bits: phase1_bits + phase2_bits,
-        })
-    }
+/// One run of phase-1 discovery over a table pair: the per-table frequent items and
+/// thresholds (kept separate so the finalized states can be assembled without re-scanning
+/// the domain) plus their sorted union (what the FAP clients encode against).
+struct PairDiscovery {
+    fi_a: Vec<u64>,
+    theta_a: f64,
+    fi_b: Vec<u64>,
+    theta_b: f64,
+    union: Vec<u64>,
 }
 
 /// One table's phase-1 pass over a chunked stream: the sample sketch builder plus the exact
@@ -652,6 +605,31 @@ struct Phase1Pass {
     n_sample: usize,
     n_low: usize,
     n_high: usize,
+}
+
+/// Reject streams whose deterministic routing left a degenerate protocol: an empty phase-1
+/// sample cannot discover frequent items, and a phase-2 group below two users makes the
+/// `(n/|A_g|)·(n/|B_g|)` rescale of its partial estimate explode.
+fn validate_phase1(p1_a: &Phase1Pass, p1_b: &Phase1Pass) -> Result<()> {
+    for (group, name) in [
+        (p1_a.n_low, "A1"),
+        (p1_a.n_high, "A2"),
+        (p1_b.n_low, "B1"),
+        (p1_b.n_high, "B2"),
+    ] {
+        if group < 2 {
+            return Err(Error::InvalidWorkload(format!(
+                "phase-2 group {name} holds {group} user(s); the (n/|A_g|)·(n/|B_g|) rescale \
+                 needs at least 2 — stream more users or lower the sampling rate"
+            )));
+        }
+    }
+    if p1_a.n_sample == 0 || p1_b.n_sample == 0 {
+        return Err(Error::InvalidWorkload(
+            "phase-1 sample is empty; stream more users or raise the sampling rate".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// The role the protocol assigns to one user.
@@ -738,67 +716,6 @@ fn split_half(rest: &[u64], rng: &mut dyn RngCore) -> (Vec<u64>, Vec<u64>) {
     let cut = shuffled.len() / 2;
     let second = shuffled.split_off(cut);
     (shuffled, second)
-}
-
-/// The inverse-variance weight of one rescaled partial estimate against the zero prior:
-/// `w = Ĵ²/(Ĵ² + σ̂²)`, with `σ̂²` estimated from the spread of the `k` per-row products
-/// (each row is an independent estimator of the same partial; the median combiner's variance
-/// is proportional to the per-row variance divided by `k`).
-///
-/// Pinned edge behavior (each unit-tested):
-/// * identical row products (`σ̂² = 0`) → full weight `1` — a noiseless partial is never
-///   shrunk;
-/// * a negative estimate weighs by its magnitude (`Ĵ²`), exactly like a positive one;
-/// * any non-finite intermediate (overflowing spread, NaN products) → full weight `1` — a
-///   broken variance estimate must never silently zero out a real partial.
-fn shrinkage_weight(rescaled_estimate: f64, scale: f64, row_products: &[f64]) -> f64 {
-    let k = row_products.len();
-    if k < 2 {
-        return 1.0;
-    }
-    let mean = row_products.iter().sum::<f64>() / k as f64;
-    let row_var = row_products.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (k as f64 - 1.0);
-    let sigma_sq = scale * scale * row_var / k as f64;
-    weight_from(rescaled_estimate, sigma_sq)
-}
-
-/// The adaptive mode's generalization of [`shrinkage_weight`]: the empirical per-row spread
-/// is capped by the group-aware Theorem 4 variance bound, so an inflated spread (a few
-/// outlier rows) can never zero out a partial whose analytical confidence radius says it
-/// carries signal.
-fn confidence_weight(
-    rescaled_estimate: f64,
-    scale: f64,
-    row_products: &[f64],
-    analytic_variance_bound: f64,
-) -> f64 {
-    let k = row_products.len();
-    if k < 2 {
-        return 1.0;
-    }
-    let mean = row_products.iter().sum::<f64>() / k as f64;
-    let row_var = row_products.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (k as f64 - 1.0);
-    let mut sigma_sq = scale * scale * row_var / k as f64;
-    if analytic_variance_bound.is_finite() && analytic_variance_bound >= 0.0 {
-        sigma_sq = sigma_sq.min(analytic_variance_bound);
-    }
-    weight_from(rescaled_estimate, sigma_sq)
-}
-
-/// `w = Ĵ²/(Ĵ² + σ̂²)` with the pinned edges: `σ̂² = 0` (or a non-finite intermediate) gives
-/// full weight, so a partial is only ever *deliberately* damped by measured noise.
-fn weight_from(rescaled_estimate: f64, sigma_sq: f64) -> f64 {
-    let signal_sq = rescaled_estimate * rescaled_estimate;
-    let denom = signal_sq + sigma_sq;
-    if !denom.is_finite() || denom == 0.0 || !signal_sq.is_finite() {
-        return 1.0;
-    }
-    let w = signal_sq / denom;
-    if w.is_finite() {
-        w
-    } else {
-        1.0
-    }
 }
 
 fn build_sketch(
@@ -1181,52 +1098,6 @@ mod tests {
             "variance weighting should not lose to the plain sum when one partial is pure \
              noise: weighted {err_weighted} vs plain {err_plain}"
         );
-    }
-
-    #[test]
-    fn shrinkage_weight_edge_cases_are_pinned() {
-        // σ̂² = 0 (all row products identical): full weight, the partial is trusted.
-        let identical = vec![5.0e6; 12];
-        assert_eq!(shrinkage_weight(1.0e7, 3.0, &identical), 1.0);
-        assert_eq!(confidence_weight(1.0e7, 3.0, &identical, 1.0e3), 1.0);
-        // Zero estimate with zero spread: still full weight (0·1 = 0 either way, but the
-        // weight must not be NaN from 0/0).
-        assert_eq!(shrinkage_weight(0.0, 3.0, &identical), 1.0);
-        let zeros = vec![0.0; 8];
-        assert_eq!(shrinkage_weight(0.0, 3.0, &zeros), 1.0);
-        // A negative estimate weighs by magnitude, identically to its positive mirror.
-        let spread: Vec<f64> = (0..12).map(|i| 1.0e6 + (i as f64) * 2.0e5).collect();
-        let w_neg = shrinkage_weight(-2.0e6, 4.0, &spread);
-        let w_pos = shrinkage_weight(2.0e6, 4.0, &spread);
-        assert!((w_neg - w_pos).abs() < 1e-15);
-        assert!(
-            (0.0..=1.0).contains(&w_neg) && w_neg > 0.0,
-            "weight {w_neg}"
-        );
-        // Non-finite inputs can never produce a zero/NaN weight that silently kills a
-        // partial: the weight falls back to 1.
-        let with_nan = vec![1.0, f64::NAN, 2.0, 3.0];
-        let w = shrinkage_weight(1.0e6, 2.0, &with_nan);
-        assert_eq!(w, 1.0);
-        let overflow = vec![f64::MAX, -f64::MAX, f64::MAX, -f64::MAX];
-        let w = shrinkage_weight(1.0e6, f64::MAX, &overflow);
-        assert_eq!(w, 1.0);
-        // Tiny estimate against huge measured noise is damped toward zero, but stays finite
-        // and positive (the legitimate shrinkage direction still works).
-        let w = shrinkage_weight(10.0, 100.0, &spread);
-        assert!(w > 0.0 && w < 1e-6, "noise-dominated weight {w}");
-        // The analytic cap keeps an outlier-inflated spread from zeroing a real partial.
-        let outlier: Vec<f64> = (0..12)
-            .map(|i| if i == 0 { 1.0e12 } else { 1.0e6 })
-            .collect();
-        let uncapped = shrinkage_weight(5.0e6, 4.0, &outlier);
-        let capped = confidence_weight(5.0e6, 4.0, &outlier, 1.0e10);
-        assert!(
-            capped > uncapped,
-            "the Theorem-4 cap must restore weight to an outlier-hit partial: \
-             {capped} vs {uncapped}"
-        );
-        assert!(capped > 0.5, "capped weight {capped}");
     }
 
     #[test]

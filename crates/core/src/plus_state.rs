@@ -1,0 +1,535 @@
+//! The two-stage lifecycle of LDPJoinSketch+'s per-attribute estimator state, mirroring the
+//! [`SketchBuilder`] / [`FinalizedSketch`] split of the plain sketch.
+//!
+//! One table's side of the plus protocol is three report lanes — the phase-1 sample sketch
+//! and the two phase-2 FAP sketches (low- and high-frequency groups) — plus the frequent-item
+//! set that phase 1 derives. [`PlusStateBuilder`] is the **mutable accumulation stage**: it
+//! absorbs [`PlusReportBatch`]es into the three lanes (exact ±1 integer counter sums, so
+//! builders merge across epoch windows at zero rounding error, exactly like the plain
+//! builder). [`PlusStateBuilder::finalize`] restores each lane once and runs frequent-item
+//! discovery on the finalized phase-1 sketch, yielding the immutable [`FinalizedPlusState`]
+//! estimation view that the [`PlusKernel`](crate::kernel::PlusKernel) borrows.
+//!
+//! Because the frequent-item set is **re-derived from the finalized phase-1 sketch** rather
+//! than carried alongside the counters, merging k windows' builders and finalizing once
+//! performs *cross-window FI reconciliation* for free: the merged state's FI is discovered on
+//! the merged phase-1 sketch, and the kernel's high partial re-masks the merged phase-2
+//! sketches via [`FinalizedSketch::row_products_masked`] with that reconciled set. A full-span
+//! merge is therefore bit-identical to the one-shot
+//! [`ldp_join_plus_estimate_chunked`](crate::protocol::ldp_join_plus_estimate_chunked) run
+//! over the concatenated stream.
+
+use ldpjs_common::error::{Error, Result};
+use ldpjs_common::privacy::Epsilon;
+use ldpjs_sketch::SketchParams;
+
+use crate::bounds;
+use crate::client::ClientReport;
+use crate::plus::PlusConfig;
+use crate::server::{FinalizedSketch, SketchBuilder};
+
+/// Derive the phase-2 lane hash seeds from the protocol seed. The low and high FAP sketches
+/// use distinct public hash families so their collisions decorrelate; both sides of a join
+/// derive the same pair from the shared protocol seed.
+#[inline]
+pub(crate) fn lane_seeds(protocol_seed: u64) -> (u64, u64) {
+    (
+        protocol_seed ^ 0x9E37_79B9_7F4A_7C15,
+        protocol_seed ^ 0x5851_F42D_4C95_7F2D,
+    )
+}
+
+/// How phase-1 frequent-item discovery runs: the fixed-θ mean-estimator scan of the classic
+/// mode, or the adaptive-θ median-estimator scan of the confidence-driven mode. This is the
+/// single implementation behind the one-shot runners *and* the finalization of windowed plus
+/// state, so offline and online FI sets cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiPolicy {
+    /// Fixed frequent-item threshold θ (ignored when `adaptive` is set).
+    pub threshold: f64,
+    /// Derive θ per table from the detection noise floor and use the collision-robust
+    /// median frequency estimator.
+    pub adaptive: bool,
+}
+
+impl FiPolicy {
+    /// The discovery policy a [`PlusConfig`] implies.
+    pub fn from_config(config: &PlusConfig) -> Self {
+        FiPolicy {
+            threshold: config.threshold,
+            adaptive: config.adaptive,
+        }
+    }
+
+    /// Discover one table's frequent items on its finalized phase-1 sketch. Returns the
+    /// items and the threshold θ actually applied. An empty sample yields an empty set (a
+    /// window that sealed before any sample user arrived claims no frequent items).
+    pub fn discover(
+        &self,
+        sketch: &FinalizedSketch,
+        samples: usize,
+        domain: &[u64],
+    ) -> (Vec<u64>, f64) {
+        if samples == 0 {
+            return (Vec::new(), self.threshold);
+        }
+        if self.adaptive {
+            let theta = bounds::adaptive_phase1_threshold(
+                sketch.params(),
+                sketch.epsilon(),
+                samples as f64,
+                sketch.f2_estimate(),
+            );
+            (
+                sketch.frequent_items_median(domain, theta, samples as f64),
+                theta,
+            )
+        } else {
+            (
+                sketch.frequent_items(domain, self.threshold, samples as f64),
+                self.threshold,
+            )
+        }
+    }
+}
+
+/// One ingestion batch of plus-protocol reports, labeled by lane. The streaming client
+/// simulation ([`LdpJoinSketchPlus::stream_plus_reports`](crate::plus::LdpJoinSketchPlus::stream_plus_reports))
+/// emits one batch per stream chunk; the online service absorbs each batch into the live
+/// [`PlusStateBuilder`] of the addressed attribute.
+#[derive(Debug, Clone, Default)]
+pub struct PlusReportBatch {
+    /// Phase-1 sample reports (plain LDPJoinSketch encoding).
+    pub phase1: Vec<ClientReport>,
+    /// Phase-2 low-frequency group reports (FAP, `mode == L`).
+    pub low: Vec<ClientReport>,
+    /// Phase-2 high-frequency group reports (FAP, `mode == H`).
+    pub high: Vec<ClientReport>,
+}
+
+impl PlusReportBatch {
+    /// Total reports across the three lanes.
+    pub fn len(&self) -> usize {
+        self.phase1.len() + self.low.len() + self.high.len()
+    }
+
+    /// Whether the batch carries no reports at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The mutable accumulation stage of one attribute's LDPJoinSketch+ state: three exact
+/// integer-counter report lanes (phase-1 sample, phase-2 low group, phase-2 high group).
+///
+/// Like the plain [`SketchBuilder`], lane counters are exact ±1 report sums, so
+/// [`PlusStateBuilder::merge`] across epoch windows is bit-for-bit identical to absorbing
+/// every report into a single builder — the property the online service's window-merge
+/// guarantee extends to the plus path.
+#[derive(Debug, Clone)]
+pub struct PlusStateBuilder {
+    phase1: SketchBuilder,
+    low: SketchBuilder,
+    high: SketchBuilder,
+}
+
+impl PlusStateBuilder {
+    /// Create an empty plus-state builder. The phase-1 lane derives its hash family from
+    /// `seed` directly (it must match the plain client of the phase-1 sample); the two
+    /// phase-2 lanes derive the distinct lane seeds both join partners share.
+    pub fn new(params: SketchParams, eps: Epsilon, seed: u64) -> Self {
+        let (low_seed, high_seed) = lane_seeds(seed);
+        PlusStateBuilder {
+            phase1: SketchBuilder::new(params, eps, seed),
+            low: SketchBuilder::new(params, eps, low_seed),
+            high: SketchBuilder::new(params, eps, high_seed),
+        }
+    }
+
+    /// Sketch parameters `(k, m)` shared by the three lanes.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.phase1.params()
+    }
+
+    /// Privacy budget the absorbed reports were perturbed with.
+    #[inline]
+    pub fn epsilon(&self) -> Epsilon {
+        self.phase1.epsilon()
+    }
+
+    /// Total reports absorbed across the three lanes.
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.phase1.reports() + self.low.reports() + self.high.reports()
+    }
+
+    /// Per-lane report counts `(phase1, low, high)`.
+    #[inline]
+    pub fn lane_reports(&self) -> (u64, u64, u64) {
+        (
+            self.phase1.reports(),
+            self.low.reports(),
+            self.high.reports(),
+        )
+    }
+
+    /// Absorb one labeled batch atomically: every lane is validated against its sketch
+    /// before any counter moves, so a rejected batch leaves all three lanes untouched.
+    ///
+    /// # Errors
+    /// [`Error::ReportOutOfRange`] for the first report that does not fit the sketch.
+    pub fn absorb_batch(&mut self, batch: &PlusReportBatch) -> Result<()> {
+        self.phase1.validate_batch(&batch.phase1)?;
+        self.low.validate_batch(&batch.low)?;
+        self.high.validate_batch(&batch.high)?;
+        self.phase1.accumulate_validated(&batch.phase1);
+        self.low.accumulate_validated(&batch.low);
+        self.high.accumulate_validated(&batch.high);
+        Ok(())
+    }
+
+    /// Merge another partial plus-state builder lane-wise (exact integer counter addition —
+    /// the window-merge primitive of the online plus path).
+    ///
+    /// # Errors
+    /// [`Error::IncompatibleSketches`] if any lane's parameters, hash seed or ε differ.
+    pub fn merge(&mut self, other: &Self) -> Result<()> {
+        self.phase1.merge(&other.phase1)?;
+        self.low.merge(&other.low)?;
+        self.high.merge(&other.high)?;
+        Ok(())
+    }
+
+    /// Restore the three lanes and run frequent-item discovery once, consuming the builder
+    /// and returning the immutable estimation view.
+    pub fn finalize(self, policy: FiPolicy, domain: &[u64]) -> FinalizedPlusState {
+        let PlusStateBuilder { phase1, low, high } = self;
+        FinalizedPlusState::new(
+            phase1.finalize(),
+            low.finalize(),
+            high.finalize(),
+            policy,
+            domain,
+        )
+    }
+
+    /// Restore a *snapshot* of the state without consuming the builder (the epoch-sealing
+    /// hook of the online service's plus path), sharing the exact restore pipeline with
+    /// [`PlusStateBuilder::finalize`] so the two entry points cannot diverge bit-wise.
+    pub fn finalize_view(&self, policy: FiPolicy, domain: &[u64]) -> FinalizedPlusState {
+        FinalizedPlusState::new(
+            self.phase1.finalize_view(),
+            self.low.finalize_view(),
+            self.high.finalize_view(),
+            policy,
+            domain,
+        )
+    }
+}
+
+/// The immutable estimation stage of one attribute's LDPJoinSketch+ state: the finalized
+/// phase-1 and phase-2 sketches, the frequent-item set discovered on the finalized phase-1
+/// sketch, and the threshold that discovery applied.
+///
+/// Everything the [`PlusKernel`](crate::kernel::PlusKernel) needs to run `JoinEst` against a
+/// partner state is borrowed from here; group sizes and table totals are derived from the
+/// lanes' exact report counts.
+#[derive(Debug, Clone)]
+pub struct FinalizedPlusState {
+    phase1: FinalizedSketch,
+    low: FinalizedSketch,
+    high: FinalizedSketch,
+    frequent_items: Vec<u64>,
+    threshold: f64,
+}
+
+impl FinalizedPlusState {
+    /// Assemble a finalized state from already-finalized lane sketches, running frequent-item
+    /// discovery under `policy` over the public candidate `domain`. This is the single
+    /// assembly point shared by the one-shot runners (materialized and chunked) and the
+    /// online service's window merges.
+    pub fn new(
+        phase1: FinalizedSketch,
+        low: FinalizedSketch,
+        high: FinalizedSketch,
+        policy: FiPolicy,
+        domain: &[u64],
+    ) -> Self {
+        let (frequent_items, threshold) =
+            policy.discover(&phase1, phase1.reports() as usize, domain);
+        Self::with_discovery(phase1, low, high, frequent_items, threshold)
+    }
+
+    /// Assemble a finalized state from lane sketches and an **already-run** discovery
+    /// result — the constructor the one-shot runners use so the `O(|domain|·k)` phase-1
+    /// scan they needed anyway (to broadcast `FI` before phase 2) is not repeated. The
+    /// caller is responsible for `(frequent_items, threshold)` being exactly what
+    /// [`FiPolicy::discover`] returns on `phase1`; the windowed service always goes
+    /// through [`FinalizedPlusState::new`] instead, which is what makes merged spans
+    /// re-discover (reconcile) on the merged sketch.
+    pub fn with_discovery(
+        phase1: FinalizedSketch,
+        low: FinalizedSketch,
+        high: FinalizedSketch,
+        frequent_items: Vec<u64>,
+        threshold: f64,
+    ) -> Self {
+        FinalizedPlusState {
+            phase1,
+            low,
+            high,
+            frequent_items,
+            threshold,
+        }
+    }
+
+    /// The finalized phase-1 sample sketch.
+    #[inline]
+    pub fn phase1(&self) -> &FinalizedSketch {
+        &self.phase1
+    }
+
+    /// The finalized phase-2 low-frequency FAP sketch.
+    #[inline]
+    pub fn low(&self) -> &FinalizedSketch {
+        &self.low
+    }
+
+    /// The finalized phase-2 high-frequency FAP sketch.
+    #[inline]
+    pub fn high(&self) -> &FinalizedSketch {
+        &self.high
+    }
+
+    /// This table's frequent items, discovered on the finalized phase-1 sketch.
+    #[inline]
+    pub fn frequent_items(&self) -> &[u64] {
+        &self.frequent_items
+    }
+
+    /// The frequent-item threshold θ discovery actually applied.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Phase-1 sample users.
+    #[inline]
+    pub fn samples(&self) -> usize {
+        self.phase1.reports() as usize
+    }
+
+    /// Phase-2 low-frequency group users (`|X1|`).
+    #[inline]
+    pub fn low_users(&self) -> usize {
+        self.low.reports() as usize
+    }
+
+    /// Phase-2 high-frequency group users (`|X2|`).
+    #[inline]
+    pub fn high_users(&self) -> usize {
+        self.high.reports() as usize
+    }
+
+    /// Total users the state summarises (`n = sample + |X1| + |X2|`).
+    #[inline]
+    pub fn total_users(&self) -> usize {
+        self.samples() + self.low_users() + self.high_users()
+    }
+
+    /// Total reports across the three lanes, as a `u64` (the service's accounting unit).
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.phase1.reports() + self.low.reports() + self.high.reports()
+    }
+
+    /// Check that two states can be joined: every lane pair must share `(k, m)` and its
+    /// public hash family (the kernel's row products re-check per call; this gives callers
+    /// an early, descriptive error).
+    pub fn check_joinable(&self, other: &Self) -> Result<()> {
+        for (mine, theirs, lane) in [
+            (&self.phase1, &other.phase1, "phase-1"),
+            (&self.low, &other.low, "phase-2 low"),
+            (&self.high, &other.high, "phase-2 high"),
+        ] {
+            if mine.params() != theirs.params() || mine.hashes().seed() != theirs.hashes().seed() {
+                return Err(Error::IncompatibleSketches(format!(
+                    "plus states differ in the {lane} lane: {} seed {} vs {} seed {}",
+                    mine.params(),
+                    mine.hashes().seed(),
+                    theirs.params(),
+                    theirs.hashes().seed()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::LdpJoinSketchClient;
+    use crate::fap::{FapClient, FapMode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn params() -> SketchParams {
+        SketchParams::new(8, 128).unwrap()
+    }
+
+    fn eps() -> Epsilon {
+        Epsilon::new(4.0).unwrap()
+    }
+
+    fn batch_for(seed: u64, n: usize) -> PlusReportBatch {
+        let (low_seed, high_seed) = lane_seeds(9);
+        let p1 = LdpJoinSketchClient::new(params(), eps(), 9);
+        let fi: Arc<HashSet<u64>> = Arc::new([1u64, 2].into_iter().collect());
+        let low = FapClient::new(
+            LdpJoinSketchClient::new(params(), eps(), low_seed),
+            FapMode::LowFrequency,
+            Arc::clone(&fi),
+        );
+        let high = FapClient::new(
+            LdpJoinSketchClient::new(params(), eps(), high_seed),
+            FapMode::HighFrequency,
+            fi,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<u64> = (0..n as u64).map(|v| v % 50).collect();
+        PlusReportBatch {
+            phase1: p1.perturb_all(&values[..n / 5], &mut rng),
+            low: low.perturb_all(&values[n / 5..n / 5 + 2 * n / 5], &mut rng),
+            high: high.perturb_all(&values[n / 5 + 2 * n / 5..], &mut rng),
+        }
+    }
+
+    #[test]
+    fn batch_accounting_and_lane_counts() {
+        let batch = batch_for(1, 100);
+        assert_eq!(batch.len(), 100);
+        assert!(!batch.is_empty());
+        assert!(PlusReportBatch::default().is_empty());
+        let mut builder = PlusStateBuilder::new(params(), eps(), 9);
+        builder.absorb_batch(&batch).unwrap();
+        assert_eq!(builder.reports(), 100);
+        assert_eq!(builder.lane_reports(), (20, 40, 40));
+    }
+
+    #[test]
+    fn rejected_batch_leaves_every_lane_untouched() {
+        let mut builder = PlusStateBuilder::new(params(), eps(), 9);
+        let mut batch = batch_for(2, 50);
+        // Poison the *last* lane: absorption must be atomic across lanes, not per lane.
+        batch.high.push(ClientReport {
+            y: 1.0,
+            row: 99,
+            col: 0,
+        });
+        assert!(matches!(
+            builder.absorb_batch(&batch),
+            Err(Error::ReportOutOfRange { .. })
+        ));
+        assert_eq!(builder.reports(), 0);
+        let domain: Vec<u64> = (0..50).collect();
+        let state = builder.finalize(
+            FiPolicy {
+                threshold: 0.01,
+                adaptive: false,
+            },
+            &domain,
+        );
+        assert!(state.phase1().restored_counters().iter().all(|&v| v == 0.0));
+        assert!(state.frequent_items().is_empty(), "empty sample -> no FI");
+    }
+
+    #[test]
+    fn window_merge_is_bit_identical_to_single_builder_per_lane() {
+        let policy = FiPolicy {
+            threshold: 0.02,
+            adaptive: false,
+        };
+        let domain: Vec<u64> = (0..50).collect();
+        let batches: Vec<PlusReportBatch> =
+            (0..7).map(|i| batch_for(10 + i, 90 + i as usize)).collect();
+
+        let mut single = PlusStateBuilder::new(params(), eps(), 9);
+        for b in &batches {
+            single.absorb_batch(b).unwrap();
+        }
+
+        for windows in [1usize, 2, 4, 7] {
+            let per = batches.len().div_ceil(windows);
+            let mut sealed: Vec<PlusStateBuilder> = Vec::new();
+            for part in batches.chunks(per) {
+                let mut w = PlusStateBuilder::new(params(), eps(), 9);
+                for b in part {
+                    w.absorb_batch(b).unwrap();
+                }
+                sealed.push(w);
+            }
+            let mut merged = sealed[0].clone();
+            for w in &sealed[1..] {
+                merged.merge(w).unwrap();
+            }
+            assert_eq!(merged.lane_reports(), single.lane_reports());
+            let merged = merged.finalize_view(policy, &domain);
+            let reference = single.finalize_view(policy, &domain);
+            assert_eq!(
+                merged.phase1().restored_counters(),
+                reference.phase1().restored_counters(),
+                "{windows}-window phase-1 merge diverged"
+            );
+            assert_eq!(
+                merged.low().restored_counters(),
+                reference.low().restored_counters()
+            );
+            assert_eq!(
+                merged.high().restored_counters(),
+                reference.high().restored_counters()
+            );
+            assert_eq!(merged.frequent_items(), reference.frequent_items());
+            assert_eq!(merged.threshold(), reference.threshold());
+        }
+    }
+
+    #[test]
+    fn finalize_and_finalize_view_agree_bitwise() {
+        let mut builder = PlusStateBuilder::new(params(), eps(), 9);
+        builder.absorb_batch(&batch_for(3, 120)).unwrap();
+        let policy = FiPolicy {
+            threshold: 0.01,
+            adaptive: true,
+        };
+        let domain: Vec<u64> = (0..50).collect();
+        let view = builder.finalize_view(policy, &domain);
+        let consumed = builder.finalize(policy, &domain);
+        assert_eq!(
+            view.phase1().restored_counters(),
+            consumed.phase1().restored_counters()
+        );
+        assert_eq!(view.frequent_items(), consumed.frequent_items());
+        assert_eq!(view.total_users(), consumed.total_users());
+    }
+
+    #[test]
+    fn mismatched_seeds_do_not_merge_or_join() {
+        let mut a = PlusStateBuilder::new(params(), eps(), 9);
+        let b = PlusStateBuilder::new(params(), eps(), 10);
+        assert!(a.merge(&b).is_err());
+        let policy = FiPolicy {
+            threshold: 0.01,
+            adaptive: false,
+        };
+        let domain: Vec<u64> = (0..10).collect();
+        let fa = PlusStateBuilder::new(params(), eps(), 9).finalize(policy, &domain);
+        let fb = PlusStateBuilder::new(params(), eps(), 10).finalize(policy, &domain);
+        assert!(fa.check_joinable(&fb).is_err());
+        let fc = PlusStateBuilder::new(params(), eps(), 9).finalize(policy, &domain);
+        assert!(fa.check_joinable(&fc).is_ok());
+    }
+}

@@ -445,9 +445,12 @@ impl FinalizedSketch {
     }
 
     /// Join-size estimate `median_j Σ_x M_A[j,x]·M_B[j,x]` (Eq. 5).
+    ///
+    /// Thin driver over the shared [`PlainKernel`](crate::kernel::PlainKernel) — the single
+    /// implementation every plain join estimate (offline runners, experiment harness,
+    /// online service) goes through.
     pub fn join_size(&self, other: &Self) -> Result<f64> {
-        let products = self.row_products(other)?;
-        median(&products).ok_or_else(|| Error::EmptyInput("sketch has no rows".into()))
+        crate::kernel::PlainKernel.join_size(self, other)
     }
 
     /// Join-size estimate after subtracting a uniform per-counter shift from each sketch

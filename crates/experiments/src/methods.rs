@@ -4,12 +4,19 @@
 //! privacy budget and a seed, runs the full (simulated) protocol, and returns the join-size
 //! estimate together with offline/online timings and the total communication cost — the three
 //! quantities the paper's figures plot.
+//!
+//! The paper's own estimators go through the **shared query-engine kernels** of
+//! [`ldpjs_core::kernel`]: the plain online step dispatches
+//! [`JoinKernel::Plain`](ldpjs_core::JoinKernel) on the two finalized sketch views, and
+//! LDPJoinSketch+ runs [`PlusKernel`](ldpjs_core::PlusKernel)'s `JoinEst` inside
+//! [`LdpJoinSketchPlus`] — the identical code paths the online `SketchService` serves, so
+//! offline figures and online answers can never drift apart.
 
 use ldpjs_common::error::Result;
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_core::plus::{LdpJoinSketchPlus, PlusConfig};
 use ldpjs_core::protocol::{build_private_sketch_parallel, report_bits};
-use ldpjs_core::SketchParams;
+use ldpjs_core::{JoinKernel, PlainKernel, QueryInput, SketchParams};
 use ldpjs_data::JoinWorkload;
 use ldpjs_ldp::{estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle};
 use ldpjs_sketch::FastAgmsSketch;
@@ -172,7 +179,9 @@ pub fn estimate_join(
             )?;
             let offline = start.elapsed().as_secs_f64();
             let start = Instant::now();
-            let estimate = sa.join_size(&sb)?;
+            // The online step is the shared plain kernel — dispatched through the same
+            // `JoinKernel` front-end the unified query engine uses everywhere.
+            let estimate = JoinKernel::Plain(PlainKernel).estimate(QueryInput::Plain(&sa, &sb))?;
             let online = start.elapsed().as_secs_f64();
             let bits =
                 report_bits(params) * (workload.table_a.len() + workload.table_b.len()) as u64;

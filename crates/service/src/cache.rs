@@ -1,14 +1,22 @@
-//! The memoized query cache: answers keyed by (attribute, epoch-span) pairs, merged
-//! estimation views keyed by (attribute, epoch-span), both invalidated when the attribute
-//! rotates.
+//! The memoized query cache: answers keyed by **(query kind, attribute set, epoch span)**,
+//! merged estimation views (one store per estimator mode) keyed by (attribute, epoch-span),
+//! all invalidated when a participating attribute rotates.
 //!
 //! Epoch spans — `(first_epoch, last_epoch)` over per-attribute, never-reused epoch ids —
 //! identify immutable sealed data, so a cached answer can never go stale; invalidation on
 //! rotation exists to (1) bound the cache to answers the *current* ring can still derive
 //! and (2) keep `Latest`/`LastK` queries, which re-resolve to new spans after every
 //! rotation, from accumulating dead entries.
+//!
+//! Result entries are bounded by a capacity with **least-recently-used** eviction: a lookup
+//! hit promotes its entry to most-recently-used before the oldest entry is evicted, so a hot
+//! merged-span answer (a dashboard's repeated join query) survives a value-keyed frequency
+//! scan that churns thousands of one-shot entries past it. (The earlier insertion-order
+//! eviction evicted exactly those hot entries first; the regression is pinned in this
+//! module's tests via [`CacheStats`].)
 
-use ldpjs_core::FinalizedSketch;
+use ldpjs_core::multiway::FinalizedEdgeSketch;
+use ldpjs_core::{FinalizedPlusState, FinalizedSketch};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -17,33 +25,51 @@ use std::sync::Arc;
 pub(crate) struct CachedAnswer {
     /// The estimate.
     pub value: f64,
-    /// Sealed windows consulted (both sides summed for a join).
+    /// Sealed windows consulted (every participating attribute summed).
     pub windows: usize,
-    /// Reports covered by those windows (both sides summed for a join).
+    /// Reports covered by those windows (every participating attribute summed).
     pub reports: u64,
 }
 
-/// Cache key: the query shape plus the resolved epoch spans it covered.
+/// Cache key: the query kind plus the participating attributes and the resolved epoch spans
+/// the query covered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum QueryKey {
-    /// Join-size query over two attributes' spans (normalized so `a <= b`).
+    /// Plain join-size query over two attributes' spans (normalized so `a <= b`).
     Join {
         a: usize,
         b: usize,
         span_a: (u64, u64),
         span_b: (u64, u64),
     },
-    /// Frequency query for one value over one attribute's span.
+    /// LDPJoinSketch+ join-size query over two plus attributes' spans (normalized).
+    PlusJoin {
+        a: usize,
+        b: usize,
+        span_a: (u64, u64),
+        span_b: (u64, u64),
+    },
+    /// Frequency query for one value over one attribute's span (plain or plus — an
+    /// attribute has exactly one mode, so the kind is implied by the attribute).
     Frequency {
         attr: usize,
         value: u64,
         span: (u64, u64),
     },
+    /// 3-way chain-join query `v1 ⋈ e ⋈ v3` over three attributes' spans.
+    Chain3 {
+        v1: usize,
+        e: usize,
+        v3: usize,
+        span_v1: (u64, u64),
+        span_e: (u64, u64),
+        span_v3: (u64, u64),
+    },
 }
 
 impl QueryKey {
-    /// Build a join key normalized under operand order (the row product is commutative down
-    /// to the bit level, so both orders share one entry).
+    /// Build a plain join key normalized under operand order (the row product is commutative
+    /// down to the bit level, so both orders share one entry).
     pub(crate) fn join(a: usize, span_a: (u64, u64), b: usize, span_b: (u64, u64)) -> Self {
         if a <= b {
             QueryKey::Join {
@@ -62,10 +88,32 @@ impl QueryKey {
         }
     }
 
+    /// Build a plus join key, normalized like [`QueryKey::join`] (the kernel's `JoinEst` is
+    /// symmetric in its two states down to the reported diagnostics' orientation — the
+    /// *estimate* both orders serve is bit-identical, so they share one entry).
+    pub(crate) fn plus_join(a: usize, span_a: (u64, u64), b: usize, span_b: (u64, u64)) -> Self {
+        if a <= b {
+            QueryKey::PlusJoin {
+                a,
+                b,
+                span_a,
+                span_b,
+            }
+        } else {
+            QueryKey::PlusJoin {
+                a: b,
+                b: a,
+                span_a: span_b,
+                span_b: span_a,
+            }
+        }
+    }
+
     fn touches(&self, attr: usize) -> bool {
         match *self {
-            QueryKey::Join { a, b, .. } => a == attr || b == attr,
+            QueryKey::Join { a, b, .. } | QueryKey::PlusJoin { a, b, .. } => a == attr || b == attr,
             QueryKey::Frequency { attr: f, .. } => f == attr,
+            QueryKey::Chain3 { v1, e, v3, .. } => v1 == attr || e == attr || v3 == attr,
         }
     }
 }
@@ -79,29 +127,44 @@ pub struct CacheStats {
     pub misses: u64,
     /// Result entries currently held.
     pub entries: usize,
-    /// Merged multi-window estimation views currently held.
+    /// Merged multi-window estimation views currently held (all estimator modes).
     pub views: usize,
     /// Invalidation events (one per rotation of any attribute, plus explicit clears).
     pub invalidations: u64,
-    /// Result entries evicted by the capacity bound (oldest first).
+    /// Result entries evicted by the capacity bound (least-recently-used first).
     pub evictions: u64,
+}
+
+/// One cached result together with its recency stamp (the lazy-LRU bookkeeping).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    answer: CachedAnswer,
+    /// The monotonic stamp of this entry's most recent insert-or-hit. Only the order-queue
+    /// pair carrying the same stamp is live; older pairs for the key are stale.
+    stamp: u64,
 }
 
 /// The service-wide memoization layer.
 ///
-/// Result entries are bounded by `capacity` with oldest-insertion-first eviction:
-/// frequency queries are keyed by arbitrary caller-supplied values, so without a bound a
-/// domain scan against a quiet attribute (rotation being the only invalidation trigger)
-/// would grow the always-on service's memory without limit. Merged views need no bound of
-/// their own — ranges resolve to ring suffixes, so an attribute can only ever have
-/// `retained_windows` distinct spans alive between rotations.
+/// Result entries are bounded by `capacity` with least-recently-used eviction (hits promote;
+/// see the module docs): frequency queries are keyed by arbitrary caller-supplied values, so
+/// without a bound a domain scan against a quiet attribute (rotation being the only
+/// invalidation trigger) would grow the always-on service's memory without limit. Merged
+/// views need no bound of their own — ranges resolve to ring suffixes, so an attribute can
+/// only ever have `retained_windows` distinct spans alive between rotations.
 #[derive(Debug)]
 pub(crate) struct QueryCache {
     capacity: usize,
-    results: HashMap<QueryKey, CachedAnswer>,
-    /// Insertion order of result keys (may hold keys already invalidated; pruned lazily).
-    order: VecDeque<QueryKey>,
+    results: HashMap<QueryKey, Entry>,
+    /// Recency queue of `(key, stamp)` pairs, oldest first. A pair is live only while the
+    /// entry's stamp matches; promotions and invalidations leave stale pairs that pop (or
+    /// are pruned) for free.
+    order: VecDeque<(QueryKey, u64)>,
+    /// Monotonic recency clock.
+    clock: u64,
     views: HashMap<(usize, u64, u64), Arc<FinalizedSketch>>,
+    plus_views: HashMap<(usize, u64, u64), Arc<FinalizedPlusState>>,
+    edge_views: HashMap<(usize, u64, u64), Arc<FinalizedEdgeSketch>>,
     hits: u64,
     misses: u64,
     invalidations: u64,
@@ -115,7 +178,10 @@ impl QueryCache {
             capacity,
             results: HashMap::new(),
             order: VecDeque::new(),
+            clock: 0,
             views: HashMap::new(),
+            plus_views: HashMap::new(),
+            edge_views: HashMap::new(),
             hits: 0,
             misses: 0,
             invalidations: 0,
@@ -123,12 +189,18 @@ impl QueryCache {
         }
     }
 
-    /// Look a result up, counting the hit or miss.
+    /// Look a result up, counting the hit or miss. A hit **promotes** the entry to
+    /// most-recently-used, so hot entries survive churn from one-shot scans.
     pub(crate) fn lookup(&mut self, key: &QueryKey) -> Option<CachedAnswer> {
-        match self.results.get(key) {
-            Some(ans) => {
+        match self.results.get_mut(key) {
+            Some(entry) => {
                 self.hits += 1;
-                Some(*ans)
+                self.clock += 1;
+                entry.stamp = self.clock;
+                let answer = entry.answer;
+                self.order.push_back((*key, self.clock));
+                self.prune_order();
+                Some(answer)
             }
             None => {
                 self.misses += 1;
@@ -137,42 +209,86 @@ impl QueryCache {
         }
     }
 
-    /// Store a freshly computed result, evicting the oldest entries past the capacity
-    /// bound.
+    /// Store a freshly computed result, evicting the least-recently-used entries past the
+    /// capacity bound.
     pub(crate) fn insert(&mut self, key: QueryKey, answer: CachedAnswer) {
-        self.results.insert(key, answer);
-        self.order.push_back(key);
+        self.clock += 1;
+        self.results.insert(
+            key,
+            Entry {
+                answer,
+                stamp: self.clock,
+            },
+        );
+        self.order.push_back((key, self.clock));
         while self.results.len() > self.capacity {
-            let Some(old) = self.order.pop_front() else {
+            let Some((old, stamp)) = self.order.pop_front() else {
                 break;
             };
-            // Stale order entries (already invalidated) pop without counting as evictions.
-            if self.results.remove(&old).is_some() {
+            // Only the pair carrying the entry's current stamp is live; stale pairs (the
+            // key was promoted, re-inserted, or invalidated since) pop without counting.
+            if self.results.get(&old).is_some_and(|e| e.stamp == stamp) {
+                self.results.remove(&old);
                 self.evictions += 1;
             }
         }
-        // Invalidations can leave the order queue full of dead keys; prune it before it
-        // outgrows the live map by more than a constant factor.
-        if self.order.len() > self.capacity.saturating_mul(2) {
+        self.prune_order();
+    }
+
+    /// Promotions and invalidations leave stale pairs in the recency queue; prune it before
+    /// it outgrows the live map by more than a constant factor.
+    fn prune_order(&mut self) {
+        if self.order.len() > self.capacity.saturating_mul(2).max(16) {
             let results = &self.results;
-            self.order.retain(|k| results.contains_key(k));
+            self.order
+                .retain(|(k, stamp)| results.get(k).is_some_and(|e| e.stamp == *stamp));
         }
     }
 
-    /// A memoized merged view for `(attr, first_epoch, last_epoch)`, if present.
+    /// A memoized merged plain view for `(attr, first_epoch, last_epoch)`, if present.
     pub(crate) fn view(&self, key: (usize, u64, u64)) -> Option<Arc<FinalizedSketch>> {
         self.views.get(&key).map(Arc::clone)
     }
 
-    /// Memoize a merged multi-window view.
+    /// Memoize a merged multi-window plain view.
     pub(crate) fn insert_view(&mut self, key: (usize, u64, u64), view: Arc<FinalizedSketch>) {
         self.views.insert(key, view);
+    }
+
+    /// A memoized merged plus state for `(attr, first_epoch, last_epoch)`, if present.
+    pub(crate) fn plus_view(&self, key: (usize, u64, u64)) -> Option<Arc<FinalizedPlusState>> {
+        self.plus_views.get(&key).map(Arc::clone)
+    }
+
+    /// Memoize a merged multi-window plus state.
+    pub(crate) fn insert_plus_view(
+        &mut self,
+        key: (usize, u64, u64),
+        view: Arc<FinalizedPlusState>,
+    ) {
+        self.plus_views.insert(key, view);
+    }
+
+    /// A memoized merged edge view for `(attr, first_epoch, last_epoch)`, if present.
+    pub(crate) fn edge_view(&self, key: (usize, u64, u64)) -> Option<Arc<FinalizedEdgeSketch>> {
+        self.edge_views.get(&key).map(Arc::clone)
+    }
+
+    /// Memoize a merged multi-window edge view.
+    pub(crate) fn insert_edge_view(
+        &mut self,
+        key: (usize, u64, u64),
+        view: Arc<FinalizedEdgeSketch>,
+    ) {
+        self.edge_views.insert(key, view);
     }
 
     /// Rotation hook: drop every result and merged view touching `attr`.
     pub(crate) fn invalidate_attribute(&mut self, attr: usize) {
         self.results.retain(|key, _| !key.touches(attr));
         self.views.retain(|&(a, _, _), _| a != attr);
+        self.plus_views.retain(|&(a, _, _), _| a != attr);
+        self.edge_views.retain(|&(a, _, _), _| a != attr);
         self.invalidations += 1;
     }
 
@@ -182,6 +298,8 @@ impl QueryCache {
         self.results.clear();
         self.order.clear();
         self.views.clear();
+        self.plus_views.clear();
+        self.edge_views.clear();
         self.invalidations += 1;
     }
 
@@ -191,7 +309,7 @@ impl QueryCache {
             hits: self.hits,
             misses: self.misses,
             entries: self.results.len(),
-            views: self.views.len(),
+            views: self.views.len() + self.plus_views.len() + self.edge_views.len(),
             invalidations: self.invalidations,
             evictions: self.evictions,
         }
@@ -207,6 +325,25 @@ mod tests {
         let k1 = QueryKey::join(3, (0, 4), 1, (2, 5));
         let k2 = QueryKey::join(1, (2, 5), 3, (0, 4));
         assert_eq!(k1, k2);
+        let p1 = QueryKey::plus_join(3, (0, 4), 1, (2, 5));
+        let p2 = QueryKey::plus_join(1, (2, 5), 3, (0, 4));
+        assert_eq!(p1, p2);
+        // Plain and plus joins over the same attributes/spans are distinct kinds.
+        assert_ne!(k1, p1);
+    }
+
+    #[test]
+    fn chain_keys_touch_all_three_attributes() {
+        let key = QueryKey::Chain3 {
+            v1: 0,
+            e: 1,
+            v3: 2,
+            span_v1: (0, 0),
+            span_e: (0, 0),
+            span_v3: (0, 0),
+        };
+        assert!(key.touches(0) && key.touches(1) && key.touches(2));
+        assert!(!key.touches(3));
     }
 
     #[test]
@@ -238,6 +375,48 @@ mod tests {
         }
         assert_eq!(cache.stats().evictions, 7);
         assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn hits_promote_entries_past_a_value_keyed_scan() {
+        // The satellite regression: a hot entry (a dashboard's merged-span join answer)
+        // must survive a frequency scan that churns `capacity` one-shot entries past it.
+        // Under the old insertion-order eviction the hot entry — inserted first — was
+        // evicted first despite being hit on every refresh.
+        let mut cache = QueryCache::with_capacity(8);
+        let hot = QueryKey::join(0, (0, 15), 1, (0, 15));
+        let ans = CachedAnswer {
+            value: 42.0,
+            windows: 32,
+            reports: 1_000,
+        };
+        cache.insert(hot, ans);
+        for v in 0..100u64 {
+            // The dashboard refreshes (a hit promotes the hot entry) while the scan keeps
+            // inserting fresh value-keyed entries.
+            assert!(
+                cache.lookup(&hot).is_some(),
+                "hot entry evicted during the scan at v={v}"
+            );
+            cache.insert(
+                QueryKey::Frequency {
+                    attr: 0,
+                    value: v,
+                    span: (0, 15),
+                },
+                ans,
+            );
+        }
+        // Still cached at the end, and the churn is visible in the eviction counter.
+        assert_eq!(cache.lookup(&hot), Some(ans));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 8);
+        assert_eq!(
+            stats.evictions,
+            100 - 7,
+            "the scan's one-shot entries (and only those) were evicted"
+        );
+        assert_eq!(stats.misses, 0);
     }
 
     #[test]

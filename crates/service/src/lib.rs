@@ -21,6 +21,23 @@
 //!   per-(attribute-pair, window-range) cache invalidated on rotation, so a repeated
 //!   dashboard-style query costs a hash lookup instead of an `O(k·m)` row product.
 //!
+//! Attributes register in one of **three estimator modes**, all served by the shared
+//! query-engine kernels of `ldpjs_core::kernel`:
+//!
+//! * **Plain** — LDPJoinSketch ingestion and Eq. 5 join-size / Theorem 7 frequency queries.
+//! * **Plus** — LDPJoinSketch+: windows seal the three report lanes (phase-1 sample,
+//!   phase-2 low/high FAP groups) as a [`PlusStateBuilder`](ldpjs_core::PlusStateBuilder);
+//!   merged spans re-aggregate each lane exactly and **re-discover the frequent items on
+//!   the merged phase-1 sketch** (cross-window FI reconciliation), so a full-span plus
+//!   estimate is bit-identical to the one-shot
+//!   [`ldp_join_plus_estimate_chunked`](ldpjs_core::ldp_join_plus_estimate_chunked).
+//! * **Edge** — two-attribute 2-D edge sketches serving online multi-way
+//!   [`chain_join_3`](service::SketchService::chain_join_3) queries.
+//!
+//! Epochs seal on a report-count threshold *or* a wall-clock budget
+//! ([`ServiceConfig::epoch_duration`](service::ServiceConfig) with an injected clock),
+//! whichever fires first.
+//!
 //! The crate is deliberately transport-free: report delivery, authentication and wire
 //! decoding happen upstream ([`ClientReport::from_wire`](ldpjs_core::ClientReport)); this
 //! layer owns windowing, retention, merging and query serving.
@@ -33,5 +50,7 @@ pub mod service;
 pub mod window;
 
 pub use cache::CacheStats;
-pub use service::{AttributeId, IngestSummary, QueryResult, ServiceConfig, SketchService};
+pub use service::{
+    AttributeId, IngestSummary, PlusAttributeConfig, QueryResult, ServiceConfig, SketchService,
+};
 pub use window::{WindowRange, WindowSnapshot};

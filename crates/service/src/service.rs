@@ -1,15 +1,24 @@
-//! The [`SketchService`]: continuous per-attribute ingestion, the epoch rotator, and the
-//! cached window-range query layer.
+//! The [`SketchService`]: continuous per-attribute ingestion in three estimator modes
+//! (plain, LDPJoinSketch+, edge), the epoch rotator with report-count *and* wall-clock
+//! triggers, and the cached window-range query layer driving the shared estimator kernels.
 
 use crate::cache::{CachedAnswer, QueryCache, QueryKey};
-use crate::window::{WindowRange, WindowSnapshot};
+use crate::window::{SealedWindow, WindowRange, WindowSnapshot};
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
-use ldpjs_core::{ClientReport, FinalizedSketch, LdpJoinSketchClient, ShardedAggregator};
+use ldpjs_core::multiway::{
+    EdgeReport, EdgeSketchBuilder, FinalizedEdgeSketch, LdpEdgeSketchClient,
+};
+use ldpjs_core::{
+    ChainKernel, ClientReport, FiPolicy, FinalizedPlusState, FinalizedSketch, LdpJoinSketchClient,
+    PlainKernel, PlusConfig, PlusKernel, PlusReportBatch, PlusStateBuilder, ShardedAggregator,
+};
+use ldpjs_sketch::compass::JoinAttribute;
 use ldpjs_sketch::SketchParams;
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 pub use crate::cache::CacheStats;
 
@@ -20,29 +29,37 @@ pub struct ServiceConfig {
     pub params: SketchParams,
     /// Privacy budget every client perturbs with.
     pub eps: Epsilon,
-    /// Shards of each attribute's live ingestion engine.
+    /// Shards of each plain attribute's live ingestion engine.
     pub shards: usize,
     /// Seal the live engine into a window once it holds at least this many reports.
     /// Rotation happens at batch granularity: the batch that crosses the threshold
     /// completes its window, so windows can slightly exceed this count.
     pub epoch_reports: u64,
+    /// Wall-clock epoch trigger: seal the live engine once the epoch has been open for this
+    /// long, alongside the report-count trigger (whichever fires first rotates; rotation
+    /// resets both). The clock is *injected* — ingestion stamps the epoch's opening via
+    /// [`SketchService::ingest_at`]-style entry points, and quiet attributes are swept by
+    /// [`SketchService::rotate_if_elapsed`] — so tests (and deterministic replays) control
+    /// time explicitly. `None` disables the time trigger.
+    pub epoch_duration: Option<Duration>,
     /// How many sealed windows the per-attribute ring retains; older windows are evicted.
     pub retained_windows: usize,
-    /// How many memoized query results the cache holds before evicting oldest-first
+    /// How many memoized query results the cache holds before evicting least-recently-used
     /// (frequency queries are keyed by caller-supplied values, so the result cache needs an
     /// explicit bound to keep a long-lived service's memory flat).
     pub cache_capacity: usize,
 }
 
 impl ServiceConfig {
-    /// A configuration with serving defaults: 2 shards, 64Ki-report epochs, 16 retained
-    /// windows, 4096 cached results.
+    /// A configuration with serving defaults: 2 shards, 64Ki-report epochs, no time
+    /// trigger, 16 retained windows, 4096 cached results.
     pub fn new(params: SketchParams, eps: Epsilon) -> Self {
         ServiceConfig {
             params,
             eps,
             shards: 2,
             epoch_reports: 64 * 1024,
+            epoch_duration: None,
             retained_windows: 16,
             cache_capacity: 4_096,
         }
@@ -59,6 +76,11 @@ impl ServiceConfig {
                 "epoch_reports must be positive (every epoch needs at least one report)".into(),
             ));
         }
+        if self.epoch_duration == Some(Duration::ZERO) {
+            return Err(Error::InvalidWorkload(
+                "epoch_duration must be positive (use None to disable the time trigger)".into(),
+            ));
+        }
         if self.retained_windows == 0 {
             return Err(Error::InvalidWorkload(
                 "retained_windows must be positive (the ring must hold at least one window)".into(),
@@ -70,6 +92,65 @@ impl ServiceConfig {
             ));
         }
         Ok(())
+    }
+}
+
+/// Per-attribute configuration of the LDPJoinSketch+ estimator mode: the frequent-item
+/// discovery policy, the `JoinEst` kernel knobs, and the public candidate domain scanned at
+/// discovery time.
+#[derive(Debug, Clone)]
+pub struct PlusAttributeConfig {
+    /// Fixed frequent-item threshold θ (ignored when `adaptive` is set).
+    pub threshold: f64,
+    /// Run the confidence-driven estimator (adaptive θ, median FI discovery, shift-free
+    /// JoinEst, bound-capped recombination).
+    pub adaptive: bool,
+    /// Classic mode only: reproduce Algorithm 5's unscaled non-target subtraction.
+    pub paper_literal_subtraction: bool,
+    /// Classic mode only: inverse-variance weighting of the rescaled partials.
+    pub variance_weighted_recombination: bool,
+    /// The public candidate domain frequent-item discovery scans (join-attribute domains
+    /// are public metadata; only the values *held by users* are private).
+    pub domain: Arc<Vec<u64>>,
+}
+
+impl PlusAttributeConfig {
+    /// Defaults matching the large-n serving regime: adaptive mode on.
+    pub fn new(domain: Vec<u64>) -> Self {
+        PlusAttributeConfig {
+            threshold: 0.01,
+            adaptive: true,
+            paper_literal_subtraction: false,
+            variance_weighted_recombination: false,
+            domain: Arc::new(domain),
+        }
+    }
+
+    /// Import the estimator knobs of an offline [`PlusConfig`], so a service attribute can
+    /// be configured to answer bit-identically to a given one-shot run.
+    pub fn from_plus_config(config: &PlusConfig, domain: Vec<u64>) -> Self {
+        PlusAttributeConfig {
+            threshold: config.threshold,
+            adaptive: config.adaptive,
+            paper_literal_subtraction: config.paper_literal_subtraction,
+            variance_weighted_recombination: config.variance_weighted_recombination,
+            domain: Arc::new(domain),
+        }
+    }
+
+    fn policy(&self) -> FiPolicy {
+        FiPolicy {
+            threshold: self.threshold,
+            adaptive: self.adaptive,
+        }
+    }
+
+    fn kernel(&self) -> PlusKernel {
+        PlusKernel {
+            adaptive: self.adaptive,
+            paper_literal_subtraction: self.paper_literal_subtraction,
+            variance_weighted_recombination: self.variance_weighted_recombination,
+        }
     }
 }
 
@@ -86,7 +167,7 @@ impl AttributeId {
     }
 }
 
-/// What one [`SketchService::ingest`] call did.
+/// What one ingestion call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestSummary {
     /// Reports absorbed into the live engine by this call.
@@ -100,29 +181,77 @@ pub struct IngestSummary {
 pub struct QueryResult {
     /// The estimate.
     pub value: f64,
-    /// Sealed windows consulted (both sides summed for a join).
+    /// Sealed windows consulted (every participating attribute summed).
     pub windows: usize,
-    /// Reports covered by those windows (both sides summed for a join).
+    /// Reports covered by those windows (every participating attribute summed).
     pub reports: u64,
     /// Whether the answer came from the memoization cache.
     pub cached: bool,
 }
 
-/// One registered join attribute: its public hash family, the live sharded engine, and the
-/// bounded ring of sealed epoch windows.
+/// The estimator mode a registered attribute runs in (with its mode-specific static state).
+#[derive(Debug, Clone)]
+enum AttributeKind {
+    /// Plain LDPJoinSketch ingestion and queries.
+    Plain { hashes: Arc<RowHashes> },
+    /// LDPJoinSketch+ three-lane ingestion, FI reconciliation and `JoinEst` queries.
+    Plus {
+        seed: u64,
+        config: PlusAttributeConfig,
+    },
+    /// Two-attribute edge-sketch ingestion for multi-way chain queries.
+    Edge {
+        attr_a: JoinAttribute,
+        attr_b: JoinAttribute,
+    },
+}
+
+impl AttributeKind {
+    fn mode_name(&self) -> &'static str {
+        match self {
+            AttributeKind::Plain { .. } => "plain",
+            AttributeKind::Plus { .. } => "plus",
+            AttributeKind::Edge { .. } => "edge",
+        }
+    }
+}
+
+/// The live (unsealed) accumulation engine of one attribute, shaped by its mode.
+#[derive(Debug)]
+enum LiveEngine {
+    Plain(ShardedAggregator),
+    Plus(PlusStateBuilder),
+    Edge(EdgeSketchBuilder),
+}
+
+impl LiveEngine {
+    fn reports(&self) -> u64 {
+        match self {
+            LiveEngine::Plain(engine) => engine.reports(),
+            LiveEngine::Plus(builder) => builder.reports(),
+            LiveEngine::Edge(builder) => builder.reports(),
+        }
+    }
+}
+
+/// One registered join attribute: its mode, the live engine, and the bounded ring of sealed
+/// epoch windows.
 #[derive(Debug)]
 struct Attribute {
     name: String,
-    hashes: Arc<RowHashes>,
-    live: ShardedAggregator,
+    kind: AttributeKind,
+    live: LiveEngine,
     windows: VecDeque<WindowSnapshot>,
     next_epoch: u64,
     evicted: u64,
     total_reports: u64,
+    /// When the current epoch's first report arrived (the injected-clock stamp the time
+    /// trigger measures from). `None` while the live engine is empty.
+    epoch_opened_at: Option<Instant>,
 }
 
 /// The online sketch service: epoch-windowed continuous ingestion, mergeable snapshots, and
-/// a cached query layer.
+/// a cached query layer over the shared estimator kernels.
 ///
 /// ```
 /// use ldpjs_core::{Epsilon, SketchParams};
@@ -166,7 +295,7 @@ impl SketchService {
     ///
     /// # Errors
     /// [`Error::InvalidWorkload`] if the configuration is degenerate (zero shards, epoch
-    /// size, or retention).
+    /// size, duration, or retention).
     pub fn new(config: ServiceConfig) -> Result<Self> {
         config.validate()?;
         Ok(SketchService {
@@ -182,7 +311,8 @@ impl SketchService {
         &self.config
     }
 
-    /// Register a join attribute under `name` with the public hash-family seed `seed`.
+    /// Register a **plain** join attribute under `name` with the public hash-family seed
+    /// `seed`.
     ///
     /// Attributes that will be joined against each other must share `seed` (the protocol's
     /// public common randomness); attributes that never join may use distinct seeds.
@@ -190,25 +320,86 @@ impl SketchService {
     /// # Errors
     /// [`Error::InvalidWorkload`] if `name` is already registered.
     pub fn register_attribute(&mut self, name: &str, seed: u64) -> Result<AttributeId> {
-        if self.attributes.iter().any(|a| a.name == name) {
-            return Err(Error::InvalidWorkload(format!(
-                "attribute '{name}' is already registered"
-            )));
-        }
         let hashes = Arc::new(RowHashes::from_seed(
             seed,
             self.config.params.rows(),
             self.config.params.columns(),
         ));
-        let live = fresh_engine(&self.config, &hashes);
+        let live = LiveEngine::Plain(fresh_plain_engine(&self.config, &hashes));
+        self.register(name, AttributeKind::Plain { hashes }, live)
+    }
+
+    /// Register an **LDPJoinSketch+** attribute: three-lane ingestion
+    /// ([`PlusReportBatch`]es), per-window sealed phase-1/phase-2 builders, and
+    /// `JoinEst`-backed join-size and frequency queries with cross-window FI
+    /// reconciliation. Join partners must share `seed` *and* estimator knobs.
+    ///
+    /// # Errors
+    /// [`Error::InvalidWorkload`] if `name` is already registered.
+    pub fn register_plus_attribute(
+        &mut self,
+        name: &str,
+        seed: u64,
+        config: PlusAttributeConfig,
+    ) -> Result<AttributeId> {
+        let live = LiveEngine::Plus(PlusStateBuilder::new(
+            self.config.params,
+            self.config.eps,
+            seed,
+        ));
+        self.register(name, AttributeKind::Plus { seed, config }, live)
+    }
+
+    /// Register an **edge** attribute — a two-attribute table summarised by a 2-D edge
+    /// sketch for multi-way chain queries. The two hash families are derived from
+    /// `(seed_a, seed_b)` at the service's `(k, m)`; plain vertex attributes registered
+    /// with the same seeds are chain-joinable against it.
+    ///
+    /// # Errors
+    /// [`Error::InvalidWorkload`] if `name` is already registered.
+    pub fn register_edge_attribute(
+        &mut self,
+        name: &str,
+        seed_a: u64,
+        seed_b: u64,
+    ) -> Result<AttributeId> {
+        let attr_a = JoinAttribute::from_seed(
+            seed_a,
+            self.config.params.rows(),
+            self.config.params.columns(),
+        );
+        let attr_b = JoinAttribute::from_seed(
+            seed_b,
+            self.config.params.rows(),
+            self.config.params.columns(),
+        );
+        let live = LiveEngine::Edge(
+            EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), self.config.eps)
+                .expect("attributes derived at equal (k, m) always share the replica count"),
+        );
+        self.register(name, AttributeKind::Edge { attr_a, attr_b }, live)
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        kind: AttributeKind,
+        live: LiveEngine,
+    ) -> Result<AttributeId> {
+        if self.attributes.iter().any(|a| a.name == name) {
+            return Err(Error::InvalidWorkload(format!(
+                "attribute '{name}' is already registered"
+            )));
+        }
         self.attributes.push(Attribute {
             name: name.to_string(),
-            hashes,
+            kind,
             live,
             windows: VecDeque::with_capacity(self.config.retained_windows),
             next_epoch: 0,
             evicted: 0,
             total_reports: 0,
+            epoch_opened_at: None,
         });
         Ok(AttributeId(self.attributes.len() - 1))
     }
@@ -226,44 +417,187 @@ impl SketchService {
         Ok(&self.attr(attr)?.name)
     }
 
-    /// A client-side encoder sharing this attribute's public hash family (for simulation
-    /// and tests; real deployments ship the `(params, eps, seed)` triple to devices).
-    pub fn client(&self, attr: AttributeId) -> Result<LdpJoinSketchClient> {
-        let a = self.attr(attr)?;
-        Ok(LdpJoinSketchClient::with_hashes(
-            self.config.params,
-            self.config.eps,
-            Arc::clone(&a.hashes),
-        ))
+    /// The attribute's estimator mode name (`"plain"`, `"plus"` or `"edge"`).
+    pub fn attribute_mode(&self, attr: AttributeId) -> Result<&'static str> {
+        Ok(self.attr(attr)?.kind.mode_name())
     }
 
-    /// Absorb a batch of perturbed client reports into the attribute's live engine,
-    /// auto-rotating if the epoch threshold is crossed.
-    ///
-    /// Reports from the plain LDPJoinSketch client and from the FAP client are both
-    /// [`ClientReport`]s and mix freely within an attribute's traffic.
+    /// A client-side encoder sharing a **plain** attribute's public hash family (for
+    /// simulation and tests; real deployments ship the `(params, eps, seed)` triple to
+    /// devices).
     ///
     /// # Errors
-    /// [`Error::UnknownAttribute`] for a bad handle; [`Error::ReportOutOfRange`] if a report
-    /// does not fit the sketch (the batch is rejected atomically).
+    /// [`Error::ModeMismatch`] for plus or edge attributes — their client simulations are
+    /// [`LdpJoinSketchPlus::stream_plus_reports`](ldpjs_core::LdpJoinSketchPlus::stream_plus_reports)
+    /// and [`SketchService::edge_client`] respectively.
+    pub fn client(&self, attr: AttributeId) -> Result<LdpJoinSketchClient> {
+        let a = self.attr(attr)?;
+        match &a.kind {
+            AttributeKind::Plain { hashes } => Ok(LdpJoinSketchClient::with_hashes(
+                self.config.params,
+                self.config.eps,
+                Arc::clone(hashes),
+            )),
+            other => Err(mode_mismatch(&a.name, other.mode_name(), "a plain client")),
+        }
+    }
+
+    /// A client-side encoder for an **edge** attribute's two-attribute tuples.
+    ///
+    /// # Errors
+    /// [`Error::ModeMismatch`] for plain or plus attributes.
+    pub fn edge_client(&self, attr: AttributeId) -> Result<LdpEdgeSketchClient> {
+        let a = self.attr(attr)?;
+        match &a.kind {
+            AttributeKind::Edge { attr_a, attr_b } => {
+                Ok(
+                    LdpEdgeSketchClient::new(attr_a.clone(), attr_b.clone(), self.config.eps)
+                        .expect("registered edge attributes share the replica count"),
+                )
+            }
+            other => Err(mode_mismatch(&a.name, other.mode_name(), "an edge client")),
+        }
+    }
+
+    /// Absorb a batch of perturbed plain client reports, auto-rotating if an epoch trigger
+    /// fires (clock stamped `Instant::now()`; see [`SketchService::ingest_at`]).
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`] for a bad handle; [`Error::ModeMismatch`] if the
+    /// attribute is not plain; [`Error::ReportOutOfRange`] if a report does not fit the
+    /// sketch (the batch is rejected atomically).
     pub fn ingest(&mut self, attr: AttributeId, reports: &[ClientReport]) -> Result<IngestSummary> {
-        let config = self.config;
+        self.ingest_at(attr, reports, Instant::now())
+    }
+
+    /// [`SketchService::ingest`] with an explicit clock reading — the injected-clock entry
+    /// point the wall-clock epoch trigger measures from.
+    pub fn ingest_at(
+        &mut self,
+        attr: AttributeId,
+        reports: &[ClientReport],
+        now: Instant,
+    ) -> Result<IngestSummary> {
         let idx = attr.index();
         let a = self
             .attributes
             .get_mut(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
-        a.live.ingest(reports)?;
-        a.total_reports += reports.len() as u64;
+        match &mut a.live {
+            LiveEngine::Plain(engine) => engine.ingest(reports)?,
+            _ => {
+                return Err(mode_mismatch(
+                    &a.name,
+                    a.kind.mode_name(),
+                    "plain report ingestion",
+                ))
+            }
+        }
+        Ok(self.after_ingest(idx, reports.len() as u64, now))
+    }
+
+    /// Absorb one labeled LDPJoinSketch+ report batch (three lanes) into a plus attribute,
+    /// auto-rotating if an epoch trigger fires.
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`], [`Error::ModeMismatch`] if the attribute is not plus,
+    /// [`Error::ReportOutOfRange`] (the batch is rejected atomically across all lanes).
+    pub fn ingest_plus(
+        &mut self,
+        attr: AttributeId,
+        batch: &PlusReportBatch,
+    ) -> Result<IngestSummary> {
+        self.ingest_plus_at(attr, batch, Instant::now())
+    }
+
+    /// [`SketchService::ingest_plus`] with an explicit clock reading.
+    pub fn ingest_plus_at(
+        &mut self,
+        attr: AttributeId,
+        batch: &PlusReportBatch,
+        now: Instant,
+    ) -> Result<IngestSummary> {
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get_mut(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        match &mut a.live {
+            LiveEngine::Plus(builder) => builder.absorb_batch(batch)?,
+            _ => {
+                return Err(mode_mismatch(
+                    &a.name,
+                    a.kind.mode_name(),
+                    "plus report-batch ingestion",
+                ))
+            }
+        }
+        Ok(self.after_ingest(idx, batch.len() as u64, now))
+    }
+
+    /// Absorb a batch of perturbed edge reports into an edge attribute, auto-rotating if an
+    /// epoch trigger fires.
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`], [`Error::ModeMismatch`] if the attribute is not an edge
+    /// attribute, [`Error::ReportOutOfRange`] (the batch is rejected atomically).
+    pub fn ingest_edge(
+        &mut self,
+        attr: AttributeId,
+        reports: &[EdgeReport],
+    ) -> Result<IngestSummary> {
+        self.ingest_edge_at(attr, reports, Instant::now())
+    }
+
+    /// [`SketchService::ingest_edge`] with an explicit clock reading.
+    pub fn ingest_edge_at(
+        &mut self,
+        attr: AttributeId,
+        reports: &[EdgeReport],
+        now: Instant,
+    ) -> Result<IngestSummary> {
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get_mut(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        match &mut a.live {
+            LiveEngine::Edge(builder) => builder.absorb_all(reports)?,
+            _ => {
+                return Err(mode_mismatch(
+                    &a.name,
+                    a.kind.mode_name(),
+                    "edge report ingestion",
+                ))
+            }
+        }
+        Ok(self.after_ingest(idx, reports.len() as u64, now))
+    }
+
+    /// Shared post-ingest bookkeeping: stamp the epoch's opening, then fire whichever epoch
+    /// trigger (report count or wall clock) is due.
+    fn after_ingest(&mut self, idx: usize, absorbed: u64, now: Instant) -> IngestSummary {
+        let config = self.config;
+        let a = &mut self.attributes[idx];
+        a.total_reports += absorbed;
+        if absorbed > 0 && a.epoch_opened_at.is_none() {
+            a.epoch_opened_at = Some(now);
+        }
+        let live = a.live.reports();
+        let count_due = live >= config.epoch_reports;
+        let time_due = config.epoch_duration.is_some_and(|d| {
+            a.epoch_opened_at
+                .is_some_and(|opened| now.duration_since(opened) >= d)
+        });
         let mut rotations = 0;
-        if a.live.reports() >= config.epoch_reports {
+        if live > 0 && (count_due || time_due) {
             rotate_attribute(&config, &mut self.cache, idx, a);
             rotations = 1;
         }
-        Ok(IngestSummary {
-            reports: reports.len() as u64,
+        IngestSummary {
+            reports: absorbed,
             rotations,
-        })
+        }
     }
 
     /// Explicitly seal the attribute's live engine into a new epoch window (a no-op
@@ -278,6 +612,33 @@ impl SketchService {
             .attributes
             .get_mut(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
+        Ok(rotate_attribute(&config, &mut self.cache, idx, a))
+    }
+
+    /// The wall-clock sweep of the time-based epoch trigger: seal the attribute's live
+    /// engine if [`ServiceConfig::epoch_duration`] is configured, the engine holds reports,
+    /// and the epoch has been open at least that long as of `now`. Returns the sealed epoch
+    /// id if the trigger fired.
+    ///
+    /// Call this periodically (with the deployment's real clock) so attributes with
+    /// trickling traffic still seal epochs on schedule; batch ingestion checks the same
+    /// trigger inline.
+    pub fn rotate_if_elapsed(&mut self, attr: AttributeId, now: Instant) -> Result<Option<u64>> {
+        let config = self.config;
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get_mut(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        let Some(duration) = config.epoch_duration else {
+            return Ok(None);
+        };
+        let due = a.live.reports() > 0
+            && a.epoch_opened_at
+                .is_some_and(|opened| now.duration_since(opened) >= duration);
+        if !due {
+            return Ok(None);
+        }
         Ok(rotate_attribute(&config, &mut self.cache, idx, a))
     }
 
@@ -307,12 +668,15 @@ impl SketchService {
         Ok(self.attr(attr)?.windows.iter())
     }
 
-    /// The merged estimation view covering `range`: a single window's view is borrowed, a
-    /// multi-window range re-aggregates the sealed exact counters and restores once (then
-    /// memoizes the merged view per epoch span).
+    /// The merged plain estimation view covering `range`: a single window's view is
+    /// borrowed, a multi-window range re-aggregates the sealed exact counters and restores
+    /// once (then memoizes the merged view per epoch span).
     ///
     /// The returned sketch is **bit-identical** to finalizing one builder that absorbed
     /// every report of the covered windows — the window-merge guarantee.
+    ///
+    /// # Errors
+    /// [`Error::ModeMismatch`] if `attr` is not a plain attribute.
     pub fn merged_view(
         &mut self,
         attr: AttributeId,
@@ -323,17 +687,49 @@ impl SketchService {
             .attributes
             .get(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
+        require_plain(a)?;
         let meta = resolve_span(a, range)?;
-        Ok(span_view(&mut self.cache, idx, a, &meta))
+        Ok(plain_span_view(&mut self.cache, idx, a, &meta))
     }
 
-    /// Join-size estimate between two attributes over `range` (resolved per attribute
-    /// against its own ring), served from the memoization cache when possible.
+    /// The merged LDPJoinSketch+ estimation state covering `range`: per-lane exact-counter
+    /// re-aggregation and a single restore per lane, then **cross-window FI
+    /// reconciliation** — the frequent items are re-discovered on the *merged* phase-1
+    /// sketch under the attribute's policy (and the kernel's high partial re-masks the
+    /// merged phase-2 sketches with that set). Memoized per epoch span.
     ///
     /// # Errors
-    /// [`Error::UnknownAttribute`], [`Error::WindowUnavailable`] /
-    /// [`Error::InvalidWorkload`] from range resolution, or
-    /// [`Error::IncompatibleSketches`] if the attributes do not share a hash seed.
+    /// [`Error::ModeMismatch`] if `attr` is not a plus attribute.
+    pub fn merged_plus_state(
+        &mut self,
+        attr: AttributeId,
+        range: WindowRange,
+    ) -> Result<Arc<FinalizedPlusState>> {
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        let AttributeKind::Plus { config, .. } = &a.kind else {
+            return Err(mode_mismatch(
+                &a.name,
+                a.kind.mode_name(),
+                "a merged plus state",
+            ));
+        };
+        let meta = resolve_span(a, range)?;
+        Ok(plus_span_view(&mut self.cache, idx, a, &meta, config))
+    }
+
+    /// Plain join-size estimate between two attributes over `range` (resolved per attribute
+    /// against its own ring), served from the memoization cache when possible and computed
+    /// by the shared [`PlainKernel`].
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`], [`Error::ModeMismatch`] unless both attributes are
+    /// plain, [`Error::WindowUnavailable`] / [`Error::InvalidWorkload`] from range
+    /// resolution, or [`Error::IncompatibleSketches`] if the attributes do not share a hash
+    /// seed.
     pub fn join_size(
         &mut self,
         a: AttributeId,
@@ -349,15 +745,17 @@ impl SketchService {
             .attributes
             .get(ib)
             .ok_or_else(|| unknown_attribute(ib))?;
+        require_plain(attr_a)?;
+        require_plain(attr_b)?;
         let meta_a = resolve_span(attr_a, range)?;
         let meta_b = resolve_span(attr_b, range)?;
         let key = QueryKey::join(ia, meta_a.epochs, ib, meta_b.epochs);
         if let Some(ans) = self.cache.lookup(&key) {
             return Ok(served(ans, true));
         }
-        let va = span_view(&mut self.cache, ia, attr_a, &meta_a);
-        let vb = span_view(&mut self.cache, ib, attr_b, &meta_b);
-        let value = va.join_size(&vb)?;
+        let va = plain_span_view(&mut self.cache, ia, attr_a, &meta_a);
+        let vb = plain_span_view(&mut self.cache, ib, attr_b, &meta_b);
+        let value = PlainKernel.join_size(&va, &vb)?;
         let ans = CachedAnswer {
             value,
             windows: meta_a.windows + meta_b.windows,
@@ -367,8 +765,84 @@ impl SketchService {
         Ok(served(ans, false))
     }
 
+    /// LDPJoinSketch+ join-size estimate between two plus attributes over `range`: merged
+    /// per-lane windows with cross-window FI reconciliation, estimated by the shared
+    /// [`PlusKernel`] `JoinEst`, served from the cache when possible.
+    ///
+    /// For a full-ring span this estimate is **bit-identical** to
+    /// [`ldp_join_plus_estimate_chunked`](ldpjs_core::ldp_join_plus_estimate_chunked) over
+    /// the concatenated report stream (the windowed-plus guarantee, property-tested and
+    /// pinned at 1M reports/table in `tests/online_service.rs`).
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`], [`Error::ModeMismatch`] unless both attributes are
+    /// plus, [`Error::WindowUnavailable`] / [`Error::InvalidWorkload`] from range
+    /// resolution, [`Error::IncompatibleSketches`] if the attributes do not share seeds.
+    pub fn plus_join_size(
+        &mut self,
+        a: AttributeId,
+        b: AttributeId,
+        range: WindowRange,
+    ) -> Result<QueryResult> {
+        let (ia, ib) = (a.index(), b.index());
+        let attr_a = self
+            .attributes
+            .get(ia)
+            .ok_or_else(|| unknown_attribute(ia))?;
+        let attr_b = self
+            .attributes
+            .get(ib)
+            .ok_or_else(|| unknown_attribute(ib))?;
+        let AttributeKind::Plus { config: cfg_a, .. } = &attr_a.kind else {
+            return Err(mode_mismatch(
+                &attr_a.name,
+                attr_a.kind.mode_name(),
+                "a plus join-size query",
+            ));
+        };
+        let AttributeKind::Plus { config: cfg_b, .. } = &attr_b.kind else {
+            return Err(mode_mismatch(
+                &attr_b.name,
+                attr_b.kind.mode_name(),
+                "a plus join-size query",
+            ));
+        };
+        // The answer is computed with ONE kernel and cached under an operand-order-
+        // normalized key, so partners must agree on every estimator knob — otherwise
+        // `plus_join_size(a, b)` and `plus_join_size(b, a)` would alias one cache entry
+        // while selecting different kernels.
+        if cfg_a.kernel() != cfg_b.kernel() || cfg_a.policy() != cfg_b.policy() {
+            return Err(Error::ModeMismatch(format!(
+                "plus join partners '{}' and '{}' disagree on estimator knobs \
+                 (threshold/adaptive/paper-literal/variance-weighted must match)",
+                attr_a.name, attr_b.name
+            )));
+        }
+        let meta_a = resolve_span(attr_a, range)?;
+        let meta_b = resolve_span(attr_b, range)?;
+        let key = QueryKey::plus_join(ia, meta_a.epochs, ib, meta_b.epochs);
+        if let Some(ans) = self.cache.lookup(&key) {
+            return Ok(served(ans, true));
+        }
+        let sa = plus_span_view(&mut self.cache, ia, attr_a, &meta_a, cfg_a);
+        let sb = plus_span_view(&mut self.cache, ib, attr_b, &meta_b, cfg_b);
+        let estimate = cfg_a.kernel().join_est(&sa, &sb)?;
+        let ans = CachedAnswer {
+            value: estimate.join_size,
+            windows: meta_a.windows + meta_b.windows,
+            reports: meta_a.reports + meta_b.reports,
+        };
+        self.cache.insert(key, ans);
+        Ok(served(ans, false))
+    }
+
     /// Frequency estimate of `value` in `attr` over `range`, served from the cache when
-    /// possible.
+    /// possible. Plain attributes answer with the Theorem 7 estimator ([`PlainKernel`]);
+    /// plus attributes answer with the sample-scaled phase-1 estimator ([`PlusKernel`]).
+    ///
+    /// # Errors
+    /// [`Error::ModeMismatch`] for edge attributes (an edge sketch summarises tuples, not a
+    /// single attribute's values).
     pub fn frequency(
         &mut self,
         attr: AttributeId,
@@ -380,6 +854,13 @@ impl SketchService {
             .attributes
             .get(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
+        if matches!(a.kind, AttributeKind::Edge { .. }) {
+            return Err(mode_mismatch(
+                &a.name,
+                a.kind.mode_name(),
+                "a frequency query",
+            ));
+        }
         let meta = resolve_span(a, range)?;
         let key = QueryKey::Frequency {
             attr: idx,
@@ -389,11 +870,85 @@ impl SketchService {
         if let Some(ans) = self.cache.lookup(&key) {
             return Ok(served(ans, true));
         }
-        let v = span_view(&mut self.cache, idx, a, &meta);
+        let estimate = match &a.kind {
+            AttributeKind::Plain { .. } => {
+                let v = plain_span_view(&mut self.cache, idx, a, &meta);
+                PlainKernel.frequency(&v, value)
+            }
+            AttributeKind::Plus { config, .. } => {
+                let s = plus_span_view(&mut self.cache, idx, a, &meta, config);
+                config.kernel().frequency(&s, value)
+            }
+            AttributeKind::Edge { .. } => unreachable!("rejected above"),
+        };
         let ans = CachedAnswer {
-            value: v.frequency(value),
+            value: estimate,
             windows: meta.windows,
             reports: meta.reports,
+        };
+        self.cache.insert(key, ans);
+        Ok(served(ans, false))
+    }
+
+    /// 3-way chain-join estimate `|T1(A) ⋈ T2(A,B) ⋈ T3(B)|` over `range`: `v1` and `v3`
+    /// are plain vertex attributes, `edge` is an edge attribute whose hash families they
+    /// must share. Each attribute's span resolves against its own ring; merged views feed
+    /// the shared [`ChainKernel`]; answers are cached per (kind, attribute set, spans).
+    ///
+    /// # Errors
+    /// [`Error::ModeMismatch`] unless the modes are (plain, edge, plain);
+    /// [`Error::IncompatibleSketches`] if the hash families do not line up.
+    pub fn chain_join_3(
+        &mut self,
+        v1: AttributeId,
+        edge: AttributeId,
+        v3: AttributeId,
+        range: WindowRange,
+    ) -> Result<QueryResult> {
+        let (i1, ie, i3) = (v1.index(), edge.index(), v3.index());
+        let attr_1 = self
+            .attributes
+            .get(i1)
+            .ok_or_else(|| unknown_attribute(i1))?;
+        let attr_e = self
+            .attributes
+            .get(ie)
+            .ok_or_else(|| unknown_attribute(ie))?;
+        let attr_3 = self
+            .attributes
+            .get(i3)
+            .ok_or_else(|| unknown_attribute(i3))?;
+        require_plain(attr_1)?;
+        require_plain(attr_3)?;
+        if !matches!(attr_e.kind, AttributeKind::Edge { .. }) {
+            return Err(mode_mismatch(
+                &attr_e.name,
+                attr_e.kind.mode_name(),
+                "the edge operand of a chain query",
+            ));
+        }
+        let meta_1 = resolve_span(attr_1, range)?;
+        let meta_e = resolve_span(attr_e, range)?;
+        let meta_3 = resolve_span(attr_3, range)?;
+        let key = QueryKey::Chain3 {
+            v1: i1,
+            e: ie,
+            v3: i3,
+            span_v1: meta_1.epochs,
+            span_e: meta_e.epochs,
+            span_v3: meta_3.epochs,
+        };
+        if let Some(ans) = self.cache.lookup(&key) {
+            return Ok(served(ans, true));
+        }
+        let s1 = plain_span_view(&mut self.cache, i1, attr_1, &meta_1);
+        let se = edge_span_view(&mut self.cache, ie, attr_e, &meta_e);
+        let s3 = plain_span_view(&mut self.cache, i3, attr_3, &meta_3);
+        let value = ChainKernel.chain_3(&s1, &se, &s3)?;
+        let ans = CachedAnswer {
+            value,
+            windows: meta_1.windows + meta_e.windows + meta_3.windows,
+            reports: meta_1.reports + meta_e.reports + meta_3.reports,
         };
         self.cache.insert(key, ans);
         Ok(served(ans, false))
@@ -420,7 +975,24 @@ fn unknown_attribute(index: usize) -> Error {
     Error::UnknownAttribute(format!("no attribute registered with index {index}"))
 }
 
-fn fresh_engine(config: &ServiceConfig, hashes: &Arc<RowHashes>) -> ShardedAggregator {
+fn mode_mismatch(name: &str, mode: &str, wanted: &str) -> Error {
+    Error::ModeMismatch(format!(
+        "attribute '{name}' runs in {mode} mode and cannot serve {wanted}"
+    ))
+}
+
+fn require_plain(attr: &Attribute) -> Result<()> {
+    match attr.kind {
+        AttributeKind::Plain { .. } => Ok(()),
+        _ => Err(mode_mismatch(
+            &attr.name,
+            attr.kind.mode_name(),
+            "a plain query operand",
+        )),
+    }
+}
+
+fn fresh_plain_engine(config: &ServiceConfig, hashes: &Arc<RowHashes>) -> ShardedAggregator {
     ShardedAggregator::with_hashes(config.params, config.eps, Arc::clone(hashes), config.shards)
         .expect("shard count validated at service construction")
 }
@@ -437,15 +1009,34 @@ fn rotate_attribute(
     if attr.live.reports() == 0 {
         return None;
     }
-    let engine = std::mem::replace(&mut attr.live, fresh_engine(config, &attr.hashes));
     let epoch = attr.next_epoch;
+    let window = match (&attr.kind, &mut attr.live) {
+        (AttributeKind::Plain { hashes }, LiveEngine::Plain(engine)) => {
+            let engine = std::mem::replace(engine, fresh_plain_engine(config, hashes));
+            WindowSnapshot::seal_plain(epoch, engine.into_builder())
+        }
+        (AttributeKind::Plus { seed, config: plus }, LiveEngine::Plus(builder)) => {
+            let sealed = std::mem::replace(
+                builder,
+                PlusStateBuilder::new(config.params, config.eps, *seed),
+            );
+            WindowSnapshot::seal_plus(epoch, sealed, plus.policy(), &plus.domain)
+        }
+        (AttributeKind::Edge { attr_a, attr_b }, LiveEngine::Edge(builder)) => {
+            let fresh = EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), config.eps)
+                .expect("registered edge attributes share the replica count");
+            let sealed = std::mem::replace(builder, fresh);
+            WindowSnapshot::seal_edge(epoch, sealed)
+        }
+        _ => unreachable!("attribute kind and live engine are constructed together"),
+    };
     attr.next_epoch += 1;
-    attr.windows
-        .push_back(WindowSnapshot::seal(epoch, engine.into_builder()));
+    attr.windows.push_back(window);
     if attr.windows.len() > config.retained_windows {
         attr.windows.pop_front();
         attr.evicted += 1;
     }
+    attr.epoch_opened_at = None;
     cache.invalidate_attribute(idx);
     Some(epoch)
 }
@@ -471,29 +1062,108 @@ fn resolve_span(attr: &Attribute, range: WindowRange) -> Result<SpanMeta> {
     })
 }
 
-/// The (possibly memoized) merged estimation view of an already-resolved span.
-fn span_view(
+/// The (possibly memoized) merged plain estimation view of an already-resolved span.
+///
+/// # Panics
+/// Debug-asserts that every covered window is plain (the caller checked the mode).
+fn plain_span_view(
     cache: &mut QueryCache,
     idx: usize,
     attr: &Attribute,
     meta: &SpanMeta,
 ) -> Arc<FinalizedSketch> {
+    let window_view = |w: &WindowSnapshot| match w.state() {
+        SealedWindow::Plain { view, .. } => Arc::clone(view),
+        _ => unreachable!("mode checked by the query layer"),
+    };
     if meta.windows == 1 {
         // Single-window queries borrow the snapshot's precomputed view.
-        Arc::clone(attr.windows[meta.start].view())
+        window_view(&attr.windows[meta.start])
     } else if let Some(v) = cache.view((idx, meta.epochs.0, meta.epochs.1)) {
         v
     } else {
         // Re-aggregate the sealed exact-integer counters, restore once: bit-identical to
         // one-shot aggregation of the covered reports.
-        let mut merged = attr.windows[meta.start].builder().clone();
+        let mut merged = attr.windows[meta.start]
+            .plain_builder()
+            .expect("mode checked by the query layer")
+            .clone();
         for w in attr.windows.range(meta.start + 1..) {
             merged
-                .merge(w.builder())
+                .merge(w.plain_builder().expect("mode checked by the query layer"))
                 .expect("windows of one attribute share params, hashes and ε by construction");
         }
         let view = Arc::new(merged.finalize_view());
         cache.insert_view((idx, meta.epochs.0, meta.epochs.1), Arc::clone(&view));
+        view
+    }
+}
+
+/// The (possibly memoized) merged plus estimation state of an already-resolved span: merge
+/// the sealed three-lane builders counter-wise, restore each lane once, and re-discover the
+/// frequent items on the merged phase-1 sketch (cross-window FI reconciliation).
+fn plus_span_view(
+    cache: &mut QueryCache,
+    idx: usize,
+    attr: &Attribute,
+    meta: &SpanMeta,
+    config: &PlusAttributeConfig,
+) -> Arc<FinalizedPlusState> {
+    if meta.windows == 1 {
+        match attr.windows[meta.start].state() {
+            SealedWindow::Plus { view, .. } => Arc::clone(view),
+            _ => unreachable!("mode checked by the query layer"),
+        }
+    } else if let Some(v) = cache.plus_view((idx, meta.epochs.0, meta.epochs.1)) {
+        v
+    } else {
+        fn sealed_of(w: &WindowSnapshot) -> &PlusStateBuilder {
+            match w.state() {
+                SealedWindow::Plus { sealed, .. } => sealed,
+                _ => unreachable!("mode checked by the query layer"),
+            }
+        }
+        let mut merged = sealed_of(&attr.windows[meta.start]).clone();
+        for w in attr.windows.range(meta.start + 1..) {
+            merged
+                .merge(sealed_of(w))
+                .expect("windows of one attribute share params, seeds and ε by construction");
+        }
+        let view = Arc::new(merged.finalize_view(config.policy(), &config.domain));
+        cache.insert_plus_view((idx, meta.epochs.0, meta.epochs.1), Arc::clone(&view));
+        view
+    }
+}
+
+/// The (possibly memoized) merged edge estimation view of an already-resolved span.
+fn edge_span_view(
+    cache: &mut QueryCache,
+    idx: usize,
+    attr: &Attribute,
+    meta: &SpanMeta,
+) -> Arc<FinalizedEdgeSketch> {
+    if meta.windows == 1 {
+        match attr.windows[meta.start].state() {
+            SealedWindow::Edge { view, .. } => Arc::clone(view),
+            _ => unreachable!("mode checked by the query layer"),
+        }
+    } else if let Some(v) = cache.edge_view((idx, meta.epochs.0, meta.epochs.1)) {
+        v
+    } else {
+        fn sealed_of(w: &WindowSnapshot) -> &EdgeSketchBuilder {
+            match w.state() {
+                SealedWindow::Edge { sealed, .. } => sealed,
+                _ => unreachable!("mode checked by the query layer"),
+            }
+        }
+        let mut merged = sealed_of(&attr.windows[meta.start]).clone();
+        for w in attr.windows.range(meta.start + 1..) {
+            merged
+                .merge(sealed_of(w))
+                .expect("windows of one attribute share attributes and ε by construction");
+        }
+        let view = Arc::new(merged.finalize_view());
+        cache.insert_edge_view((idx, meta.epochs.0, meta.epochs.1), Arc::clone(&view));
         view
     }
 }
@@ -510,8 +1180,10 @@ fn served(ans: CachedAnswer, cached: bool) -> QueryResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ldpjs_core::SketchBuilder;
-    use ldpjs_data::{ValueGenerator, ZipfGenerator};
+    use ldpjs_core::{
+        ldp_join_plus_estimate_chunked, LdpJoinSketchPlus, PlusTableRole, SketchBuilder,
+    };
+    use ldpjs_data::{StreamingJoinWorkload, ValueGenerator, ZipfGenerator};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -554,6 +1226,9 @@ mod tests {
         let mut cfg = config(4, 64);
         cfg.cache_capacity = 0;
         assert!(SketchService::new(cfg).is_err());
+        let mut cfg = config(4, 64);
+        cfg.epoch_duration = Some(Duration::ZERO);
+        assert!(SketchService::new(cfg).is_err());
     }
 
     #[test]
@@ -586,6 +1261,43 @@ mod tests {
     }
 
     #[test]
+    fn hot_join_answer_survives_a_frequency_scan_via_lru_promotion() {
+        // The cache-eviction satellite at service level: a dashboard's repeated join query
+        // (promoted on every hit) must survive a value-keyed frequency scan that churns the
+        // small result cache end to end.
+        let mut cfg = config(6, 64);
+        cfg.epoch_reports = u64::MAX;
+        cfg.cache_capacity = 8;
+        let mut service = SketchService::new(cfg).unwrap();
+        let a = service.register_attribute("a", 3).unwrap();
+        let b = service.register_attribute("b", 3).unwrap();
+        for (attr, seed) in [(a, 1u64), (b, 2)] {
+            service
+                .ingest(attr, &reports_for(&service, attr, 400, seed))
+                .unwrap();
+            service.rotate(attr).unwrap();
+        }
+        let cold = service.join_size(a, b, WindowRange::All).unwrap();
+        assert!(!cold.cached);
+        for v in 0..50u64 {
+            let refreshed = service.join_size(a, b, WindowRange::All).unwrap();
+            assert!(
+                refreshed.cached,
+                "hot join entry evicted by the scan at v={v}"
+            );
+            assert_eq!(refreshed.value, cold.value);
+            service.frequency(a, v, WindowRange::All).unwrap();
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.entries, 8);
+        assert!(
+            stats.evictions >= 40,
+            "the scan churned the cache: {stats:?}"
+        );
+        assert!(service.join_size(a, b, WindowRange::All).unwrap().cached);
+    }
+
+    #[test]
     fn registration_is_name_unique_and_resolvable() {
         let mut service = manual_service(4, 64, 4);
         let a = service.register_attribute("orders.user_id", 1).unwrap();
@@ -595,6 +1307,7 @@ mod tests {
         assert_eq!(service.attribute_id("clicks.user_id"), Some(b));
         assert_eq!(service.attribute_id("nope"), None);
         assert_eq!(service.attribute_name(a).unwrap(), "orders.user_id");
+        assert_eq!(service.attribute_mode(a).unwrap(), "plain");
         // Unknown handles are rejected everywhere.
         let bogus = AttributeId(99);
         assert!(matches!(
@@ -604,6 +1317,84 @@ mod tests {
         assert!(matches!(
             service.join_size(a, bogus, WindowRange::All),
             Err(Error::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn mode_mismatch_is_a_first_class_error_everywhere() {
+        let mut service = manual_service(6, 64, 4);
+        let plain = service.register_attribute("plain", 1).unwrap();
+        let plus = service
+            .register_plus_attribute("plus", 1, PlusAttributeConfig::new((0..64).collect()))
+            .unwrap();
+        let edge = service.register_edge_attribute("edge", 2, 3).unwrap();
+        assert_eq!(service.attribute_mode(plus).unwrap(), "plus");
+        assert_eq!(service.attribute_mode(edge).unwrap(), "edge");
+
+        // Ingestion is mode-checked.
+        assert!(matches!(
+            service.ingest(plus, &[]),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.ingest_plus(plain, &PlusReportBatch::default()),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.ingest_edge(plain, &[]),
+            Err(Error::ModeMismatch(_))
+        ));
+        // Clients are mode-checked.
+        assert!(matches!(service.client(plus), Err(Error::ModeMismatch(_))));
+        assert!(matches!(
+            service.edge_client(plain),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(service.edge_client(edge).is_ok());
+        // Queries are mode-checked before span resolution (so the errors do not depend on
+        // whether anything was sealed yet).
+        assert!(matches!(
+            service.join_size(plain, plus, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.plus_join_size(plain, plus, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.plus_join_size(plus, edge, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        // Plus partners with mismatched estimator knobs are rejected before any span
+        // resolution: one kernel answers a cache entry both operand orders share.
+        let mut other_cfg = PlusAttributeConfig::new((0..64).collect());
+        other_cfg.adaptive = false;
+        let plus2 = service
+            .register_plus_attribute("plus2", 1, other_cfg)
+            .unwrap();
+        assert!(matches!(
+            service.plus_join_size(plus, plus2, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.frequency(edge, 1, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.chain_join_3(plain, plain, plain, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.chain_join_3(plus, edge, plain, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.merged_view(plus, WindowRange::All),
+            Err(Error::ModeMismatch(_))
+        ));
+        assert!(matches!(
+            service.merged_plus_state(plain, WindowRange::All),
+            Err(Error::ModeMismatch(_))
         ));
     }
 
@@ -635,6 +1426,83 @@ mod tests {
         assert_eq!(service.rotate(attr).unwrap(), None, "empty live is a no-op");
         assert_eq!(service.window_count(attr).unwrap(), 3);
         assert_eq!(service.live_reports(attr).unwrap(), 0);
+    }
+
+    #[test]
+    fn time_and_count_triggers_race_and_reset_each_other() {
+        // Both triggers armed: 1000-report count threshold, 10s wall-clock budget.
+        let mut cfg = config(6, 64);
+        cfg.epoch_reports = 1_000;
+        cfg.epoch_duration = Some(Duration::from_secs(10));
+        let mut service = SketchService::new(cfg).unwrap();
+        let attr = service.register_attribute("a", 3).unwrap();
+        let reports = reports_for(&service, attr, 2_600, 9);
+        let t0 = Instant::now();
+
+        // Round 1: the COUNT trigger wins — 3×400 reports land within 2s of wall clock.
+        for (i, batch) in reports[..1_200].chunks(400).enumerate() {
+            let summary = service
+                .ingest_at(attr, batch, t0 + Duration::from_secs(i as u64))
+                .unwrap();
+            assert_eq!(summary.rotations, u64::from(i == 2), "batch {i}");
+        }
+        assert_eq!(service.window_count(attr).unwrap(), 1);
+        assert_eq!(service.live_reports(attr).unwrap(), 0);
+
+        // Round 2: the TIME trigger wins — 400 reports trickle in at t+3s, then the sweep
+        // at t+14s (11s after the epoch opened) seals them despite the count being far
+        // below threshold. The count trigger's clock restarted with the rotation.
+        service
+            .ingest_at(attr, &reports[1_200..1_600], t0 + Duration::from_secs(3))
+            .unwrap();
+        assert_eq!(
+            service
+                .rotate_if_elapsed(attr, t0 + Duration::from_secs(12))
+                .unwrap(),
+            None,
+            "only 9s since the epoch opened at t+3s"
+        );
+        assert_eq!(
+            service
+                .rotate_if_elapsed(attr, t0 + Duration::from_secs(14))
+                .unwrap(),
+            Some(1)
+        );
+        let sealed: Vec<u64> = service
+            .windows(attr)
+            .unwrap()
+            .map(|w| w.reports())
+            .collect();
+        assert_eq!(sealed, vec![1_200, 400]);
+
+        // Round 3: the time trigger also fires inline on a slow ingest — a batch arriving
+        // 20s after the epoch opened seals it without reaching the count threshold.
+        service
+            .ingest_at(attr, &reports[1_600..1_700], t0 + Duration::from_secs(20))
+            .unwrap();
+        let summary = service
+            .ingest_at(attr, &reports[1_700..1_800], t0 + Duration::from_secs(31))
+            .unwrap();
+        assert_eq!(summary.rotations, 1, "inline time trigger");
+        assert_eq!(service.window_count(attr).unwrap(), 3);
+
+        // An empty live engine never rotates, whatever the clock says.
+        assert_eq!(
+            service
+                .rotate_if_elapsed(attr, t0 + Duration::from_secs(1_000))
+                .unwrap(),
+            None
+        );
+        // With no epoch_duration configured the sweep is a no-op.
+        let mut quiet = manual_service(6, 64, 4);
+        let q = quiet.register_attribute("q", 1).unwrap();
+        quiet.ingest(q, &reports[..100]).unwrap();
+        assert_eq!(
+            quiet
+                .rotate_if_elapsed(q, Instant::now() + Duration::from_secs(3_600))
+                .unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -820,6 +1688,225 @@ mod tests {
         );
     }
 
+    /// Drive the canonical plus report stream (discovery + labeled batches) into a pair of
+    /// plus attributes, rotating after every `batches_per_window` batches.
+    fn drive_plus_pair(
+        service: &mut SketchService,
+        a: AttributeId,
+        b: AttributeId,
+        est: &LdpJoinSketchPlus,
+        workload: &StreamingJoinWorkload<ZipfGenerator>,
+        rng_seed: u64,
+        batches_per_window: usize,
+    ) {
+        let discovery = est
+            .discover_frequent_items_chunked(
+                &workload.table_a,
+                &workload.table_b,
+                &workload.domain(),
+                rng_seed,
+            )
+            .unwrap();
+        for (attr, table, role) in [
+            (a, &workload.table_a, PlusTableRole::A),
+            (b, &workload.table_b, PlusTableRole::B),
+        ] {
+            let mut in_window = 0usize;
+            est.stream_plus_reports(
+                table,
+                role,
+                &discovery.frequent_items,
+                rng_seed,
+                true,
+                &mut |batch| {
+                    service.ingest_plus(attr, batch)?;
+                    in_window += 1;
+                    if in_window == batches_per_window {
+                        service.rotate(attr)?;
+                        in_window = 0;
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+            service.rotate(attr).unwrap();
+        }
+    }
+
+    #[test]
+    fn plus_attribute_answers_join_frequency_and_caches() {
+        let n = 30_000usize;
+        let chunk = 2_048usize;
+        let params = SketchParams::new(12, 128).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let generator = ZipfGenerator::new(1.6, 2_000);
+        let w = StreamingJoinWorkload::generate("plus-svc", &generator, n, chunk, 901).unwrap();
+        let truth = w.true_join_size() as f64;
+
+        let mut plus_cfg = PlusConfig::new(params, eps);
+        plus_cfg.sampling_rate = 0.1;
+        plus_cfg.adaptive = true;
+        plus_cfg.seed = 77;
+        let est = LdpJoinSketchPlus::new(plus_cfg).unwrap();
+
+        let mut cfg = ServiceConfig::new(params, eps);
+        cfg.epoch_reports = u64::MAX;
+        cfg.retained_windows = 16;
+        let mut service = SketchService::new(cfg).unwrap();
+        let attr_cfg = PlusAttributeConfig::from_plus_config(&plus_cfg, w.domain());
+        let a = service
+            .register_plus_attribute("a", plus_cfg.seed, attr_cfg.clone())
+            .unwrap();
+        let b = service
+            .register_plus_attribute("b", plus_cfg.seed, attr_cfg)
+            .unwrap();
+        drive_plus_pair(&mut service, a, b, &est, &w, 55, 4);
+
+        let windows = service.window_count(a).unwrap();
+        assert!(windows >= 3, "expected a multi-window ring, got {windows}");
+        // Join-size over every range resolves and answers sanely.
+        for range in [WindowRange::Latest, WindowRange::LastK(2), WindowRange::All] {
+            let q = service.plus_join_size(a, b, range).unwrap();
+            assert!(!q.cached);
+            assert!(q.value.is_finite());
+            let again = service.plus_join_size(a, b, range).unwrap();
+            assert!(again.cached, "repeat of {range:?} must hit the cache");
+            assert_eq!(again.value.to_bits(), q.value.to_bits());
+        }
+        // The all-window estimate tracks the exact join size.
+        let all = service.plus_join_size(a, b, WindowRange::All).unwrap();
+        let re = (all.value - truth).abs() / truth;
+        assert!(
+            re < 0.35,
+            "windowed plus RE {re} (est {}, truth {truth})",
+            all.value
+        );
+
+        // The full-span estimate is bit-identical to the one-shot chunked protocol.
+        let one_shot =
+            ldp_join_plus_estimate_chunked(&w.table_a, &w.table_b, &w.domain(), plus_cfg, 55)
+                .unwrap();
+        assert_eq!(
+            all.value.to_bits(),
+            one_shot.join_size.to_bits(),
+            "windowed-plus full span diverged from the one-shot protocol"
+        );
+
+        // Plus frequency queries: the heaviest Zipf value tracks its true count.
+        let f = service.frequency(a, 0, WindowRange::All).unwrap();
+        assert!(!f.cached);
+        assert!(service.frequency(a, 0, WindowRange::All).unwrap().cached);
+        let truth_f = w.count_a(0) as f64;
+        assert!(truth_f > 0.0);
+        let fre = (f.value - truth_f).abs() / truth_f;
+        assert!(
+            fre < 0.4,
+            "plus frequency RE {fre} (est {}, truth {truth_f})",
+            f.value
+        );
+
+        // Rotation invalidates plus entries like plain ones.
+        let more = StreamingJoinWorkload::generate("plus-svc2", &generator, 8 * chunk, chunk, 902)
+            .unwrap();
+        drive_plus_pair(&mut service, a, b, &est, &more, 56, 4);
+        assert!(
+            !service
+                .plus_join_size(a, b, WindowRange::All)
+                .unwrap()
+                .cached
+        );
+    }
+
+    #[test]
+    fn chain_join_queries_are_online_citizens() {
+        use ldpjs_common::stats::exact_chain_join_3;
+        let params = SketchParams::new(9, 256).unwrap();
+        let mut cfg = ServiceConfig::new(params, Epsilon::new(4.0).unwrap());
+        cfg.epoch_reports = u64::MAX;
+        let mut service = SketchService::new(cfg).unwrap();
+        let v1 = service.register_attribute("t1.a", 100).unwrap();
+        let edge = service.register_edge_attribute("t2.ab", 100, 101).unwrap();
+        let v3 = service.register_attribute("t3.b", 101).unwrap();
+
+        // Skewed tables as in the multiway suite.
+        let skewed = |n: usize, domain: u64, seed: u64| -> Vec<u64> {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    ((u.powf(-1.3) - 1.0) as u64).min(domain - 1)
+                })
+                .collect()
+        };
+        let t1v = skewed(40_000, 500, 1);
+        let t3v = skewed(40_000, 500, 4);
+        let t2v: Vec<(u64, u64)> = skewed(40_000, 500, 2)
+            .into_iter()
+            .zip(skewed(40_000, 500, 3))
+            .collect();
+        let truth = exact_chain_join_3(&t1v, &t2v, &t3v) as f64;
+
+        let mut rng = StdRng::seed_from_u64(7);
+        // Vertex ingestion in two windows each; edge ingestion in three windows.
+        for (attr, values) in [(v1, &t1v), (v3, &t3v)] {
+            let client = service.client(attr).unwrap();
+            for half in values.chunks(values.len() / 2 + 1) {
+                service
+                    .ingest(attr, &client.perturb_all(half, &mut rng))
+                    .unwrap();
+                service.rotate(attr).unwrap();
+            }
+        }
+        let edge_client = service.edge_client(edge).unwrap();
+        for part in t2v.chunks(t2v.len() / 3 + 1) {
+            service
+                .ingest_edge(edge, &edge_client.perturb_all(part, &mut rng))
+                .unwrap();
+            service.rotate(edge).unwrap();
+        }
+        assert_eq!(service.window_count(edge).unwrap(), 3);
+
+        let cold = service
+            .chain_join_3(v1, edge, v3, WindowRange::All)
+            .unwrap();
+        assert!(!cold.cached);
+        assert_eq!(cold.windows, 2 + 3 + 2);
+        let re = (cold.value - truth).abs() / truth;
+        assert!(
+            re < 0.5,
+            "chain RE {re} (est {}, truth {truth})",
+            cold.value
+        );
+        // Cached on repeat; invalidated when any participant rotates.
+        let warm = service
+            .chain_join_3(v1, edge, v3, WindowRange::All)
+            .unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.value.to_bits(), cold.value.to_bits());
+        service
+            .ingest_edge(edge, &edge_client.perturb_all(&t2v[..100], &mut rng))
+            .unwrap();
+        service.rotate(edge).unwrap();
+        assert!(
+            !service
+                .chain_join_3(v1, edge, v3, WindowRange::All)
+                .unwrap()
+                .cached
+        );
+        // Mismatched hash families are rejected.
+        let stranger = service.register_attribute("t4.c", 999).unwrap();
+        let client = service.client(stranger).unwrap();
+        service
+            .ingest(stranger, &client.perturb_all(&t1v[..100], &mut rng))
+            .unwrap();
+        service.rotate(stranger).unwrap();
+        assert!(matches!(
+            service.chain_join_3(stranger, edge, v3, WindowRange::All),
+            Err(Error::IncompatibleSketches(_))
+        ));
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -861,6 +1948,61 @@ mod tests {
                     "windows={} n={}: merged windows diverged from single-pass",
                     windows,
                     n
+                );
+            }
+        }
+
+        /// The windowed-plus tentpole guarantee, mirrored on the plain-path property test:
+        /// splitting the labeled plus report stream across arbitrary {1, 2, 4, 7}-window
+        /// rings and merging the full span is **bit-identical** to the one-shot
+        /// `ldp_join_plus_estimate_chunked` over the concatenated stream.
+        #[test]
+        fn prop_windowed_plus_split_is_bit_identical_to_one_shot_chunked(
+            case_seed in 0u64..2_000,
+        ) {
+            let n = 3_000usize;
+            let chunk = 256usize;
+            let params = SketchParams::new(8, 64).unwrap();
+            let eps = Epsilon::new(4.0).unwrap();
+            let generator = ZipfGenerator::new(1.8, 500);
+            let w = StreamingJoinWorkload::generate("prop-plus", &generator, n, chunk, case_seed)
+                .unwrap();
+            let mut plus_cfg = PlusConfig::new(params, eps);
+            plus_cfg.sampling_rate = 0.1;
+            plus_cfg.adaptive = true;
+            plus_cfg.seed = case_seed ^ 0xF00D;
+            let est = LdpJoinSketchPlus::new(plus_cfg).unwrap();
+            let rng_seed = case_seed.wrapping_mul(31).wrapping_add(5);
+            let one_shot = ldp_join_plus_estimate_chunked(
+                &w.table_a,
+                &w.table_b,
+                &w.domain(),
+                plus_cfg,
+                rng_seed,
+            )
+            .unwrap();
+
+            for windows in [1usize, 2, 4, 7] {
+                let mut cfg = ServiceConfig::new(params, eps);
+                cfg.epoch_reports = u64::MAX;
+                cfg.retained_windows = 16;
+                let mut service = SketchService::new(cfg).unwrap();
+                let attr_cfg = PlusAttributeConfig::from_plus_config(&plus_cfg, w.domain());
+                let a = service
+                    .register_plus_attribute("a", plus_cfg.seed, attr_cfg.clone())
+                    .unwrap();
+                let b = service
+                    .register_plus_attribute("b", plus_cfg.seed, attr_cfg)
+                    .unwrap();
+                let batches = n.div_ceil(chunk);
+                drive_plus_pair(&mut service, a, b, &est, &w, rng_seed, batches.div_ceil(windows));
+                let merged = service.plus_join_size(a, b, WindowRange::All).unwrap();
+                prop_assert!(
+                    merged.value.to_bits() == one_shot.join_size.to_bits(),
+                    "windows={}: windowed plus diverged from one-shot (windowed {}, one-shot {})",
+                    windows,
+                    merged.value,
+                    one_shot.join_size
                 );
             }
         }

@@ -1,8 +1,9 @@
-//! Epoch windows: immutable sealed snapshots of the live sketch and the ranges queries
-//! address them by.
+//! Epoch windows: immutable sealed snapshots of the live per-mode sketch state and the
+//! ranges queries address them by.
 
 use ldpjs_common::error::{Error, Result};
-use ldpjs_core::{FinalizedSketch, SketchBuilder};
+use ldpjs_core::multiway::{EdgeSketchBuilder, FinalizedEdgeSketch};
+use ldpjs_core::{FiPolicy, FinalizedPlusState, FinalizedSketch, PlusStateBuilder, SketchBuilder};
 use std::sync::Arc;
 
 /// Which sealed epoch windows a query covers. Ranges always resolve to a contiguous
@@ -43,29 +44,76 @@ impl WindowRange {
     }
 }
 
-/// One sealed epoch window.
+/// The per-mode sealed contents of one epoch window.
 ///
-/// The snapshot keeps **two** representations of the same reports: the sealed
-/// [`SketchBuilder`] (raw exact-integer counter sums, still mergeable with other windows at
-/// zero rounding error) and the finalized estimation view (de-biased + Hadamard-restored,
-/// shareable via [`Arc`]). Single-window queries borrow the view; multi-window queries
-/// re-aggregate the sealed builders and restore once, which is what makes merged-window
-/// estimates bit-identical to one-shot aggregation.
+/// Every variant keeps **two** representations of the same reports: the sealed accumulation
+/// builder (raw exact-integer counter sums, still mergeable with other windows at zero
+/// rounding error) and the finalized estimation view computed once at seal time. Single-
+/// window queries borrow the view; multi-window queries re-aggregate the sealed builders and
+/// restore once, which is what makes merged-window estimates bit-identical to one-shot
+/// aggregation.
+#[derive(Debug, Clone)]
+pub(crate) enum SealedWindow {
+    /// A plain LDPJoinSketch window.
+    Plain {
+        sealed: SketchBuilder,
+        view: Arc<FinalizedSketch>,
+    },
+    /// An LDPJoinSketch+ window: the three sealed report lanes plus the finalized state
+    /// (whose frequent items were discovered on *this window's* phase-1 sketch — merged
+    /// spans re-discover on the merged sketch instead).
+    Plus {
+        sealed: PlusStateBuilder,
+        view: Arc<FinalizedPlusState>,
+    },
+    /// A two-attribute edge-sketch window for chain queries.
+    Edge {
+        sealed: EdgeSketchBuilder,
+        view: Arc<FinalizedEdgeSketch>,
+    },
+}
+
+/// One sealed epoch window.
 #[derive(Debug, Clone)]
 pub struct WindowSnapshot {
     epoch: u64,
-    sealed: SketchBuilder,
-    view: Arc<FinalizedSketch>,
+    reports: u64,
+    state: SealedWindow,
 }
 
 impl WindowSnapshot {
-    /// Seal a builder into a window snapshot, computing the finalized view once.
-    pub(crate) fn seal(epoch: u64, sealed: SketchBuilder) -> Self {
+    /// Seal a plain builder into a window snapshot, computing the finalized view once.
+    pub(crate) fn seal_plain(epoch: u64, sealed: SketchBuilder) -> Self {
         let view = Arc::new(sealed.finalize_view());
         WindowSnapshot {
             epoch,
-            sealed,
-            view,
+            reports: sealed.reports(),
+            state: SealedWindow::Plain { sealed, view },
+        }
+    }
+
+    /// Seal a plus-state builder, discovering this window's frequent items under `policy`.
+    pub(crate) fn seal_plus(
+        epoch: u64,
+        sealed: PlusStateBuilder,
+        policy: FiPolicy,
+        domain: &[u64],
+    ) -> Self {
+        let view = Arc::new(sealed.finalize_view(policy, domain));
+        WindowSnapshot {
+            epoch,
+            reports: sealed.reports(),
+            state: SealedWindow::Plus { sealed, view },
+        }
+    }
+
+    /// Seal an edge-sketch builder.
+    pub(crate) fn seal_edge(epoch: u64, sealed: EdgeSketchBuilder) -> Self {
+        let view = Arc::new(sealed.finalize_view());
+        WindowSnapshot {
+            epoch,
+            reports: sealed.reports(),
+            state: SealedWindow::Edge { sealed, view },
         }
     }
 
@@ -75,22 +123,52 @@ impl WindowSnapshot {
         self.epoch
     }
 
-    /// Number of reports sealed into this window.
+    /// Number of reports sealed into this window (all lanes, for plus windows).
     #[inline]
     pub fn reports(&self) -> u64 {
-        self.sealed.reports()
+        self.reports
     }
 
-    /// The sealed accumulation-stage builder (exact integer counters).
+    /// The per-mode sealed state.
     #[inline]
-    pub fn builder(&self) -> &SketchBuilder {
-        &self.sealed
+    pub(crate) fn state(&self) -> &SealedWindow {
+        &self.state
     }
 
-    /// The finalized estimation view of this window alone.
+    /// The sealed plain accumulation-stage builder, if this is a plain window.
     #[inline]
-    pub fn view(&self) -> &Arc<FinalizedSketch> {
-        &self.view
+    pub fn plain_builder(&self) -> Option<&SketchBuilder> {
+        match &self.state {
+            SealedWindow::Plain { sealed, .. } => Some(sealed),
+            _ => None,
+        }
+    }
+
+    /// The finalized plain estimation view, if this is a plain window.
+    #[inline]
+    pub fn plain_view(&self) -> Option<&Arc<FinalizedSketch>> {
+        match &self.state {
+            SealedWindow::Plain { view, .. } => Some(view),
+            _ => None,
+        }
+    }
+
+    /// The finalized plus estimation state, if this is a plus window.
+    #[inline]
+    pub fn plus_view(&self) -> Option<&Arc<FinalizedPlusState>> {
+        match &self.state {
+            SealedWindow::Plus { view, .. } => Some(view),
+            _ => None,
+        }
+    }
+
+    /// The finalized edge estimation view, if this is an edge window.
+    #[inline]
+    pub fn edge_view(&self) -> Option<&Arc<FinalizedEdgeSketch>> {
+        match &self.state {
+            SealedWindow::Edge { view, .. } => Some(view),
+            _ => None,
+        }
     }
 }
 
@@ -117,5 +195,30 @@ mod tests {
             WindowRange::LastK(0).resolve(3, "a"),
             Err(Error::InvalidWorkload(_))
         ));
+    }
+
+    #[test]
+    fn mode_specific_accessors_gate_on_the_sealed_variant() {
+        use ldpjs_common::Epsilon;
+        use ldpjs_sketch::SketchParams;
+        let params = SketchParams::new(4, 64).unwrap();
+        let eps = Epsilon::new(2.0).unwrap();
+        let plain = WindowSnapshot::seal_plain(0, SketchBuilder::new(params, eps, 1));
+        assert!(plain.plain_builder().is_some() && plain.plain_view().is_some());
+        assert!(plain.plus_view().is_none() && plain.edge_view().is_none());
+
+        let domain: Vec<u64> = (0..8).collect();
+        let plus = WindowSnapshot::seal_plus(
+            1,
+            PlusStateBuilder::new(params, eps, 1),
+            FiPolicy {
+                threshold: 0.01,
+                adaptive: false,
+            },
+            &domain,
+        );
+        assert!(plus.plus_view().is_some());
+        assert!(plus.plain_builder().is_none() && plus.edge_view().is_none());
+        assert_eq!(plus.reports(), 0);
     }
 }

@@ -1,6 +1,8 @@
 //! The online sketch service end to end: 1M users per join attribute arriving in 8k-report
 //! batches, epoch rotation every 64k reports, sliding-window join estimates over the
-//! snapshot ring, and the query cache at work.
+//! snapshot ring, and the query cache at work — first on plain-mode attributes, then on
+//! **LDPJoinSketch+ attributes** (three-lane windows, cross-window FI reconciliation, and
+//! full-span bit-identity with the one-shot chunked plus protocol).
 //!
 //! Run with: `cargo run --release --example online_service`
 
@@ -8,6 +10,11 @@ use ldp_join_sketch::prelude::*;
 use ldp_join_sketch::service::WindowRange;
 
 fn main() {
+    plain_service_demo();
+    plus_service_demo();
+}
+
+fn plain_service_demo() {
     let n = 1_000_000usize;
     let chunk = 8_192usize;
     let shards = 2usize;
@@ -82,6 +89,116 @@ fn main() {
     let re = (all.value - truth).abs() / truth;
     println!("\nall-windows relative error vs exact truth: {re:.4}");
 
+    let stats = service.cache_stats();
+    println!(
+        "cache: {} hits / {} misses ({} results, {} merged views, {} invalidations)",
+        stats.hits, stats.misses, stats.entries, stats.views, stats.invalidations
+    );
+}
+
+/// The windowed LDPJoinSketch+ path: plus-mode attributes absorb labeled three-lane report
+/// batches, windows seal the phase-1/phase-2 builders, and the query layer re-discovers the
+/// frequent items on the merged phase-1 sketch before running the shared `JoinEst` kernel.
+fn plus_service_demo() {
+    let n = 1_000_000usize;
+    let chunk = 8_192usize;
+    let params = SketchParams::new(18, 64).unwrap();
+    let eps = Epsilon::new(4.0).unwrap();
+    let rng_seed = 900u64;
+
+    let generator = ZipfGenerator::new(2.0, 20_000);
+    let workload =
+        StreamingJoinWorkload::generate("online-plus", &generator, n, chunk, 43).unwrap();
+    let truth = workload.true_join_size() as f64;
+    let domain = workload.domain();
+    println!("\n=== LDPJoinSketch+ mode: {n} users/table, exact |A ⋈ B| = {truth:.3e} ===");
+
+    let mut plus_cfg = PlusConfig::new(params, eps);
+    plus_cfg.sampling_rate = 0.05;
+    plus_cfg.adaptive = true;
+    plus_cfg.seed = 801;
+    let est = LdpJoinSketchPlus::new(plus_cfg).unwrap();
+
+    let mut config = ServiceConfig::new(params, eps);
+    config.epoch_reports = 64_000;
+    config.retained_windows = 16;
+    let mut service = SketchService::new(config).unwrap();
+    let attr_cfg = PlusAttributeConfig::from_plus_config(&plus_cfg, domain.clone());
+    let orders = service
+        .register_plus_attribute("orders.user_id", plus_cfg.seed, attr_cfg.clone())
+        .unwrap();
+    let clicks = service
+        .register_plus_attribute("clicks.user_id", plus_cfg.seed, attr_cfg)
+        .unwrap();
+
+    // Phase-1 discovery pass ("the server broadcasts FI"), then continuous labeled-batch
+    // ingestion — exactly the report streams the one-shot runner absorbs internally.
+    let discovery = est
+        .discover_frequent_items_chunked(&workload.table_a, &workload.table_b, &domain, rng_seed)
+        .unwrap();
+    println!(
+        "phase-1 discovery: {} frequent items at θ = ({:.4}, {:.4})",
+        discovery.frequent_items.len(),
+        discovery.thresholds.0,
+        discovery.thresholds.1
+    );
+    for (attr, table, role) in [
+        (orders, &workload.table_a, PlusTableRole::A),
+        (clicks, &workload.table_b, PlusTableRole::B),
+    ] {
+        est.stream_plus_reports(
+            table,
+            role,
+            &discovery.frequent_items,
+            rng_seed,
+            true,
+            &mut |batch| service.ingest_plus(attr, batch).map(|_| ()),
+        )
+        .unwrap();
+        service.rotate(attr).unwrap();
+        println!(
+            "{}: {} reports -> {} plus windows (three sealed lanes each)",
+            service.attribute_name(attr).unwrap(),
+            service.total_reports(attr).unwrap(),
+            service.window_count(attr).unwrap(),
+        );
+    }
+
+    println!("\nsliding-window plus join estimates (truth {truth:.3e}):");
+    for (label, range) in [
+        ("latest window ", WindowRange::Latest),
+        ("last 4 windows", WindowRange::LastK(4)),
+        ("all 16 windows", WindowRange::All),
+    ] {
+        let q = service.plus_join_size(orders, clicks, range).unwrap();
+        println!(
+            "  {label}: {:>12.4e}  ({} windows, {} reports, cached: {})",
+            q.value, q.windows, q.reports, q.cached
+        );
+    }
+
+    // The windowed-plus guarantee: the full span answers bit-identically to the one-shot
+    // chunked plus protocol over the concatenated stream.
+    let one_shot = ldp_join_plus_estimate_chunked(
+        &workload.table_a,
+        &workload.table_b,
+        &domain,
+        plus_cfg,
+        rng_seed,
+    )
+    .unwrap();
+    let all = service
+        .plus_join_size(orders, clicks, WindowRange::All)
+        .unwrap();
+    assert_eq!(all.value.to_bits(), one_shot.join_size.to_bits());
+    println!(
+        "\nfull-span windowed plus == one-shot chunked plus (bit-identical): {:.4e}",
+        all.value
+    );
+    println!(
+        "all-windows relative error vs exact truth: {:.4}",
+        (all.value - truth).abs() / truth
+    );
     let stats = service.cache_stats();
     println!(
         "cache: {} hits / {} misses ({} results, {} merged views, {} invalidations)",

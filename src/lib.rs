@@ -59,8 +59,10 @@ pub mod prelude {
         ldp_join_plus_estimate, ldp_join_plus_estimate_chunked, stream_reports_chunked,
     };
     pub use ldpjs_core::{
-        ClientReport, FapClient, FapMode, FinalizedSketch, LdpJoinSketchClient, LdpJoinSketchPlus,
-        PlusConfig, PlusEstimate, ShardedAggregator, SketchBuilder, SketchParams,
+        ChainKernel, ClientReport, FapClient, FapMode, FiPolicy, FinalizedPlusState,
+        FinalizedSketch, JoinKernel, LdpJoinSketchClient, LdpJoinSketchPlus, PlainKernel,
+        PlusConfig, PlusDiscovery, PlusEstimate, PlusKernel, PlusReportBatch, PlusStateBuilder,
+        PlusTableRole, QueryInput, ShardedAggregator, SketchBuilder, SketchParams,
     };
     pub use ldpjs_data::{
         ChainWorkload, JoinWorkload, PaperDataset, StreamingJoinWorkload, StreamingTable,
@@ -71,8 +73,8 @@ pub mod prelude {
     };
     pub use ldpjs_metrics::{absolute_error, relative_error, TrialErrors};
     pub use ldpjs_service::{
-        AttributeId, CacheStats, IngestSummary, QueryResult, ServiceConfig, SketchService,
-        WindowRange, WindowSnapshot,
+        AttributeId, CacheStats, IngestSummary, PlusAttributeConfig, QueryResult, ServiceConfig,
+        SketchService, WindowRange, WindowSnapshot,
     };
     pub use ldpjs_sketch::FastAgmsSketch;
 }
