@@ -254,6 +254,17 @@ fn bench_estimation(c: &mut Criterion, rec: &mut Recorder) {
         params(),
         |b| b.iter(|| black_box(sa.frequencies(black_box(&candidates)))),
     );
+    // The indexed lane: candidate buckets/signs hashed once into a `DomainIndex`, scans
+    // gather counters by precomputed offset instead of re-hashing 10k × k candidates.
+    let index = ldpjs_core::DomainIndex::new(sa.hashes(), std::sync::Arc::new(candidates.clone()));
+    rec.bench(
+        c,
+        "core/frequency_scan_10k_candidates_indexed",
+        "frequencies_indexed",
+        n,
+        params(),
+        |b| b.iter(|| black_box(sa.frequencies_indexed(black_box(&index)))),
+    );
 }
 
 /// End-to-end throughput of the large-n streaming regime: the full plain and adaptive-plus
@@ -566,14 +577,66 @@ fn json_record(name: &str, method: &str, n: usize, k: usize, m: usize, median_ns
     )
 }
 
+/// The `"name"` field of one serialized record line, if it has one.
+fn record_name(line: &str) -> Option<&str> {
+    let rest = &line[line.find("\"name\": \"")? + 9..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// The `results` entries of a previously written BENCH_core.json, in file order. Missing
+/// or unrecognizable files merge as empty.
+fn existing_results(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = text.find("\"results\": [") else {
+        return Vec::new();
+    };
+    let Some(len) = text[start..].find(']') else {
+        return Vec::new();
+    };
+    text[start..start + len]
+        .lines()
+        .skip(1)
+        .map(|l| l.trim_end().trim_end_matches(',').to_string())
+        .filter(|l| record_name(l).is_some())
+        .collect()
+}
+
 fn write_json(records: &[Record]) {
     let path = std::env::var("BENCH_CORE_JSON").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_core.json").to_string()
     });
-    let current: Vec<String> = records
+    // Merge this run into the existing file BY NAME: a bench that ran replaces its old
+    // entry in place, benches this (possibly filtered) run skipped keep their last
+    // result, and nothing is ever appended twice — so partial runs no longer drop or
+    // duplicate entries.
+    let mut fresh: Vec<(String, String)> = records
         .iter()
-        .map(|r| json_record(&r.name, r.method, r.n, r.k, r.m, r.median_ns))
+        .map(|r| {
+            (
+                r.name.clone(),
+                json_record(&r.name, r.method, r.n, r.k, r.m, r.median_ns),
+            )
+        })
         .collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut current: Vec<String> = Vec::new();
+    for line in existing_results(&path) {
+        let name = record_name(&line).expect("filtered above").to_string();
+        if !seen.insert(name.clone()) {
+            continue; // drop duplicates a previous writer bug left behind
+        }
+        match fresh.iter().position(|(n, _)| *n == name) {
+            Some(pos) => current.push(fresh.remove(pos).1),
+            None => current.push(line),
+        }
+    }
+    for (name, line) in fresh {
+        if seen.insert(name) {
+            current.push(line);
+        }
+    }
     let baseline: Vec<String> = BASELINE_PRE_REFACTOR
         .iter()
         .map(|&(name, method, n, k, m, ns)| json_record(name, method, n, k, m, ns))

@@ -82,7 +82,13 @@ impl BucketHash {
     #[inline]
     pub fn hash(&self, x: u64) -> usize {
         let v = add_mod(mul_mod(self.a, mod_mersenne(x as u128)), self.b);
-        (v % self.m as u64) as usize
+        // Hadamard sketches always use a power-of-two m; a mask is the same value as the
+        // division-based `v % m` but avoids a hardware integer divide on the hot path.
+        if self.m.is_power_of_two() {
+            (v as usize) & (self.m - 1)
+        } else {
+            (v % self.m as u64) as usize
+        }
     }
 }
 

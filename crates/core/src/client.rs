@@ -61,7 +61,30 @@ where
         };
         values.len()
     ];
-    let threads = threads.max(1);
+    // Requesting more workers than the machine has cores only adds scheduling overhead
+    // (the chunk→stream mapping below makes the output identical either way), so clamp to
+    // the actual parallelism, and to the number of chunks there are to hand out.
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let chunks = values.len().div_ceil(PARALLEL_PERTURB_CHUNK).max(1);
+    let threads = threads.clamp(1, available).min(chunks);
+    if threads == 1 {
+        // Single effective worker: run inline, skipping thread spawn entirely. Chunk c's
+        // RNG stream still depends only on (base_seed, c), so this path is bit-identical
+        // to the fan-out below at any requested thread count.
+        for (c, (vals, out)) in values
+            .chunks(PARALLEL_PERTURB_CHUNK)
+            .zip(reports.chunks_mut(PARALLEL_PERTURB_CHUNK))
+            .enumerate()
+        {
+            let mut rng = StdRng::seed_from_u64(chunk_stream_seed(base_seed, c as u64));
+            for (v, slot) in vals.iter().zip(out.iter_mut()) {
+                *slot = perturb(*v, &mut rng);
+            }
+        }
+        return reports;
+    }
     // Round-robin the fixed-size chunks over the workers: chunk c's RNG stream depends only
     // on (base_seed, c), so the thread count never changes the output.
     type ChunkTask<'a> = (u64, &'a [u64], &'a mut [ClientReport]);

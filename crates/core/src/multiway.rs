@@ -17,7 +17,7 @@
 //! replicas (Eq. 27).
 
 use ldpjs_common::error::{Error, Result};
-use ldpjs_common::hadamard::{fwht_in_place, hadamard_entry_f64};
+use ldpjs_common::hadamard::{fwht_in_place, fwht_scaled_in_place, hadamard_entry_f64};
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_common::rr::sample_sign_bit;
 use ldpjs_sketch::compass::JoinAttribute;
@@ -215,6 +215,43 @@ impl EdgeSketchBuilder {
         Ok(())
     }
 
+    /// Exact counter-wise subtraction: returns a builder holding `self − earlier` (the
+    /// edge-lane primitive of the online service's prefix-sum span ledger; see
+    /// [`SketchBuilder::difference`](crate::SketchBuilder::difference) for the exactness
+    /// argument).
+    ///
+    /// # Errors
+    /// [`Error::IncompatibleSketches`] if attributes or ε differ, or if `earlier` is not a
+    /// prefix (more reports than `self`).
+    pub fn difference(&self, earlier: &Self) -> Result<EdgeSketchBuilder> {
+        if self.attr_a != earlier.attr_a
+            || self.attr_b != earlier.attr_b
+            || (self.eps.value() - earlier.eps.value()).abs() > f64::EPSILON
+        {
+            return Err(Error::IncompatibleSketches(
+                "edge sketch differences must share attributes and privacy budget".into(),
+            ));
+        }
+        if earlier.reports > self.reports {
+            return Err(Error::IncompatibleSketches(format!(
+                "subtrahend holds {} reports but the minuend only {} — not a prefix",
+                earlier.reports, self.reports
+            )));
+        }
+        Ok(EdgeSketchBuilder {
+            attr_a: self.attr_a.clone(),
+            attr_b: self.attr_b.clone(),
+            eps: self.eps,
+            raw: self
+                .raw
+                .iter()
+                .zip(earlier.raw.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+            reports: self.reports - earlier.reports,
+        })
+    }
+
     /// Apply the de-bias scale `k·c_ε` and restore every replica with the two-dimensional
     /// Hadamard transform (`M̃ = H_{m_A}ᵀ · M · H_{m_B}ᵀ`) once, consuming the builder and
     /// returning the immutable estimation view.
@@ -255,17 +292,17 @@ fn restore_edge(
 ) -> FinalizedEdgeSketch {
     let k = attr_a.replicas();
     let (ma, mb) = (attr_a.buckets(), attr_b.buckets());
+    // The de-bias scale is folded into the first (second-dimension) transform pass: each
+    // element is multiplied exactly once before any butterfly addition touches it, which is
+    // bit-identical to the former separate scale sweep.
     let scale = k as f64 * eps.c_eps();
-    for v in raw.iter_mut() {
-        *v *= scale;
-    }
     let per = ma * mb;
     let mut column = vec![0.0; ma];
     for j in 0..k {
         let replica = &mut raw[j * per..(j + 1) * per];
         // Transform along the second dimension (rows of the matrix).
         for row in 0..ma {
-            fwht_in_place(&mut replica[row * mb..(row + 1) * mb]);
+            fwht_scaled_in_place(&mut replica[row * mb..(row + 1) * mb], scale);
         }
         // Transform along the first dimension (columns of the matrix).
         for col in 0..mb {

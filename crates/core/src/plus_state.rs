@@ -26,7 +26,7 @@ use ldpjs_sketch::SketchParams;
 use crate::bounds;
 use crate::client::ClientReport;
 use crate::plus::PlusConfig;
-use crate::server::{FinalizedSketch, SketchBuilder};
+use crate::server::{DomainIndex, FinalizedSketch, SketchBuilder};
 
 /// Derive the phase-2 lane hash seeds from the protocol seed. The low and high FAP sketches
 /// use distinct public hash families so their collisions decorrelate; both sides of a join
@@ -87,6 +87,39 @@ impl FiPolicy {
         } else {
             (
                 sketch.frequent_items(domain, self.threshold, samples as f64),
+                self.threshold,
+            )
+        }
+    }
+
+    /// [`FiPolicy::discover`] over a pre-hashed [`DomainIndex`] covering the same candidate
+    /// domain — the same `(items, θ)`, bit for bit (the indexed scans on
+    /// [`FinalizedSketch`] are exact), without re-evaluating `k · |domain|` hash pairs per
+    /// scan. The online service holds one index per plus attribute and routes every seal
+    /// and merged-span discovery through here.
+    pub fn discover_indexed(
+        &self,
+        sketch: &FinalizedSketch,
+        samples: usize,
+        index: &DomainIndex,
+    ) -> (Vec<u64>, f64) {
+        if samples == 0 {
+            return (Vec::new(), self.threshold);
+        }
+        if self.adaptive {
+            let theta = bounds::adaptive_phase1_threshold(
+                sketch.params(),
+                sketch.epsilon(),
+                samples as f64,
+                sketch.f2_estimate(),
+            );
+            (
+                sketch.frequent_items_median_indexed(index, theta, samples as f64),
+                theta,
+            )
+        } else {
+            (
+                sketch.frequent_items_indexed(index, self.threshold, samples as f64),
                 self.threshold,
             )
         }
@@ -174,6 +207,13 @@ impl PlusStateBuilder {
         )
     }
 
+    /// The three exact-counter lanes `(phase1, low, high)`, borrowed — e.g. to take their
+    /// [`SketchBuilder::spectrum`]s for the online service's incremental span ledger.
+    #[inline]
+    pub fn lane_builders(&self) -> (&SketchBuilder, &SketchBuilder, &SketchBuilder) {
+        (&self.phase1, &self.low, &self.high)
+    }
+
     /// Absorb one labeled batch atomically: every lane is validated against its sketch
     /// before any counter moves, so a rejected batch leaves all three lanes untouched.
     ///
@@ -201,6 +241,22 @@ impl PlusStateBuilder {
         Ok(())
     }
 
+    /// Exact lane-wise subtraction: returns a builder holding `self − earlier` in every
+    /// lane (the plus-path primitive of the online service's prefix-sum span ledger; see
+    /// [`SketchBuilder::difference`] for why the result is bit-identical to merging the
+    /// suffix windows from scratch).
+    ///
+    /// # Errors
+    /// [`Error::IncompatibleSketches`] if any lane's parameters, hash seed or ε differ, or
+    /// if `earlier` is not a prefix (more reports than `self` in some lane).
+    pub fn difference(&self, earlier: &Self) -> Result<PlusStateBuilder> {
+        Ok(PlusStateBuilder {
+            phase1: self.phase1.difference(&earlier.phase1)?,
+            low: self.low.difference(&earlier.low)?,
+            high: self.high.difference(&earlier.high)?,
+        })
+    }
+
     /// Restore the three lanes and run frequent-item discovery once, consuming the builder
     /// and returning the immutable estimation view.
     pub fn finalize(self, policy: FiPolicy, domain: &[u64]) -> FinalizedPlusState {
@@ -224,6 +280,35 @@ impl PlusStateBuilder {
             self.high.finalize_view(),
             policy,
             domain,
+        )
+    }
+
+    /// [`PlusStateBuilder::finalize_view`] with discovery routed through a pre-hashed
+    /// [`DomainIndex`] over the same candidate domain — bit-identical state, faster scan.
+    pub fn finalize_view_indexed(
+        &self,
+        policy: FiPolicy,
+        index: &DomainIndex,
+    ) -> FinalizedPlusState {
+        FinalizedPlusState::new_indexed(
+            self.phase1.finalize_view(),
+            self.low.finalize_view(),
+            self.high.finalize_view(),
+            policy,
+            index,
+        )
+    }
+
+    /// [`PlusStateBuilder::finalize`] (consuming — no counter clone) with discovery routed
+    /// through a pre-hashed [`DomainIndex`] — bit-identical state, faster scan.
+    pub fn finalize_indexed(self, policy: FiPolicy, index: &DomainIndex) -> FinalizedPlusState {
+        let PlusStateBuilder { phase1, low, high } = self;
+        FinalizedPlusState::new_indexed(
+            phase1.finalize(),
+            low.finalize(),
+            high.finalize(),
+            policy,
+            index,
         )
     }
 }
@@ -258,6 +343,20 @@ impl FinalizedPlusState {
     ) -> Self {
         let (frequent_items, threshold) =
             policy.discover(&phase1, phase1.reports() as usize, domain);
+        Self::with_discovery(phase1, low, high, frequent_items, threshold)
+    }
+
+    /// [`FinalizedPlusState::new`] with discovery routed through a pre-hashed
+    /// [`DomainIndex`] ([`FiPolicy::discover_indexed`]) — the same state, bit for bit.
+    pub fn new_indexed(
+        phase1: FinalizedSketch,
+        low: FinalizedSketch,
+        high: FinalizedSketch,
+        policy: FiPolicy,
+        index: &DomainIndex,
+    ) -> Self {
+        let (frequent_items, threshold) =
+            policy.discover_indexed(&phase1, phase1.reports() as usize, index);
         Self::with_discovery(phase1, low, high, frequent_items, threshold)
     }
 

@@ -24,7 +24,7 @@
 //! For parallel ingestion over many shards see [`crate::aggregator::ShardedAggregator`].
 
 use ldpjs_common::error::{Error, Result};
-use ldpjs_common::hadamard::fwht_in_place;
+use ldpjs_common::hadamard::{fwht_in_place, fwht_scaled_in_place};
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_common::stats::median;
@@ -208,6 +208,47 @@ impl SketchBuilder {
         Ok(())
     }
 
+    /// Exact counter-wise subtraction: returns a builder holding `self − earlier`.
+    ///
+    /// This is the inverse of [`SketchBuilder::merge`] for the prefix-sum span ledgers of
+    /// the online service: because every counter is an exact integer report sum (each
+    /// report contributes `±1`), subtracting a *prefix* of this builder's accumulation
+    /// history yields exactly the integer counters of the remaining suffix — bit-identical
+    /// to merging the suffix windows from scratch, by the same exact-integer argument that
+    /// makes `merge` order-insensitive.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if parameters, hash seed or ε differ, or if
+    /// `earlier` claims more reports than `self` (i.e. it cannot be a prefix).
+    pub fn difference(&self, earlier: &Self) -> Result<SketchBuilder> {
+        check_compatible(self.params, &self.hashes, earlier.params, &earlier.hashes)?;
+        if (self.eps.value() - earlier.eps.value()).abs() > f64::EPSILON {
+            return Err(Error::IncompatibleSketches(format!(
+                "cannot subtract sketches built with different privacy budgets: {} vs {}",
+                self.eps, earlier.eps
+            )));
+        }
+        if earlier.reports > self.reports {
+            return Err(Error::IncompatibleSketches(format!(
+                "subtrahend holds {} reports but the minuend only {} — not a prefix",
+                earlier.reports, self.reports
+            )));
+        }
+        let raw = self
+            .raw
+            .iter()
+            .zip(earlier.raw.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(SketchBuilder {
+            params: self.params,
+            eps: self.eps,
+            hashes: Arc::clone(&self.hashes),
+            raw,
+            reports: self.reports - earlier.reports,
+        })
+    }
+
     /// Restore the sketch from the Hadamard domain (Algorithm 2, line 6): apply the de-bias
     /// scale `k·c_ε` and the per-row fast Walsh–Hadamard transform once, consuming the
     /// builder and returning the immutable estimation view.
@@ -240,6 +281,24 @@ impl SketchBuilder {
             self.reports,
         )
     }
+
+    /// The **unscaled** per-row Hadamard spectrum of the exact counters: `raw · H_mᵀ` row
+    /// by row, with no de-bias scale applied.
+    ///
+    /// Every entry is an exact integer (a signed sum of `±1` report contributions, and the
+    /// FWHT only ever adds and subtracts those), so spectra of disjoint report sets add and
+    /// subtract with **zero rounding error** — the invariant behind the online service's
+    /// incremental span ledger: prefix-summed spectra, subtracted and then pushed through
+    /// [`FinalizedSketch::from_spectrum`], are bit-identical to restoring the merged
+    /// counters from scratch.
+    pub fn spectrum(&self) -> Vec<f64> {
+        let mut raw = self.raw.clone();
+        let m = self.params.columns();
+        for j in 0..self.params.rows() {
+            fwht_in_place(&mut raw[j * m..(j + 1) * m]);
+        }
+        raw
+    }
 }
 
 /// The single de-bias + Hadamard restore pipeline shared by [`SketchBuilder::finalize`] and
@@ -251,13 +310,16 @@ fn restore(
     mut raw: Vec<f64>,
     reports: u64,
 ) -> FinalizedSketch {
+    // The de-bias multiply is folded into the FINAL butterfly pass of the fused-radix FWHT
+    // kernel — bit-identical to transforming first and scaling in a separate sweep (each
+    // output is scaled exactly once after its last addition) but one sweep cheaper.
+    // Scaling after the transform keeps the unscaled spectrum exact on the integer
+    // counters, which is what makes [`SketchBuilder::spectrum`] prefix sums restore
+    // bit-identically through [`FinalizedSketch::from_spectrum`].
     let scale = params.rows() as f64 * eps.c_eps();
-    for v in raw.iter_mut() {
-        *v *= scale;
-    }
     let m = params.columns();
     for j in 0..params.rows() {
-        fwht_in_place(&mut raw[j * m..(j + 1) * m]);
+        fwht_scaled_in_place(&mut raw[j * m..(j + 1) * m], scale);
     }
     FinalizedSketch {
         params,
@@ -266,6 +328,51 @@ fn restore(
         restored: raw,
         reports,
     }
+}
+
+/// Four-accumulator row sum.
+///
+/// A naive `iter().sum()` is one serial dependency chain of FP adds (~4 cycles each);
+/// four independent accumulators let the adds pipeline, ~4× faster on an `m`-long row.
+/// The association is FIXED (lane `i` takes elements `i, i+4, i+8, …`, lanes combined as
+/// `(l0+l1)+(l2+l3)`, remainder appended last), so the result is deterministic — every
+/// caller, offline or online, sees the same bits for the same row.
+#[inline]
+fn sum4(x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = x.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    let mut tail = 0.0f64;
+    for &v in chunks.remainder() {
+        tail += v;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Four-accumulator shifted dot product `Σ_x (a[x]−sa)·(b[x]−sb)`, same fixed association
+/// as [`sum4`].
+#[inline]
+fn dot_shifted4(a: &[f64], b: &[f64], sa: f64, sb: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        acc[0] += (xa[0] - sa) * (xb[0] - sb);
+        acc[1] += (xa[1] - sa) * (xb[1] - sb);
+        acc[2] += (xa[2] - sa) * (xb[2] - sb);
+        acc[3] += (xa[3] - sa) * (xb[3] - sb);
+    }
+    let mut tail = 0.0f64;
+    for (&va, &vb) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += (va - sa) * (vb - sb);
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
 /// The immutable estimation stage of the server-side LDPJoinSketch.
@@ -284,6 +391,75 @@ pub struct FinalizedSketch {
 }
 
 impl FinalizedSketch {
+    /// Rebuild the estimation view from a precomputed **unscaled** spectrum (e.g. an exact
+    /// spectrum difference assembled by the online service's span ledger): applies the same
+    /// single de-bias multiply per counter as the builder restore, so the result is
+    /// **bit-identical** to finalizing a builder holding the same exact counters — without
+    /// running any Hadamard transform.
+    ///
+    /// # Panics
+    /// Panics if `spectrum.len() != k·m` for the given parameters.
+    pub fn from_spectrum(
+        params: SketchParams,
+        eps: Epsilon,
+        hashes: Arc<RowHashes>,
+        reports: u64,
+        mut spectrum: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            spectrum.len(),
+            params.rows() * params.columns(),
+            "spectrum length must be k*m"
+        );
+        let scale = params.rows() as f64 * eps.c_eps();
+        for v in spectrum.iter_mut() {
+            *v *= scale;
+        }
+        FinalizedSketch {
+            params,
+            eps,
+            hashes,
+            restored: spectrum,
+            reports,
+        }
+    }
+
+    /// [`FinalizedSketch::from_spectrum`] of the exact difference `last − base`, fused into
+    /// one pass: each restored counter is `(last[i] − base[i])·k·c_ε`. Both inputs are
+    /// integer-valued spectra, so the subtraction is exact and the single multiply lands on
+    /// exactly the value [`FinalizedSketch::from_spectrum`] of the materialized difference
+    /// would produce — bit-identical, without allocating the intermediate difference.
+    ///
+    /// # Panics
+    /// Panics if the spectra lengths differ from `k·m` for the given parameters.
+    pub fn from_spectrum_diff(
+        params: SketchParams,
+        eps: Epsilon,
+        hashes: Arc<RowHashes>,
+        reports: u64,
+        last: &[f64],
+        base: &[f64],
+    ) -> Self {
+        let len = params.rows() * params.columns();
+        assert!(
+            last.len() == len && base.len() == len,
+            "spectra lengths must be k*m"
+        );
+        let scale = params.rows() as f64 * eps.c_eps();
+        let restored = last
+            .iter()
+            .zip(base)
+            .map(|(&l, &b)| (l - b) * scale)
+            .collect();
+        FinalizedSketch {
+            params,
+            eps,
+            hashes,
+            restored,
+            reports,
+        }
+    }
+
     /// Sketch parameters `(k, m)`.
     #[inline]
     pub fn params(&self) -> SketchParams {
@@ -372,13 +548,9 @@ impl FinalizedSketch {
             .map(|j| {
                 let ra = self.row(j);
                 let rb = other.row(j);
-                let mean_a = ra.iter().sum::<f64>() / mf;
-                let mean_b = rb.iter().sum::<f64>() / mf;
-                let centered: f64 = ra
-                    .iter()
-                    .zip(rb)
-                    .map(|(a, b)| (a - mean_a) * (b - mean_b))
-                    .sum();
+                let mean_a = sum4(ra) / mf;
+                let mean_b = sum4(rb) / mf;
+                let centered = dot_shifted4(ra, rb, mean_a, mean_b);
                 centered / (1.0 - 1.0 / mf)
             })
             .collect())
@@ -400,11 +572,12 @@ impl FinalizedSketch {
     pub fn row_products_masked(&self, other: &Self, targets: &[u64]) -> Result<Vec<(f64, bool)>> {
         check_compatible(self.params, &self.hashes, other.params, &other.hashes)?;
         let (k, m) = (self.params.rows(), self.params.columns());
+        let mut in_s = vec![false; m];
+        let mut s_buckets: Vec<usize> = Vec::with_capacity(targets.len());
         Ok((0..k)
             .map(|j| {
                 let pair = self.hashes.pair(j);
-                let mut in_s = vec![false; m];
-                let mut s_size = 0usize;
+                s_buckets.clear();
                 let mut collision_free = true;
                 for &d in targets {
                     let b = pair.bucket_of(d);
@@ -412,33 +585,37 @@ impl FinalizedSketch {
                         collision_free = false;
                     } else {
                         in_s[b] = true;
-                        s_size += 1;
+                        s_buckets.push(b);
                     }
                 }
-                if s_size == 0 {
+                if s_buckets.is_empty() {
                     return (0.0, true);
                 }
+                s_buckets.sort_unstable();
                 let ra = self.row(j);
                 let rb = other.row(j);
-                let (mut sum_a, mut sum_b) = (0.0f64, 0.0f64);
-                for x in 0..m {
-                    if !in_s[x] {
-                        sum_a += ra[x];
-                        sum_b += rb[x];
-                    }
+                // The non-S total is the full-row sum minus the |S| targeted buckets —
+                // O(|S|) corrections instead of an m-long masked scan.
+                let (mut s_sum_a, mut s_sum_b) = (0.0f64, 0.0f64);
+                for &b in s_buckets.iter() {
+                    s_sum_a += ra[b];
+                    s_sum_b += rb[b];
                 }
-                let free = (m - s_size) as f64;
+                let free = (m - s_buckets.len()) as f64;
                 // With every bucket targeted there is no noise-only bucket left to estimate
                 // the uniform level from; fall back to zero shift (all signal buckets).
                 let (u_a, u_b) = if free > 0.0 {
-                    (sum_a / free, sum_b / free)
+                    ((sum4(ra) - s_sum_a) / free, (sum4(rb) - s_sum_b) / free)
                 } else {
                     (0.0, 0.0)
                 };
-                let product: f64 = (0..m)
-                    .filter(|&x| in_s[x])
-                    .map(|x| (ra[x] - u_a) * (rb[x] - u_b))
-                    .sum();
+                let mut product = 0.0f64;
+                for &b in s_buckets.iter() {
+                    product += (ra[b] - u_a) * (rb[b] - u_b);
+                }
+                for &b in s_buckets.iter() {
+                    in_s[b] = false;
+                }
                 (product, collision_free)
             })
             .collect())
@@ -569,6 +746,265 @@ impl FinalizedSketch {
             .filter(|&d| self.frequency_median(d) > threshold)
             .collect()
     }
+
+    /// Panic unless `index` was built for this sketch's hash family and dimensions.
+    fn check_index(&self, index: &DomainIndex) {
+        assert!(
+            index.seed == self.hashes.seed()
+                && index.rows == self.params.rows()
+                && index.columns == self.params.columns(),
+            "domain index (seed {}, {}x{}) does not match sketch (seed {}, {}x{})",
+            index.seed,
+            index.rows,
+            index.columns,
+            self.hashes.seed(),
+            self.params.rows(),
+            self.params.columns(),
+        );
+    }
+
+    /// [`FinalizedSketch::frequencies`] over a pre-hashed [`DomainIndex`]: same estimates,
+    /// bit for bit (the per-candidate additions run in the same row order), but the bucket
+    /// and sign hashes are looked up instead of re-evaluated and the restored matrix is
+    /// walked row-major so each 8 KiB row stays cache-resident across the whole domain.
+    ///
+    /// # Panics
+    /// Panics if `index` was built for a different hash family or sketch shape.
+    pub fn frequencies_indexed(&self, index: &DomainIndex) -> Vec<f64> {
+        self.check_index(index);
+        let k = self.params.rows();
+        let n = index.domain.len();
+        let mut acc = vec![0.0f64; n];
+        if k == 0 {
+            return acc;
+        }
+        for j in 0..k {
+            let offs = &index.offsets[j * n..(j + 1) * n];
+            let negs = &index.neg[j * index.words_per_row..(j + 1) * index.words_per_row];
+            for (i, (&off, a)) in offs.iter().zip(acc.iter_mut()).enumerate() {
+                let flip = ((negs[i >> 6] >> (i & 63)) & 1) << 63;
+                *a += f64::from_bits(self.restored[off as usize].to_bits() ^ flip);
+            }
+        }
+        let inv = k as f64;
+        for a in acc.iter_mut() {
+            *a /= inv;
+        }
+        acc
+    }
+
+    /// [`FinalizedSketch::frequent_items`] over a pre-hashed [`DomainIndex`] — identical
+    /// item set, computed from [`FinalizedSketch::frequencies_indexed`].
+    ///
+    /// # Panics
+    /// Panics if `index` was built for a different hash family or sketch shape.
+    pub fn frequent_items_indexed(&self, index: &DomainIndex, theta: f64, total: f64) -> Vec<u64> {
+        let threshold = theta * total;
+        index
+            .domain
+            .iter()
+            .zip(self.frequencies_indexed(index))
+            .filter(|&(_, f)| f > threshold)
+            .map(|(&d, _)| d)
+            .collect()
+    }
+
+    /// [`FinalizedSketch::frequent_items_median`] over a pre-hashed [`DomainIndex`]:
+    /// the same frequent-item set, decided by an exact order-statistic count screen.
+    ///
+    /// For each candidate we count, row-major over the packed sign planes, how many of the
+    /// `k` per-row estimates strictly exceed the threshold. With `c` such rows and the
+    /// median defined on the ascending order statistics `v[·]`:
+    ///
+    /// * odd `k` — `median = v[k/2] > T  ⇔  c ≥ k/2 + 1`: always decisive;
+    /// * even `k`, `c ≥ k/2 + 1` — both middle statistics exceed `T`, and the rounded mean
+    ///   of two values `> T` is `> T`, so the candidate is in;
+    /// * even `k`, `c ≤ k/2 − 1` — both middle statistics are `≤ T`, so it is out;
+    /// * even `k`, `c = k/2` — the middle statistics straddle `T`; only here does the scan
+    ///   fall back to the exact [`FinalizedSketch::frequency_median`] call.
+    ///
+    /// Every decisive branch provably agrees with the exact median comparison and the
+    /// ambiguous branch *is* the exact comparison, so the result is bit-identical to the
+    /// unindexed scan.
+    ///
+    /// # Panics
+    /// Panics if `index` was built for a different hash family or sketch shape.
+    pub fn frequent_items_median_indexed(
+        &self,
+        index: &DomainIndex,
+        theta: f64,
+        total: f64,
+    ) -> Vec<u64> {
+        self.check_index(index);
+        let k = self.params.rows();
+        if k == 0 {
+            return Vec::new();
+        }
+        let threshold = theta * total;
+        let n = index.domain.len();
+        let m = self.params.columns();
+        // Inverted screen: instead of gathering one restored counter per (row, candidate)
+        // pair, scan each restored row once and touch candidates only through the buckets
+        // that actually clear the threshold. A positive-sign candidate in bucket `b`
+        // exceeds iff `v > T`; a negative-sign one iff `-v > T` (the sign flip is an exact
+        // negation). Counters rarely clear `T`, so the inner candidate walks are sparse
+        // and the hot loop is a branch-light sweep over `m` contiguous values per row —
+        // the same exact per-candidate counts as the gather form, far fewer cache misses.
+        let mut above = vec![0u16; n];
+        // With the threshold inside the noise floor a third of the buckets can clear it, so
+        // data-dependent branches mispredict constantly; both loops below are branchless —
+        // the sweep compacts exceeding buckets with an unconditional store + predicated
+        // cursor bump, and the walk turns the sign test into a two-element table load.
+        let mut hot = vec![0u32; m];
+        for j in 0..k {
+            let row = &self.restored[j * m..(j + 1) * m];
+            let starts = &index.inv_start[j * (m + 1)..(j + 1) * (m + 1)];
+            let row_items = &index.inv_items[j * n..(j + 1) * n];
+            let mut cnt = 0usize;
+            for (b, &v) in row.iter().enumerate() {
+                let pos_hit = v > threshold;
+                let neg_hit = -v > threshold;
+                hot[cnt] = ((b as u32) << 2) | ((neg_hit as u32) << 1) | pos_hit as u32;
+                cnt += (pos_hit | neg_hit) as usize;
+            }
+            for &e in &hot[..cnt] {
+                let b = (e >> 2) as usize;
+                // hits[s] = does a candidate with sign bit `s` in this bucket exceed?
+                let hits = [(e & 1) as u16, ((e >> 1) & 1) as u16];
+                for &item in &row_items[starts[b] as usize..starts[b + 1] as usize] {
+                    above[(item >> 1) as usize] += hits[(item & 1) as usize];
+                }
+            }
+        }
+        let half = k / 2;
+        index
+            .domain
+            .iter()
+            .zip(above)
+            .filter(|&(&d, c)| {
+                let c = c as usize;
+                if c > half {
+                    true
+                } else if k % 2 == 1 || c < half {
+                    false
+                } else {
+                    self.frequency_median(d) > threshold
+                }
+            })
+            .map(|(&d, _)| d)
+            .collect()
+    }
+}
+
+/// Pre-hashed scan index over a fixed public candidate domain.
+///
+/// Frequent-item discovery evaluates `k` bucket and sign hashes per candidate per scan; for
+/// the online service's public domain those hashes never change between queries. A
+/// `DomainIndex` evaluates them once, storing for every `(row, candidate)` pair the
+/// flattened offset into the restored `k × m` matrix (`u32`) and the sign packed into `u64`
+/// bit planes (one bit per candidate, one plane strip per row). The indexed scans on
+/// [`FinalizedSketch`] then run gather + sign-flip + compare/accumulate passes that are
+/// bit-identical to the hash-per-call scans: multiplying an f64 by `±1.0` is exactly a
+/// sign-bit XOR.
+///
+/// Build one per `(hash seed, domain)` pair and reuse it across every snapshot and merged
+/// span of that attribute.
+#[derive(Debug, Clone)]
+pub struct DomainIndex {
+    domain: Arc<Vec<u64>>,
+    seed: u64,
+    rows: usize,
+    columns: usize,
+    /// `offsets[j·n + i]` = flattened index `j·m + h_j(domain[i])`, row-major.
+    offsets: Vec<u32>,
+    /// Sign bit planes: bit `i mod 64` of word `j·words_per_row + i/64` is set iff
+    /// `ξ_j(domain[i]) = −1`.
+    neg: Vec<u64>,
+    words_per_row: usize,
+    /// Inverted CSR, per row: `inv_start[j·(m+1) + b]..inv_start[j·(m+1) + b + 1]` bounds
+    /// the candidates row `j` hashes into bucket `b`.
+    inv_start: Vec<u32>,
+    /// CSR payload, `candidate_index << 1 | neg_bit`, counting-sorted by `(row, bucket)`.
+    inv_items: Vec<u32>,
+}
+
+impl DomainIndex {
+    /// Hash every candidate in `domain` through all `k` rows of `hashes` once.
+    ///
+    /// # Panics
+    /// Panics if the flattened `k·m` counter space does not fit in `u32` offsets.
+    pub fn new(hashes: &RowHashes, domain: Arc<Vec<u64>>) -> Self {
+        let (k, m) = (hashes.rows(), hashes.columns());
+        assert!(
+            k.checked_mul(m).is_some_and(|t| t <= u32::MAX as usize),
+            "sketch too large for a u32-offset domain index: {k} x {m}"
+        );
+        let n = domain.len();
+        assert!(
+            n <= (u32::MAX >> 1) as usize,
+            "domain too large for the inverted index payload: {n} candidates"
+        );
+        let words_per_row = n.div_ceil(64).max(1);
+        let mut offsets = vec![0u32; k * n];
+        let mut neg = vec![0u64; k * words_per_row];
+        for (j, pair) in hashes.iter().enumerate() {
+            let offs = &mut offsets[j * n..(j + 1) * n];
+            let negs = &mut neg[j * words_per_row..(j + 1) * words_per_row];
+            for (i, (&d, off)) in domain.iter().zip(offs.iter_mut()).enumerate() {
+                *off = (j * m + pair.bucket_of(d)) as u32;
+                if pair.sign_of(d) < 0 {
+                    negs[i >> 6] |= 1u64 << (i & 63);
+                }
+            }
+        }
+        // Invert each row into bucket → candidate CSR lists by counting sort, so threshold
+        // screens can sweep restored rows and only touch the candidates of exceeding
+        // buckets.
+        let mut inv_start = vec![0u32; k * (m + 1)];
+        let mut inv_items = vec![0u32; k * n];
+        for j in 0..k {
+            let offs = &offsets[j * n..(j + 1) * n];
+            let negs = &neg[j * words_per_row..(j + 1) * words_per_row];
+            let starts = &mut inv_start[j * (m + 1)..(j + 1) * (m + 1)];
+            for &off in offs {
+                starts[off as usize - j * m + 1] += 1;
+            }
+            for b in 0..m {
+                starts[b + 1] += starts[b];
+            }
+            let mut cursor: Vec<u32> = starts[..m].to_vec();
+            let items = &mut inv_items[j * n..(j + 1) * n];
+            for (i, &off) in offs.iter().enumerate() {
+                let b = off as usize - j * m;
+                let neg_bit = (negs[i >> 6] >> (i & 63)) & 1;
+                items[cursor[b] as usize] = ((i as u32) << 1) | neg_bit as u32;
+                cursor[b] += 1;
+            }
+        }
+        DomainIndex {
+            domain,
+            seed: hashes.seed(),
+            rows: k,
+            columns: m,
+            offsets,
+            neg,
+            words_per_row,
+            inv_start,
+            inv_items,
+        }
+    }
+
+    /// The candidate domain the index was built over.
+    #[inline]
+    pub fn domain(&self) -> &Arc<Vec<u64>> {
+        &self.domain
+    }
+
+    /// The hash-family seed the index was built from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 }
 
 pub(crate) fn check_compatible(
@@ -694,6 +1130,170 @@ mod tests {
         let b = SketchBuilder::new(params(6, 64), eps(2.0), 5).finalize();
         assert_eq!(a.join_size(&b).unwrap(), 0.0);
         assert_eq!(a.frequency(3), 0.0);
+    }
+
+    #[test]
+    fn indexed_scans_are_bit_identical_to_hashed_scans() {
+        // Both parities of k matter: the median count-screen's decisive rule differs for
+        // odd and even row counts.
+        for (k, seed) in [(18usize, 2u64), (11, 3)] {
+            let p = params(k, 256);
+            let e = eps(3.0);
+            let values = skewed_stream(40_000, 2_000, seed);
+            let sketch = build_sketch(&values, p, e, 91 + seed, seed);
+            let domain: Arc<Vec<u64>> = Arc::new((0..2_000).collect());
+            let index = DomainIndex::new(sketch.hashes(), Arc::clone(&domain));
+
+            let plain = sketch.frequencies(&domain);
+            let indexed = sketch.frequencies_indexed(&index);
+            assert_eq!(plain.len(), indexed.len());
+            for (a, b) in plain.iter().zip(indexed.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+
+            let total = values.len() as f64;
+            // Sweep thresholds from "everything in" to "nothing in" so the count screen
+            // crosses every decisive and ambiguous branch.
+            for theta in [-1.0, 0.0, 1e-5, 1e-4, 1e-3, 5e-3, 0.05, 0.5] {
+                assert_eq!(
+                    sketch.frequent_items(&domain, theta, total),
+                    sketch.frequent_items_indexed(&index, theta, total),
+                    "mean scan diverged at theta {theta}"
+                );
+                assert_eq!(
+                    sketch.frequent_items_median(&domain, theta, total),
+                    sketch.frequent_items_median_indexed(&index, theta, total),
+                    "median scan diverged at theta {theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn median_screen_ambiguous_branch_matches_exact_median() {
+        // Force the c == k/2 ambiguous case: an empty even-k sketch has all-zero restored
+        // counters, so no per-row estimate strictly exceeds a negative threshold's half
+        // split — pick thresholds at and around zero to pin the straddle behaviour.
+        let sketch = SketchBuilder::new(params(4, 64), eps(2.0), 12).finalize();
+        let domain: Arc<Vec<u64>> = Arc::new((0..64).collect());
+        let index = DomainIndex::new(sketch.hashes(), Arc::clone(&domain));
+        for threshold in [-1.0, 0.0, 1.0] {
+            assert_eq!(
+                sketch.frequent_items_median(&domain, threshold, 1.0),
+                sketch.frequent_items_median_indexed(&index, threshold, 1.0),
+                "threshold {threshold}"
+            );
+        }
+    }
+
+    #[test]
+    fn difference_recovers_the_suffix_bitwise() {
+        let p = params(8, 128);
+        let e = eps(2.0);
+        let first = skewed_stream(20_000, 1_000, 40);
+        let second = skewed_stream(30_000, 1_000, 41);
+        let client = LdpJoinSketchClient::new(p, e, 7);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut builder_first = SketchBuilder::new(p, e, 7);
+        builder_first
+            .absorb_all(&client.perturb_all(&first, &mut rng))
+            .unwrap();
+        let suffix_reports = client.perturb_all(&second, &mut rng);
+        let mut builder_suffix = SketchBuilder::new(p, e, 7);
+        builder_suffix.absorb_all(&suffix_reports).unwrap();
+        let mut cumulative = builder_first.clone();
+        cumulative.merge(&builder_suffix).unwrap();
+
+        let recovered = cumulative.difference(&builder_first).unwrap();
+        assert_eq!(recovered.reports(), builder_suffix.reports());
+        let direct = builder_suffix.finalize();
+        let via_difference = recovered.finalize();
+        for (a, b) in direct
+            .restored_counters()
+            .iter()
+            .zip(via_difference.restored_counters())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn spectrum_prefix_sums_restore_bit_identically() {
+        // The span-ledger law end to end: unscaled spectra are exact integers, so
+        // prefix-summed spectra subtract exactly and `from_spectrum` of the difference is
+        // bit-identical to finalizing the merged suffix builder — with no FWHT at
+        // assembly time.
+        let p = params(8, 128);
+        let e = eps(2.0);
+        let client = LdpJoinSketchClient::new(p, e, 7);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut windows = Vec::new();
+        for i in 0..4u64 {
+            let mut b = SketchBuilder::new(p, e, 7);
+            b.absorb_all(&client.perturb_all(&skewed_stream(8_000, 500, 50 + i), &mut rng))
+                .unwrap();
+            windows.push(b);
+        }
+        // Cumulative spectra, exactly as the service ledger maintains them.
+        let mut prefixes: Vec<(Vec<f64>, u64)> = Vec::new();
+        for w in &windows {
+            let (mut spec, mut reports) = (w.spectrum(), w.reports());
+            if let Some((last, r)) = prefixes.last() {
+                for (s, l) in spec.iter_mut().zip(last) {
+                    *s += l;
+                }
+                reports += r;
+            }
+            prefixes.push((spec, reports));
+        }
+        for start in 0..windows.len() {
+            let (last, last_reports) = prefixes.last().unwrap();
+            let spec: Vec<f64> = if start == 0 {
+                last.clone()
+            } else {
+                let (base, _) = &prefixes[start - 1];
+                last.iter().zip(base).map(|(a, b)| a - b).collect()
+            };
+            let reports = last_reports - if start == 0 { 0 } else { prefixes[start - 1].1 };
+            let assembled = FinalizedSketch::from_spectrum(
+                p,
+                e,
+                Arc::clone(windows[0].hashes()),
+                reports,
+                spec,
+            );
+            let mut merged = windows[start].clone();
+            for w in &windows[start + 1..] {
+                merged.merge(w).unwrap();
+            }
+            let reference = merged.finalize();
+            assert_eq!(assembled.reports(), reference.reports());
+            for (a, b) in assembled
+                .restored_counters()
+                .iter()
+                .zip(reference.restored_counters())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "start {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn difference_rejects_non_prefix_and_incompatible() {
+        let p = params(4, 64);
+        let e = eps(2.0);
+        let empty = SketchBuilder::new(p, e, 3);
+        let other_seed = SketchBuilder::new(p, e, 4);
+        assert!(empty.difference(&other_seed).is_err());
+        let client = LdpJoinSketchClient::new(p, e, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut loaded = SketchBuilder::new(p, e, 3);
+        loaded
+            .absorb_all(&client.perturb_all(&[1, 2, 3], &mut rng))
+            .unwrap();
+        // A builder with more reports than `self` cannot be a prefix.
+        assert!(empty.difference(&loaded).is_err());
+        assert!(loaded.difference(&empty).is_ok());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! module's tests via [`CacheStats`].)
 
 use ldpjs_core::multiway::FinalizedEdgeSketch;
-use ldpjs_core::{FinalizedPlusState, FinalizedSketch};
+use ldpjs_core::FinalizedSketch;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -163,7 +163,6 @@ pub(crate) struct QueryCache {
     /// Monotonic recency clock.
     clock: u64,
     views: HashMap<(usize, u64, u64), Arc<FinalizedSketch>>,
-    plus_views: HashMap<(usize, u64, u64), Arc<FinalizedPlusState>>,
     edge_views: HashMap<(usize, u64, u64), Arc<FinalizedEdgeSketch>>,
     hits: u64,
     misses: u64,
@@ -180,7 +179,6 @@ impl QueryCache {
             order: VecDeque::new(),
             clock: 0,
             views: HashMap::new(),
-            plus_views: HashMap::new(),
             edge_views: HashMap::new(),
             hits: 0,
             misses: 0,
@@ -255,20 +253,6 @@ impl QueryCache {
         self.views.insert(key, view);
     }
 
-    /// A memoized merged plus state for `(attr, first_epoch, last_epoch)`, if present.
-    pub(crate) fn plus_view(&self, key: (usize, u64, u64)) -> Option<Arc<FinalizedPlusState>> {
-        self.plus_views.get(&key).map(Arc::clone)
-    }
-
-    /// Memoize a merged multi-window plus state.
-    pub(crate) fn insert_plus_view(
-        &mut self,
-        key: (usize, u64, u64),
-        view: Arc<FinalizedPlusState>,
-    ) {
-        self.plus_views.insert(key, view);
-    }
-
     /// A memoized merged edge view for `(attr, first_epoch, last_epoch)`, if present.
     pub(crate) fn edge_view(&self, key: (usize, u64, u64)) -> Option<Arc<FinalizedEdgeSketch>> {
         self.edge_views.get(&key).map(Arc::clone)
@@ -287,7 +271,6 @@ impl QueryCache {
     pub(crate) fn invalidate_attribute(&mut self, attr: usize) {
         self.results.retain(|key, _| !key.touches(attr));
         self.views.retain(|&(a, _, _), _| a != attr);
-        self.plus_views.retain(|&(a, _, _), _| a != attr);
         self.edge_views.retain(|&(a, _, _), _| a != attr);
         self.invalidations += 1;
     }
@@ -298,7 +281,6 @@ impl QueryCache {
         self.results.clear();
         self.order.clear();
         self.views.clear();
-        self.plus_views.clear();
         self.edge_views.clear();
         self.invalidations += 1;
     }
@@ -309,7 +291,7 @@ impl QueryCache {
             hits: self.hits,
             misses: self.misses,
             entries: self.results.len(),
-            views: self.views.len() + self.plus_views.len() + self.edge_views.len(),
+            views: self.views.len() + self.edge_views.len(),
             invalidations: self.invalidations,
             evictions: self.evictions,
         }

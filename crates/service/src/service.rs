@@ -11,8 +11,9 @@ use ldpjs_core::multiway::{
     EdgeReport, EdgeSketchBuilder, FinalizedEdgeSketch, LdpEdgeSketchClient,
 };
 use ldpjs_core::{
-    ChainKernel, ClientReport, FiPolicy, FinalizedPlusState, FinalizedSketch, LdpJoinSketchClient,
-    PlainKernel, PlusConfig, PlusKernel, PlusReportBatch, PlusStateBuilder, ShardedAggregator,
+    ChainKernel, ClientReport, DomainIndex, FiPolicy, FinalizedPlusState, FinalizedSketch,
+    LdpJoinSketchClient, PlainKernel, PlusConfig, PlusKernel, PlusReportBatch, PlusStateBuilder,
+    ShardedAggregator,
 };
 use ldpjs_sketch::compass::JoinAttribute;
 use ldpjs_sketch::SketchParams;
@@ -198,6 +199,10 @@ enum AttributeKind {
     Plus {
         seed: u64,
         config: PlusAttributeConfig,
+        /// Pre-hashed scan index over `config.domain` for the phase-1 hash family: every
+        /// seal-time and merged-span frequent-item discovery routes through it instead of
+        /// re-hashing `k · |domain|` candidates per scan (bit-identical results).
+        index: Arc<DomainIndex>,
     },
     /// Two-attribute edge-sketch ingestion for multi-way chain queries.
     Edge {
@@ -234,14 +239,268 @@ impl LiveEngine {
     }
 }
 
-/// One registered join attribute: its mode, the live engine, and the bounded ring of sealed
-/// epoch windows.
+/// Cumulative per-lane state of the span ledger: the **unscaled Hadamard spectra** of one or
+/// more exact-counter lanes (one for plain, three for plus), plus the lanes' report counts.
+///
+/// Counters are exact ±1 integer sums, so each lane's unscaled FWHT is computed exactly in
+/// f64 (every intermediate is an integer far below 2⁵³), and the transform is linear —
+/// adding or subtracting two windows' spectra yields, bit for bit, the spectrum of their
+/// merged or differenced counters. That is what lets the ledger live in the Hadamard domain:
+/// spans assemble by element-wise subtraction with **zero transforms at query time**.
+#[derive(Debug, Clone)]
+struct SpectrumEntry {
+    /// Per-lane unscaled spectra (`k·m` elements each).
+    lanes: Vec<Vec<f64>>,
+    /// Per-lane exact report counts.
+    reports: Vec<u64>,
+}
+
+impl SpectrumEntry {
+    fn zero(lanes: usize, len: usize) -> Self {
+        SpectrumEntry {
+            lanes: vec![vec![0.0; len]; lanes],
+            reports: vec![0; lanes],
+        }
+    }
+
+    /// `self + window` as a new entry, consuming the window's freshly computed spectra
+    /// (exact integer additions lane- and element-wise).
+    fn plus_window(&self, mut window_lanes: Vec<Vec<f64>>, window_reports: &[u64]) -> Self {
+        debug_assert_eq!(window_lanes.len(), self.lanes.len());
+        for (lane, acc) in window_lanes.iter_mut().zip(&self.lanes) {
+            for (v, &a) in lane.iter_mut().zip(acc) {
+                *v += a;
+            }
+        }
+        let reports = self
+            .reports
+            .iter()
+            .zip(window_reports)
+            .map(|(&a, &w)| a + w)
+            .collect();
+        SpectrumEntry {
+            lanes: window_lanes,
+            reports,
+        }
+    }
+}
+
+/// The incremental merged-span state of one attribute: cumulative (prefix-sum) entries
+/// aligned window-for-window with the retained ring, plus the cumulative sum of everything
+/// already evicted.
+///
+/// Maintained at rotation only — sealing a window *adds* its lanes to the last prefix,
+/// evicting the oldest window *moves* its prefix into the origin — so a merged span over
+/// the suffix `start..len` is assembled per query as the single exact subtraction
+/// `prefix[len−1] − prefix[start−1]` (or `− origin` for the full ring) instead of cloning
+/// and counter-wise merging every covered window.
+///
+/// Plain and plus ledgers keep their prefixes as unscaled Hadamard spectra (see
+/// [`SpectrumEntry`]): a cold span query is one element-wise subtraction fused with one
+/// de-bias multiply per element ([`FinalizedSketch::from_spectrum_diff`]) — no counter
+/// merge and no FWHT on the query path at all. Because the spectra are exact integers and
+/// the transform is linear, the result is bit-identical to merging every covered window's
+/// builders from scratch and finalizing — property-tested in this module.
+///
+/// The plus ledger goes one step further: every suffix span changes on every rotation (each
+/// gains the new window), so rotation also **materializes** the merged
+/// [`FinalizedPlusState`] of every span start from the spectra — including the span's
+/// frequent-item re-discovery, the expensive domain scan. A cold plus span query is then an
+/// `Arc` clone; the per-span assembly and FI maintenance run once per rotation instead of
+/// once per cold query. (Memory: `retained_windows` states of three `k·m` lanes each per
+/// plus attribute.) Edge windows are 2-D and queried rarely, so their ledger stays in the
+/// counter domain.
+#[derive(Debug)]
+enum SpanLedger {
+    Plain {
+        params: SketchParams,
+        eps: Epsilon,
+        hashes: Arc<RowHashes>,
+        origin: SpectrumEntry,
+        prefix: VecDeque<SpectrumEntry>,
+    },
+    Plus {
+        params: SketchParams,
+        eps: Epsilon,
+        /// The `(phase1, low, high)` lane hash families, captured at registration.
+        lane_hashes: [Arc<RowHashes>; 3],
+        origin: SpectrumEntry,
+        prefix: VecDeque<SpectrumEntry>,
+        /// `spans[start]` = the materialized merged state over the suffix `start..len`,
+        /// rebuilt at every rotation (`spans[len−1]` shares the newest window's sealed
+        /// view).
+        spans: Vec<Arc<FinalizedPlusState>>,
+    },
+    Edge {
+        origin: EdgeSketchBuilder,
+        prefix: VecDeque<EdgeSketchBuilder>,
+    },
+}
+
+impl SpanLedger {
+    /// Fold a freshly sealed window's counters into the ledger (the rotation hook). The
+    /// per-lane FWHTs charged here are the only transforms the ledger ever runs — queries
+    /// reuse them for every span that covers this window.
+    fn push(&mut self, window: &WindowSnapshot) {
+        match (self, window.state()) {
+            (SpanLedger::Plain { origin, prefix, .. }, SealedWindow::Plain { sealed, .. }) => {
+                let last = prefix.back().unwrap_or(origin);
+                let next = last.plus_window(vec![sealed.spectrum()], &[sealed.reports()]);
+                prefix.push_back(next);
+            }
+            (SpanLedger::Plus { origin, prefix, .. }, SealedWindow::Plus { sealed, .. }) => {
+                let (phase1, low, high) = sealed.lane_builders();
+                let (rp, rl, rh) = sealed.lane_reports();
+                let last = prefix.back().unwrap_or(origin);
+                let next = last.plus_window(
+                    vec![phase1.spectrum(), low.spectrum(), high.spectrum()],
+                    &[rp, rl, rh],
+                );
+                prefix.push_back(next);
+            }
+            (SpanLedger::Edge { origin, prefix }, SealedWindow::Edge { sealed, .. }) => {
+                let mut next = prefix.back().unwrap_or(origin).clone();
+                next.merge(sealed)
+                    .expect("windows of one attribute share attributes and ε");
+                prefix.push_back(next);
+            }
+            _ => unreachable!("attribute kind and ledger are constructed together"),
+        }
+    }
+
+    /// Absorb the evicted oldest window into the origin (the eviction hook): the popped
+    /// prefix *is* the cumulative sum up to and including that window.
+    fn evict(&mut self) {
+        match self {
+            SpanLedger::Plain { origin, prefix, .. } => {
+                *origin = prefix.pop_front().expect("ledger aligned with windows");
+            }
+            SpanLedger::Plus { origin, prefix, .. } => {
+                *origin = prefix.pop_front().expect("ledger aligned with windows");
+            }
+            SpanLedger::Edge { origin, prefix } => {
+                *origin = prefix.pop_front().expect("ledger aligned with windows");
+            }
+        }
+    }
+
+    /// Finalize the merged plain view of the suffix span `start..len`: one fused spectrum
+    /// subtraction + de-bias multiply per element, no FWHT.
+    fn plain_span(&self, start: usize) -> FinalizedSketch {
+        let SpanLedger::Plain {
+            params,
+            eps,
+            hashes,
+            origin,
+            prefix,
+        } = self
+        else {
+            unreachable!("mode checked by the query layer");
+        };
+        let last = prefix.back().expect("span resolution rejects empty rings");
+        let base = if start == 0 {
+            origin
+        } else {
+            &prefix[start - 1]
+        };
+        FinalizedSketch::from_spectrum_diff(
+            *params,
+            *eps,
+            Arc::clone(hashes),
+            last.reports[0] - base.reports[0],
+            &last.lanes[0],
+            &base.lanes[0],
+        )
+    }
+
+    /// The materialized merged plus state of the suffix span `start..len` (rebuilt at every
+    /// rotation) — a cold plus span query is this `Arc` clone.
+    fn plus_span(&self, start: usize) -> Arc<FinalizedPlusState> {
+        let SpanLedger::Plus { spans, .. } = self else {
+            unreachable!("mode checked by the query layer");
+        };
+        Arc::clone(&spans[start])
+    }
+
+    /// Rebuild the materialized per-start merged plus states after a rotation: every suffix
+    /// span gained the new window (and eviction shifted the starts), so each is assembled
+    /// fresh from the spectrum prefixes — three fused subtract+scale passes and one indexed
+    /// FI re-discovery per span, bit-identical to merging the covered windows from scratch.
+    /// `newest` (the just-sealed window's view, discovery already run at sealing) is shared
+    /// as the one-window span.
+    fn refresh_plus_spans(
+        &mut self,
+        policy: FiPolicy,
+        index: &DomainIndex,
+        newest: Arc<FinalizedPlusState>,
+    ) {
+        let SpanLedger::Plus {
+            params,
+            eps,
+            lane_hashes,
+            origin,
+            prefix,
+            spans,
+        } = self
+        else {
+            unreachable!("mode checked by the rotation hook");
+        };
+        let len = prefix.len();
+        let last = prefix.back().expect("refresh runs right after a push");
+        spans.clear();
+        for start in 0..len - 1 {
+            let base = if start == 0 {
+                &*origin
+            } else {
+                &prefix[start - 1]
+            };
+            let mut lane = (0..3).map(|l| {
+                FinalizedSketch::from_spectrum_diff(
+                    *params,
+                    *eps,
+                    Arc::clone(&lane_hashes[l]),
+                    last.reports[l] - base.reports[l],
+                    &last.lanes[l],
+                    &base.lanes[l],
+                )
+            });
+            let (phase1, low, high) = (
+                lane.next().expect("plus ledger entries hold three lanes"),
+                lane.next().expect("plus ledger entries hold three lanes"),
+                lane.next().expect("plus ledger entries hold three lanes"),
+            );
+            spans.push(Arc::new(FinalizedPlusState::new_indexed(
+                phase1, low, high, policy, index,
+            )));
+        }
+        spans.push(newest);
+    }
+
+    /// Assemble the merged edge builder of the suffix span `start..len`.
+    fn edge_span(&self, start: usize) -> EdgeSketchBuilder {
+        let SpanLedger::Edge { origin, prefix } = self else {
+            unreachable!("mode checked by the query layer");
+        };
+        let last = prefix.back().expect("span resolution rejects empty rings");
+        let base = if start == 0 {
+            origin
+        } else {
+            &prefix[start - 1]
+        };
+        last.difference(base)
+            .expect("every ledger prefix is a superset of its predecessors")
+    }
+}
+
+/// One registered join attribute: its mode, the live engine, the bounded ring of sealed
+/// epoch windows, and the prefix-sum span ledger kept aligned with that ring.
 #[derive(Debug)]
 struct Attribute {
     name: String,
     kind: AttributeKind,
     live: LiveEngine,
     windows: VecDeque<WindowSnapshot>,
+    ledger: SpanLedger,
     next_epoch: u64,
     evicted: u64,
     total_reports: u64,
@@ -326,7 +585,15 @@ impl SketchService {
             self.config.params.columns(),
         ));
         let live = LiveEngine::Plain(fresh_plain_engine(&self.config, &hashes));
-        self.register(name, AttributeKind::Plain { hashes }, live)
+        let counters = self.config.params.rows() * self.config.params.columns();
+        let ledger = SpanLedger::Plain {
+            params: self.config.params,
+            eps: self.config.eps,
+            hashes: Arc::clone(&hashes),
+            origin: SpectrumEntry::zero(1, counters),
+            prefix: VecDeque::new(),
+        };
+        self.register(name, AttributeKind::Plain { hashes }, live, ledger)
     }
 
     /// Register an **LDPJoinSketch+** attribute: three-lane ingestion
@@ -342,12 +609,41 @@ impl SketchService {
         seed: u64,
         config: PlusAttributeConfig,
     ) -> Result<AttributeId> {
-        let live = LiveEngine::Plus(PlusStateBuilder::new(
-            self.config.params,
-            self.config.eps,
+        let builder = PlusStateBuilder::new(self.config.params, self.config.eps, seed);
+        let (phase1, low, high) = builder.lane_builders();
+        let lane_hashes = [
+            Arc::clone(phase1.hashes()),
+            Arc::clone(low.hashes()),
+            Arc::clone(high.hashes()),
+        ];
+        let live = LiveEngine::Plus(builder);
+        let counters = self.config.params.rows() * self.config.params.columns();
+        let ledger = SpanLedger::Plus {
+            params: self.config.params,
+            eps: self.config.eps,
+            lane_hashes,
+            origin: SpectrumEntry::zero(3, counters),
+            prefix: VecDeque::new(),
+            spans: Vec::new(),
+        };
+        // Hash the public candidate domain through the phase-1 family once, at
+        // registration; every discovery scan of this attribute reuses the index.
+        let phase1_hashes = RowHashes::from_seed(
             seed,
-        ));
-        self.register(name, AttributeKind::Plus { seed, config }, live)
+            self.config.params.rows(),
+            self.config.params.columns(),
+        );
+        let index = Arc::new(DomainIndex::new(&phase1_hashes, Arc::clone(&config.domain)));
+        self.register(
+            name,
+            AttributeKind::Plus {
+                seed,
+                config,
+                index,
+            },
+            live,
+            ledger,
+        )
     }
 
     /// Register an **edge** attribute — a two-attribute table summarised by a 2-D edge
@@ -377,7 +673,12 @@ impl SketchService {
             EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), self.config.eps)
                 .expect("attributes derived at equal (k, m) always share the replica count"),
         );
-        self.register(name, AttributeKind::Edge { attr_a, attr_b }, live)
+        let ledger = SpanLedger::Edge {
+            origin: EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), self.config.eps)
+                .expect("attributes derived at equal (k, m) always share the replica count"),
+            prefix: VecDeque::new(),
+        };
+        self.register(name, AttributeKind::Edge { attr_a, attr_b }, live, ledger)
     }
 
     fn register(
@@ -385,6 +686,7 @@ impl SketchService {
         name: &str,
         kind: AttributeKind,
         live: LiveEngine,
+        ledger: SpanLedger,
     ) -> Result<AttributeId> {
         if self.attributes.iter().any(|a| a.name == name) {
             return Err(Error::InvalidWorkload(format!(
@@ -396,6 +698,7 @@ impl SketchService {
             kind,
             live,
             windows: VecDeque::with_capacity(self.config.retained_windows),
+            ledger,
             next_epoch: 0,
             evicted: 0,
             total_reports: 0,
@@ -642,6 +945,36 @@ impl SketchService {
         Ok(rotate_attribute(&config, &mut self.cache, idx, a))
     }
 
+    /// Sweep **every** registered attribute with the time-based epoch trigger in one call:
+    /// each attribute whose live engine holds reports and whose epoch has been open at
+    /// least [`ServiceConfig::epoch_duration`] as of `now` is sealed, exactly as
+    /// [`Self::rotate_if_elapsed`] would seal it one id at a time. Returns the
+    /// `(attribute, epoch)` pairs that rotated, oldest registration first.
+    ///
+    /// This is the deployment-friendly form of the trigger: one periodic timer covers the
+    /// whole service, so a quiet attribute still seals its epoch on schedule even when no
+    /// ingest for *that attribute* arrives to check the trigger inline. No-op (returns an
+    /// empty vec) when no epoch duration is configured.
+    pub fn rotate_elapsed(&mut self, now: Instant) -> Vec<(AttributeId, u64)> {
+        let config = self.config;
+        let Some(duration) = config.epoch_duration else {
+            return Vec::new();
+        };
+        let mut rotated = Vec::new();
+        for (idx, a) in self.attributes.iter_mut().enumerate() {
+            let due = a.live.reports() > 0
+                && a.epoch_opened_at
+                    .is_some_and(|opened| now.duration_since(opened) >= duration);
+            if !due {
+                continue;
+            }
+            if let Some(epoch) = rotate_attribute(&config, &mut self.cache, idx, a) {
+                rotated.push((AttributeId(idx), epoch));
+            }
+        }
+        rotated
+    }
+
     /// Number of sealed windows the ring currently retains for `attr`.
     pub fn window_count(&self, attr: AttributeId) -> Result<usize> {
         Ok(self.attr(attr)?.windows.len())
@@ -692,11 +1025,11 @@ impl SketchService {
         Ok(plain_span_view(&mut self.cache, idx, a, &meta))
     }
 
-    /// The merged LDPJoinSketch+ estimation state covering `range`: per-lane exact-counter
-    /// re-aggregation and a single restore per lane, then **cross-window FI
-    /// reconciliation** — the frequent items are re-discovered on the *merged* phase-1
-    /// sketch under the attribute's policy (and the kernel's high partial re-masks the
-    /// merged phase-2 sketches with that set). Memoized per epoch span.
+    /// The merged LDPJoinSketch+ estimation state covering `range`, assembled by the span
+    /// ledger with **cross-window FI reconciliation** — the frequent items were
+    /// re-discovered on the *merged* phase-1 sketch under the attribute's policy at
+    /// rotation (and the kernel's high partial re-masks the merged phase-2 sketches with
+    /// that set).
     ///
     /// # Errors
     /// [`Error::ModeMismatch`] if `attr` is not a plus attribute.
@@ -710,7 +1043,7 @@ impl SketchService {
             .attributes
             .get(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
-        let AttributeKind::Plus { config, .. } = &a.kind else {
+        let AttributeKind::Plus { .. } = &a.kind else {
             return Err(mode_mismatch(
                 &a.name,
                 a.kind.mode_name(),
@@ -718,7 +1051,7 @@ impl SketchService {
             ));
         };
         let meta = resolve_span(a, range)?;
-        Ok(plus_span_view(&mut self.cache, idx, a, &meta, config))
+        Ok(plus_span_view(a, &meta))
     }
 
     /// Plain join-size estimate between two attributes over `range` (resolved per attribute
@@ -824,8 +1157,8 @@ impl SketchService {
         if let Some(ans) = self.cache.lookup(&key) {
             return Ok(served(ans, true));
         }
-        let sa = plus_span_view(&mut self.cache, ia, attr_a, &meta_a, cfg_a);
-        let sb = plus_span_view(&mut self.cache, ib, attr_b, &meta_b, cfg_b);
+        let sa = plus_span_view(attr_a, &meta_a);
+        let sb = plus_span_view(attr_b, &meta_b);
         let estimate = cfg_a.kernel().join_est(&sa, &sb)?;
         let ans = CachedAnswer {
             value: estimate.join_size,
@@ -876,7 +1209,7 @@ impl SketchService {
                 PlainKernel.frequency(&v, value)
             }
             AttributeKind::Plus { config, .. } => {
-                let s = plus_span_view(&mut self.cache, idx, a, &meta, config);
+                let s = plus_span_view(a, &meta);
                 config.kernel().frequency(&s, value)
             }
             AttributeKind::Edge { .. } => unreachable!("rejected above"),
@@ -1015,12 +1348,19 @@ fn rotate_attribute(
             let engine = std::mem::replace(engine, fresh_plain_engine(config, hashes));
             WindowSnapshot::seal_plain(epoch, engine.into_builder())
         }
-        (AttributeKind::Plus { seed, config: plus }, LiveEngine::Plus(builder)) => {
+        (
+            AttributeKind::Plus {
+                seed,
+                config: plus,
+                index,
+            },
+            LiveEngine::Plus(builder),
+        ) => {
             let sealed = std::mem::replace(
                 builder,
                 PlusStateBuilder::new(config.params, config.eps, *seed),
             );
-            WindowSnapshot::seal_plus(epoch, sealed, plus.policy(), &plus.domain)
+            WindowSnapshot::seal_plus(epoch, sealed, plus.policy(), index)
         }
         (AttributeKind::Edge { attr_a, attr_b }, LiveEngine::Edge(builder)) => {
             let fresh = EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), config.eps)
@@ -1031,10 +1371,30 @@ fn rotate_attribute(
         _ => unreachable!("attribute kind and live engine are constructed together"),
     };
     attr.next_epoch += 1;
+    // Keep the prefix-sum ledger aligned with the ring: sealing adds the new window's
+    // lanes to a clone of the last cumulative builder, eviction folds the oldest prefix
+    // into the origin.
+    attr.ledger.push(&window);
     attr.windows.push_back(window);
     if attr.windows.len() > config.retained_windows {
         attr.windows.pop_front();
+        attr.ledger.evict();
         attr.evicted += 1;
+    }
+    // Plus attributes additionally re-materialize every suffix span's merged state (and
+    // its reconciled frequent-item set) here, at rotation, so cold span queries are Arc
+    // clones instead of per-query assembly + domain scans.
+    if let AttributeKind::Plus {
+        config: plus,
+        index,
+        ..
+    } = &attr.kind
+    {
+        let newest = match attr.windows.back().expect("window pushed above").state() {
+            SealedWindow::Plus { view, .. } => Arc::clone(view),
+            _ => unreachable!("attribute kind and windows are constructed together"),
+        };
+        attr.ledger.refresh_plus_spans(plus.policy(), index, newest);
     }
     attr.epoch_opened_at = None;
     cache.invalidate_attribute(idx);
@@ -1082,56 +1442,31 @@ fn plain_span_view(
     } else if let Some(v) = cache.view((idx, meta.epochs.0, meta.epochs.1)) {
         v
     } else {
-        // Re-aggregate the sealed exact-integer counters, restore once: bit-identical to
-        // one-shot aggregation of the covered reports.
-        let mut merged = attr.windows[meta.start]
-            .plain_builder()
-            .expect("mode checked by the query layer")
-            .clone();
-        for w in attr.windows.range(meta.start + 1..) {
-            merged
-                .merge(w.plain_builder().expect("mode checked by the query layer"))
-                .expect("windows of one attribute share params, hashes and ε by construction");
-        }
-        let view = Arc::new(merged.finalize_view());
+        // Assemble the span's restored sketch straight from the spectrum ledger — one
+        // exact prefix subtraction in the Hadamard domain plus one de-bias multiply per
+        // element, no counter merge and no FWHT: bit-identical to merging every covered
+        // window from scratch (and therefore to one-shot aggregation of the covered
+        // reports).
+        let view = Arc::new(attr.ledger.plain_span(meta.start));
         cache.insert_view((idx, meta.epochs.0, meta.epochs.1), Arc::clone(&view));
         view
     }
 }
 
-/// The (possibly memoized) merged plus estimation state of an already-resolved span: merge
-/// the sealed three-lane builders counter-wise, restore each lane once, and re-discover the
-/// frequent items on the merged phase-1 sketch (cross-window FI reconciliation).
-fn plus_span_view(
-    cache: &mut QueryCache,
-    idx: usize,
-    attr: &Attribute,
-    meta: &SpanMeta,
-    config: &PlusAttributeConfig,
-) -> Arc<FinalizedPlusState> {
+/// The merged plus estimation state of an already-resolved span, straight from the
+/// materialized span ledger (single-window spans borrow the snapshot's sealed view).
+fn plus_span_view(attr: &Attribute, meta: &SpanMeta) -> Arc<FinalizedPlusState> {
     if meta.windows == 1 {
         match attr.windows[meta.start].state() {
             SealedWindow::Plus { view, .. } => Arc::clone(view),
             _ => unreachable!("mode checked by the query layer"),
         }
-    } else if let Some(v) = cache.plus_view((idx, meta.epochs.0, meta.epochs.1)) {
-        v
     } else {
-        fn sealed_of(w: &WindowSnapshot) -> &PlusStateBuilder {
-            match w.state() {
-                SealedWindow::Plus { sealed, .. } => sealed,
-                _ => unreachable!("mode checked by the query layer"),
-            }
-        }
-        let mut merged = sealed_of(&attr.windows[meta.start]).clone();
-        for w in attr.windows.range(meta.start + 1..) {
-            merged
-                .merge(sealed_of(w))
-                .expect("windows of one attribute share params, seeds and ε by construction");
-        }
-        let view = Arc::new(merged.finalize_view(config.policy(), &config.domain));
-        cache.insert_plus_view((idx, meta.epochs.0, meta.epochs.1), Arc::clone(&view));
-        view
+        // Materialized in the span ledger at rotation (spectra assembled, frequent items
+        // re-discovered through the attribute's pre-hashed domain index — bit-identical
+        // to the from-scratch window merge and unindexed scan); a cold query just clones
+        // the Arc, so no memoization layer is needed.
+        attr.ledger.plus_span(meta.start)
     }
 }
 
@@ -1150,19 +1485,7 @@ fn edge_span_view(
     } else if let Some(v) = cache.edge_view((idx, meta.epochs.0, meta.epochs.1)) {
         v
     } else {
-        fn sealed_of(w: &WindowSnapshot) -> &EdgeSketchBuilder {
-            match w.state() {
-                SealedWindow::Edge { sealed, .. } => sealed,
-                _ => unreachable!("mode checked by the query layer"),
-            }
-        }
-        let mut merged = sealed_of(&attr.windows[meta.start]).clone();
-        for w in attr.windows.range(meta.start + 1..) {
-            merged
-                .merge(sealed_of(w))
-                .expect("windows of one attribute share attributes and ε by construction");
-        }
-        let view = Arc::new(merged.finalize_view());
+        let view = Arc::new(attr.ledger.edge_span(meta.start).finalize());
         cache.insert_edge_view((idx, meta.epochs.0, meta.epochs.1), Arc::clone(&view));
         view
     }
@@ -1734,6 +2057,43 @@ mod tests {
     }
 
     #[test]
+    fn elapsed_sweep_rotates_quiet_attributes_without_their_own_ingest() {
+        let mut cfg = config(4, 64);
+        cfg.epoch_reports = u64::MAX;
+        cfg.epoch_duration = Some(Duration::from_secs(3600));
+        let mut service = SketchService::new(cfg).unwrap();
+        let busy = service.register_attribute("busy", 3).unwrap();
+        let quiet = service.register_attribute("quiet", 4).unwrap();
+        service
+            .ingest(busy, &reports_for(&service, busy, 60, 1))
+            .unwrap();
+        service
+            .ingest(quiet, &reports_for(&service, quiet, 60, 2))
+            .unwrap();
+
+        // Both epochs just opened: the sweep finds nothing due.
+        assert!(service.rotate_elapsed(Instant::now()).is_empty());
+        assert_eq!(service.window_count(quiet).unwrap(), 0);
+
+        // Past the epoch duration, ONE sweep call seals every due attribute — including
+        // `quiet`, which saw no ingest (and hence no inline trigger check) since its epoch
+        // opened.
+        let later = Instant::now() + Duration::from_secs(7200);
+        let rotated = service.rotate_elapsed(later);
+        assert_eq!(rotated.len(), 2);
+        assert!(rotated.contains(&(busy, 0)) && rotated.contains(&(quiet, 0)));
+        assert_eq!(service.window_count(quiet).unwrap(), 1);
+        assert_eq!(service.live_reports(quiet).unwrap(), 0);
+
+        // Empty live engines never produce empty windows, however stale the clock says
+        // they are.
+        assert!(service
+            .rotate_elapsed(later + Duration::from_secs(7200))
+            .is_empty());
+        assert_eq!(service.window_count(busy).unwrap(), 1);
+    }
+
+    #[test]
     fn plus_attribute_answers_join_frequency_and_caches() {
         let n = 30_000usize;
         let chunk = 2_048usize;
@@ -2004,6 +2364,110 @@ mod tests {
                     merged.value,
                     one_shot.join_size
                 );
+            }
+        }
+
+        /// The incremental merged-span ledger guarantee: across random rotate/evict
+        /// sequences, every span the service assembles by prefix-sum subtraction (what
+        /// `merged_plus_state` serves) is **bit-identical** — all three restored lanes,
+        /// the rediscovered frequent-item set, and the screening threshold — to merging
+        /// the retained windows' sealed lanes from scratch. The 3-window ring forces
+        /// evictions, so full-span queries exercise the ledger origin that has absorbed
+        /// evicted history.
+        #[test]
+        fn prop_plus_span_ledger_is_bit_identical_to_from_scratch_merging(
+            case_seed in 0u64..2_000,
+        ) {
+            use rand::Rng;
+            let n = 2_000usize;
+            let chunk = 128usize;
+            let params = SketchParams::new(6, 64).unwrap();
+            let eps = Epsilon::new(4.0).unwrap();
+            let generator = ZipfGenerator::new(1.7, 300);
+            let w = StreamingJoinWorkload::generate("prop-ledger", &generator, n, chunk, case_seed)
+                .unwrap();
+            let mut plus_cfg = PlusConfig::new(params, eps);
+            plus_cfg.sampling_rate = 0.1;
+            plus_cfg.adaptive = true;
+            plus_cfg.seed = case_seed ^ 0xBEEF;
+            let est = LdpJoinSketchPlus::new(plus_cfg).unwrap();
+            let rng_seed = case_seed.wrapping_mul(131).wrapping_add(17);
+            let domain = w.domain();
+            let discovery = est
+                .discover_frequent_items_chunked(&w.table_a, &w.table_b, &domain, rng_seed)
+                .unwrap();
+
+            let mut cfg = ServiceConfig::new(params, eps);
+            cfg.epoch_reports = u64::MAX;
+            cfg.retained_windows = 3; // small ring: later rotations evict into the origin
+            let mut service = SketchService::new(cfg).unwrap();
+            let attr_cfg = PlusAttributeConfig::from_plus_config(&plus_cfg, domain.clone());
+            let a = service
+                .register_plus_attribute("a", plus_cfg.seed, attr_cfg)
+                .unwrap();
+
+            // Random rotation cadence: 1–4 ingested batches per sealed window.
+            let mut cadence = StdRng::seed_from_u64(case_seed ^ 0x5EED);
+            let mut left = 0usize;
+            est.stream_plus_reports(
+                &w.table_a,
+                PlusTableRole::A,
+                &discovery.frequent_items,
+                rng_seed,
+                true,
+                &mut |batch| {
+                    if left == 0 {
+                        left = cadence.gen_range(1usize..5);
+                    }
+                    service.ingest_plus(a, batch)?;
+                    left -= 1;
+                    if left == 0 {
+                        service.rotate(a)?;
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+            if service.live_reports(a).unwrap() > 0 {
+                service.rotate(a).unwrap();
+            }
+
+            let sealed: Vec<PlusStateBuilder> = service
+                .windows(a)
+                .unwrap()
+                .map(|snap| snap.plus_builder().unwrap().clone())
+                .collect();
+            prop_assert!(!sealed.is_empty());
+            let policy = FiPolicy::from_config(&plus_cfg);
+            for start in 0..sealed.len() {
+                let range = if start == 0 {
+                    WindowRange::All
+                } else {
+                    WindowRange::LastK(sealed.len() - start)
+                };
+                let merged = service.merged_plus_state(a, range).unwrap();
+                let mut from_scratch = sealed[start].clone();
+                for later in &sealed[start + 1..] {
+                    from_scratch.merge(later).unwrap();
+                }
+                let reference = from_scratch.finalize_view(policy, &domain);
+                prop_assert_eq!(merged.reports(), reference.reports());
+                prop_assert_eq!(merged.frequent_items(), reference.frequent_items());
+                prop_assert!(merged.threshold().to_bits() == reference.threshold().to_bits());
+                for (name, got, want) in [
+                    ("phase1", merged.phase1(), reference.phase1()),
+                    ("low", merged.low(), reference.low()),
+                    ("high", merged.high(), reference.high()),
+                ] {
+                    prop_assert!(
+                        got.restored_counters() == want.restored_counters(),
+                        "start={} evicted={}: ledger-assembled {} lane diverged from \
+                         from-scratch merge",
+                        start,
+                        service.evicted_windows(a).unwrap(),
+                        name
+                    );
+                }
             }
         }
     }

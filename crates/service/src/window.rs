@@ -3,7 +3,9 @@
 
 use ldpjs_common::error::{Error, Result};
 use ldpjs_core::multiway::{EdgeSketchBuilder, FinalizedEdgeSketch};
-use ldpjs_core::{FiPolicy, FinalizedPlusState, FinalizedSketch, PlusStateBuilder, SketchBuilder};
+use ldpjs_core::{
+    DomainIndex, FiPolicy, FinalizedPlusState, FinalizedSketch, PlusStateBuilder, SketchBuilder,
+};
 use std::sync::Arc;
 
 /// Which sealed epoch windows a query covers. Ranges always resolve to a contiguous
@@ -92,14 +94,15 @@ impl WindowSnapshot {
         }
     }
 
-    /// Seal a plus-state builder, discovering this window's frequent items under `policy`.
+    /// Seal a plus-state builder, discovering this window's frequent items under `policy`
+    /// through the attribute's pre-hashed domain `index`.
     pub(crate) fn seal_plus(
         epoch: u64,
         sealed: PlusStateBuilder,
         policy: FiPolicy,
-        domain: &[u64],
+        index: &DomainIndex,
     ) -> Self {
-        let view = Arc::new(sealed.finalize_view(policy, domain));
+        let view = Arc::new(sealed.finalize_view_indexed(policy, index));
         WindowSnapshot {
             epoch,
             reports: sealed.reports(),
@@ -153,11 +156,30 @@ impl WindowSnapshot {
         }
     }
 
+    /// The sealed plus accumulation-stage builder (three exact-counter lanes), if this is a
+    /// plus window.
+    #[inline]
+    pub fn plus_builder(&self) -> Option<&PlusStateBuilder> {
+        match &self.state {
+            SealedWindow::Plus { sealed, .. } => Some(sealed),
+            _ => None,
+        }
+    }
+
     /// The finalized plus estimation state, if this is a plus window.
     #[inline]
     pub fn plus_view(&self) -> Option<&Arc<FinalizedPlusState>> {
         match &self.state {
             SealedWindow::Plus { view, .. } => Some(view),
+            _ => None,
+        }
+    }
+
+    /// The sealed edge accumulation-stage builder, if this is an edge window.
+    #[inline]
+    pub fn edge_builder(&self) -> Option<&EdgeSketchBuilder> {
+        match &self.state {
+            SealedWindow::Edge { sealed, .. } => Some(sealed),
             _ => None,
         }
     }
@@ -207,7 +229,9 @@ mod tests {
         assert!(plain.plain_builder().is_some() && plain.plain_view().is_some());
         assert!(plain.plus_view().is_none() && plain.edge_view().is_none());
 
-        let domain: Vec<u64> = (0..8).collect();
+        let domain: Arc<Vec<u64>> = Arc::new((0..8).collect());
+        let hashes = ldpjs_common::hash::RowHashes::from_seed(1, 4, 64);
+        let index = DomainIndex::new(&hashes, domain);
         let plus = WindowSnapshot::seal_plus(
             1,
             PlusStateBuilder::new(params, eps, 1),
@@ -215,7 +239,7 @@ mod tests {
                 threshold: 0.01,
                 adaptive: false,
             },
-            &domain,
+            &index,
         );
         assert!(plus.plus_view().is_some());
         assert!(plus.plain_builder().is_none() && plus.edge_view().is_none());

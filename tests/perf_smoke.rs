@@ -1,0 +1,158 @@
+//! Release-mode performance smoke gate for the online service's cold-query path.
+//!
+//! The incremental merged-span ledger plus the bit-sliced restore kernels are what keep a
+//! cold LDPJoinSketch+ all-windows join answerable at interactive latency: without them a
+//! cold plus query re-merges three exact-counter lanes, restores three sketches, and
+//! re-scans the full public domain for frequent items — a measured 16× cliff over the
+//! plain path. This test pins the repaired ratio: on the bench harness's pinned smoke
+//! config (k = 18, m = 1024, 8 windows × 4k reports per window, Zipf(2.0) over a 4096
+//! domain), a cold plus all-windows join must cost **at most 4×** a cold plain
+//! all-windows join.
+//!
+//! The gate only means something with optimizations on, so under a debug build it prints
+//! a skip notice and exits; CI runs it with `cargo test --release --test perf_smoke`.
+
+use ldp_join_sketch::prelude::*;
+use ldp_join_sketch::service::WindowRange;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const WINDOWS: usize = 8;
+const N_WINDOW: usize = 4_000;
+const CHUNK: usize = 2_000;
+
+fn pinned_params() -> SketchParams {
+    SketchParams::new(18, 1024).unwrap()
+}
+
+fn pinned_eps() -> Epsilon {
+    Epsilon::new(4.0).unwrap()
+}
+
+/// Median wall time of `f` over enough repetitions to smooth scheduler noise.
+fn median_ns(mut f: impl FnMut()) -> u128 {
+    // Warm up caches, branch predictors, and the allocator before measuring.
+    for _ in 0..3 {
+        f();
+    }
+    let mut samples: Vec<u128> = (0..15)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// A plain two-attribute service with `WINDOWS` sealed epochs per attribute.
+fn plain_service() -> (SketchService, AttributeId, AttributeId) {
+    let mut config = ServiceConfig::new(pinned_params(), pinned_eps());
+    config.epoch_reports = u64::MAX >> 1;
+    config.retained_windows = WINDOWS;
+    let mut service = SketchService::new(config).unwrap();
+    let a = service.register_attribute("smoke.plain.a", 7).unwrap();
+    let b = service.register_attribute("smoke.plain.b", 7).unwrap();
+    let gen = ZipfGenerator::new(2.0, 4_096);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    for attr in [a, b] {
+        let client = service.client(attr).unwrap();
+        for _ in 0..WINDOWS {
+            let reports = client.perturb_all(&gen.sample_many(N_WINDOW, &mut rng), &mut rng);
+            service.ingest(attr, &reports).unwrap();
+            service.rotate(attr).unwrap();
+        }
+    }
+    (service, a, b)
+}
+
+/// A plus two-attribute service over the same pinned config, driven by the canonical
+/// labeled report stream.
+fn plus_service() -> (SketchService, AttributeId, AttributeId) {
+    let n = WINDOWS * N_WINDOW;
+    let generator = ZipfGenerator::new(2.0, 4_096);
+    let w = StreamingJoinWorkload::generate("perf-smoke-plus", &generator, n, CHUNK, 4200).unwrap();
+    let domain = w.domain();
+
+    let mut plus_cfg = PlusConfig::new(pinned_params(), pinned_eps());
+    plus_cfg.sampling_rate = 0.05;
+    plus_cfg.adaptive = true;
+    plus_cfg.seed = 4300;
+    let est = LdpJoinSketchPlus::new(plus_cfg).unwrap();
+    let rng_seed = 4400u64;
+    let discovery = est
+        .discover_frequent_items_chunked(&w.table_a, &w.table_b, &domain, rng_seed)
+        .unwrap();
+
+    let mut config = ServiceConfig::new(pinned_params(), pinned_eps());
+    config.epoch_reports = u64::MAX >> 1;
+    config.retained_windows = WINDOWS;
+    let mut service = SketchService::new(config).unwrap();
+    let attr_cfg = PlusAttributeConfig::from_plus_config(&plus_cfg, domain.clone());
+    let a = service
+        .register_plus_attribute("smoke.plus.a", plus_cfg.seed, attr_cfg.clone())
+        .unwrap();
+    let b = service
+        .register_plus_attribute("smoke.plus.b", plus_cfg.seed, attr_cfg)
+        .unwrap();
+
+    let batches_per_window = n.div_ceil(CHUNK).div_ceil(WINDOWS);
+    for (attr, table, role) in [
+        (a, &w.table_a, PlusTableRole::A),
+        (b, &w.table_b, PlusTableRole::B),
+    ] {
+        let mut in_window = 0usize;
+        est.stream_plus_reports(
+            table,
+            role,
+            &discovery.frequent_items,
+            rng_seed,
+            true,
+            &mut |batch| {
+                service.ingest_plus(attr, batch)?;
+                in_window += 1;
+                if in_window == batches_per_window {
+                    service.rotate(attr)?;
+                    in_window = 0;
+                }
+                Ok(())
+            },
+        )
+        .unwrap();
+        service.rotate(attr).unwrap();
+    }
+    (service, a, b)
+}
+
+#[test]
+fn cold_plus_join_is_at_most_4x_cold_plain_join() {
+    if cfg!(debug_assertions) {
+        eprintln!("perf smoke gate skipped: meaningful only under --release");
+        return;
+    }
+
+    let (mut plain, pa, pb) = plain_service();
+    let plain_ns = median_ns(|| {
+        plain.clear_cache();
+        std::hint::black_box(plain.join_size(pa, pb, WindowRange::All).unwrap());
+    });
+
+    let (mut plus, xa, xb) = plus_service();
+    let plus_ns = median_ns(|| {
+        plus.clear_cache();
+        std::hint::black_box(plus.plus_join_size(xa, xb, WindowRange::All).unwrap());
+    });
+
+    let ratio = plus_ns as f64 / plain_ns as f64;
+    eprintln!(
+        "cold all-windows join: plain {plain_ns} ns, plus {plus_ns} ns, ratio {ratio:.2}x \
+         (gate: 4x)"
+    );
+    assert!(
+        ratio <= 4.0,
+        "cold plus query regressed to {ratio:.2}x the plain path \
+         (plus {plus_ns} ns vs plain {plain_ns} ns; gate is 4x) — \
+         check the span ledger and the restore kernels"
+    );
+}
