@@ -133,6 +133,23 @@ fn bench_client_perturb(c: &mut Criterion, rec: &mut Recorder) {
             |b| b.iter(|| black_box(client.perturb_all_parallel(black_box(&values), 2, threads))),
         );
     }
+
+    // Batched SIMD-lane perturbation straight into the packed sign-split wire shape (the
+    // producer side of the zero-copy ingest pipeline) — same pinned RNG stream as the
+    // sequential lane, so the outputs are bit-identical reports in a 6x smaller shape.
+    rec.bench(
+        c,
+        &format!("core/client_perturb_batch_{n}_packed"),
+        "client_perturb_batch",
+        n,
+        params(),
+        |b| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(2);
+                black_box(client.perturb_batch(black_box(&values), &mut r).unwrap())
+            })
+        },
+    );
 }
 
 fn bench_server_ingest(c: &mut Criterion, rec: &mut Recorder) {
@@ -162,7 +179,8 @@ fn bench_server_ingest(c: &mut Criterion, rec: &mut Recorder) {
     // The sharded ingestion engine on a heavier batch, across shard counts (shards = 1 is
     // the sequential reference plus the engine's fixed overhead).
     let n_big = if smoke() { 20_000 } else { 400_000 };
-    let big = client.perturb_all_parallel(&gen.sample_many(n_big, &mut rng), 5, 8);
+    let big_values = gen.sample_many(n_big, &mut rng);
+    let big = client.perturb_all_parallel(&big_values, 5, 8);
     for shards in [1usize, 2, 4, 8] {
         rec.bench(
             c,
@@ -175,6 +193,32 @@ fn bench_server_ingest(c: &mut Criterion, rec: &mut Recorder) {
                     || ShardedAggregator::new(params(), eps(), 7, shards).unwrap(),
                     |mut engine| {
                         engine.ingest(black_box(&big)).unwrap();
+                        black_box(engine)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    // The packed SoA ingest lane: the same reports born packed at the client
+    // (`perturb_batch`), absorbed through the sign-split histogram scatter + SIMD drain
+    // kernels. This is the consumer side of the zero-copy pipeline and the lane the
+    // release perf gate (`tests/perf_smoke.rs`) holds at >= 4x the frozen scalar
+    // reference.
+    let packed = client.perturb_batch(&big_values, &mut rng).unwrap();
+    for shards in [1usize, 4] {
+        rec.bench(
+            c,
+            &format!("core/sharded_ingest_batched_{n_big}_reports_{shards}shards"),
+            "sharded_ingest_batched",
+            n_big,
+            params(),
+            |b| {
+                b.iter_batched(
+                    || ShardedAggregator::new(params(), eps(), 7, shards).unwrap(),
+                    |mut engine| {
+                        engine.ingest_batch(black_box(&packed)).unwrap();
                         black_box(engine)
                     },
                     BatchSize::SmallInput,
@@ -344,10 +388,11 @@ fn bench_service(c: &mut Criterion, rec: &mut Recorder) {
         }
     }
 
+    let ingest_values = gen.sample_many(8_192, &mut rng);
     let batch = service
         .client(a)
         .unwrap()
-        .perturb_all(&gen.sample_many(8_192, &mut rng), &mut rng);
+        .perturb_all(&ingest_values, &mut rng);
     rec.bench(
         c,
         "service/ingest_throughput_8192_report_batch",
@@ -357,6 +402,27 @@ fn bench_service(c: &mut Criterion, rec: &mut Recorder) {
         |bn| {
             bn.iter(|| {
                 service.ingest(a, black_box(&batch)).unwrap();
+                black_box(service.live_reports(a).unwrap())
+            })
+        },
+    );
+
+    // The same epoch payload carried in the packed sign-split shape end to end:
+    // `perturb_batch` at the client, `SketchService::ingest_batch` into the live engine.
+    let packed = service
+        .client(a)
+        .unwrap()
+        .perturb_batch(&ingest_values, &mut rng)
+        .unwrap();
+    rec.bench(
+        c,
+        "service/ingest_throughput_batched_8192_report_batch",
+        "service_ingest_throughput_batched",
+        8_192,
+        params(),
+        |bn| {
+            bn.iter(|| {
+                service.ingest_batch(a, black_box(&packed)).unwrap();
                 black_box(service.live_reports(a).unwrap())
             })
         },

@@ -81,7 +81,14 @@ impl BucketHash {
     /// Evaluate `h(x) ∈ [0, m)`.
     #[inline]
     pub fn hash(&self, x: u64) -> usize {
-        let v = add_mod(mul_mod(self.a, mod_mersenne(x as u128)), self.b);
+        self.hash_residue(mod_mersenne(x as u128))
+    }
+
+    /// [`BucketHash::hash`] on an already-reduced residue of `x` (the fused pair
+    /// evaluation reduces `x` once and feeds both hashes).
+    #[inline]
+    fn hash_residue(&self, xr: u64) -> usize {
+        let v = add_mod(mul_mod(self.a, xr), self.b);
         // Hadamard sketches always use a power-of-two m; a mask is the same value as the
         // division-based `v % m` but avoids a hardware integer divide on the hot path.
         if self.m.is_power_of_two() {
@@ -118,7 +125,12 @@ impl SignHash {
     /// Evaluate the polynomial at `x` (Horner's rule) and return the residue.
     #[inline]
     fn poly(&self, x: u64) -> u64 {
-        let x = mod_mersenne(x as u128);
+        self.poly_residue(mod_mersenne(x as u128))
+    }
+
+    /// [`SignHash::poly`] on an already-reduced residue of `x`.
+    #[inline]
+    fn poly_residue(&self, x: u64) -> u64 {
         let mut acc = self.coeffs[3];
         for &c in [self.coeffs[2], self.coeffs[1], self.coeffs[0]].iter() {
             acc = add_mod(mul_mod(acc, x), c);
@@ -171,6 +183,22 @@ impl HashPair {
     #[inline]
     pub fn sign_of(&self, x: u64) -> i64 {
         self.sign.sign(x)
+    }
+
+    /// Fused evaluation of both hashes: `(h_j(x), neg)` where `neg = 1` iff
+    /// `ξ_j(x) = −1`, sharing a single Mersenne reduction of `x`.
+    ///
+    /// This is the batched client perturbation's hot accessor: the sign comes back as a
+    /// bit so callers can apply it to an `f64` with a sign-bit XOR (multiplying by `±1.0`
+    /// is exactly a sign-bit flip), and it is bit-identical to evaluating
+    /// [`HashPair::bucket_of`] and [`HashPair::sign_of`] separately — both reductions of
+    /// the same `x` yield the same residue.
+    #[inline]
+    pub fn bucket_and_sign_neg(&self, x: u64) -> (usize, u64) {
+        let xr = mod_mersenne(x as u128);
+        let bucket = self.bucket.hash_residue(xr);
+        let neg = (self.sign.poly_residue(xr) & 1) ^ 1;
+        (bucket, neg)
     }
 }
 
@@ -389,6 +417,15 @@ mod tests {
             let s = SignHash::sample(&mut rng);
             let v = s.sign(x);
             prop_assert!(v == 1 || v == -1);
+        }
+
+        #[test]
+        fn prop_fused_pair_matches_separate_evaluation(seed in any::<u64>(), m in 1usize..5000, x in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pair = HashPair::sample(&mut rng, m);
+            let (bucket, neg) = pair.bucket_and_sign_neg(x);
+            prop_assert_eq!(bucket, pair.bucket_of(x));
+            prop_assert_eq!(neg, u64::from(pair.sign_of(x) < 0));
         }
 
         #[test]

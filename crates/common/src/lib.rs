@@ -7,6 +7,8 @@
 //!   hash `h_j : D -> [m]` and a 4-wise independent sign hash `ξ_j : D -> {-1,+1}`.
 //! * [`hadamard`] — Walsh–Hadamard matrix entries and the in-place fast Walsh–Hadamard
 //!   transform used by the Hadamard mechanism on both the client and the server side.
+//! * [`batch`] — sign-split packed report batches ([`batch::ReportBatch`]) and the
+//!   histogram scatter/drain kernels behind the batched server-side ingest path.
 //! * [`rr`] — the binary randomized-response primitive and the de-bias constant
 //!   `c_ε = (e^ε + 1)/(e^ε − 1)`.
 //! * [`privacy`] — the validated privacy-budget type [`privacy::Epsilon`].
@@ -22,6 +24,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod batch;
 pub mod error;
 pub mod hadamard;
 pub mod hash;
@@ -30,6 +33,7 @@ pub mod rr;
 pub mod stats;
 pub mod stream;
 
+pub use batch::ReportBatch;
 pub use error::{Error, Result};
 pub use hash::{BucketHash, HashPair, RowHashes, SignHash};
 pub use privacy::Epsilon;

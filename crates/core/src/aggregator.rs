@@ -15,6 +15,7 @@
 //! interleaving. `crate::aggregator::tests` enforces this across shard counts and odd batch
 //! sizes.
 
+use ldpjs_common::batch::ReportBatch;
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
@@ -47,6 +48,15 @@ use crate::server::{FinalizedSketch, SketchBuilder};
 #[derive(Debug)]
 pub struct ShardedAggregator {
     shards: Vec<SketchBuilder>,
+    /// One reusable scatter scratch per shard, so repeated batched ingests on a long-lived
+    /// engine allocate nothing in steady state.
+    scratches: Vec<Vec<i32>>,
+    /// Whether spawning worker threads can actually overlap work, cached at construction
+    /// (`std::thread::available_parallelism` reads cgroup state — not a hot-path call).
+    /// On a single-CPU host the scoped fan-out only adds spawn/join latency, so the
+    /// engine runs its shards on the caller thread instead; the result is bit-identical
+    /// either way because shard counters are merged by exact integer addition.
+    parallel: bool,
 }
 
 impl ShardedAggregator {
@@ -74,10 +84,17 @@ impl ShardedAggregator {
                 "a sharded aggregator needs at least one shard".into(),
             ));
         }
-        let shards = (0..num_shards)
+        let shards: Vec<SketchBuilder> = (0..num_shards)
             .map(|_| SketchBuilder::with_hashes(params, eps, Arc::clone(&hashes)))
             .collect();
-        Ok(ShardedAggregator { shards })
+        let scratches = vec![Vec::new(); num_shards];
+        let parallel =
+            num_shards > 1 && std::thread::available_parallelism().is_ok_and(|p| p.get() > 1);
+        Ok(ShardedAggregator {
+            shards,
+            scratches,
+            parallel,
+        })
     }
 
     /// Number of shards.
@@ -103,15 +120,67 @@ impl ShardedAggregator {
         self.shards.iter().map(|s| s.reports()).sum()
     }
 
-    /// Absorb a batch of reports in parallel.
+    /// Absorb a batch of array-of-structs reports, fanned out across the shards.
     ///
-    /// The batch is validated once up front (range checks hoisted out of the per-report
-    /// loop), split into one contiguous chunk per shard, and accumulated by scoped worker
-    /// threads. A rejected batch leaves the engine untouched.
+    /// Each shard runs one fused validate-and-apply sweep over its contiguous chunk (the
+    /// [`SketchBuilder::absorb_all`] body) — one pass over the report memory instead of
+    /// the separate validate-then-accumulate sweeps the engine used before. If any chunk
+    /// is rejected, shards that already applied theirs subtract them back out on the cold
+    /// path, so a rejected batch leaves the engine untouched. The result is bit-for-bit
+    /// the one a single sequential [`SketchBuilder::absorb_all`] would have produced.
     ///
     /// # Errors
     /// Returns [`Error::ReportOutOfRange`] for the first report that does not fit the sketch.
     pub fn ingest(&mut self, reports: &[ClientReport]) -> Result<()> {
+        if reports.is_empty() {
+            return Ok(());
+        }
+        if !self.parallel {
+            // Single lane anyway: one fused sweep on the caller thread, no spawn/join tax.
+            return self.shards[0].absorb_all(reports);
+        }
+        let chunk_len = reports.len().div_ceil(self.shards.len());
+        let chunks: Vec<&[ClientReport]> = reports.chunks(chunk_len).collect();
+        let results: Vec<Result<()>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(chunks.iter())
+                .map(|(shard, chunk)| scope.spawn(move || shard.absorb_all(chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard ingest worker panicked"))
+                .collect()
+        });
+        if results.iter().all(Result::is_ok) {
+            return Ok(());
+        }
+        // Cold path: some chunk was rejected. Chunks are contiguous and in order, so the
+        // error from the first failing shard names the first offending report; shards
+        // that succeeded roll their (validated, applied) chunks back out.
+        let mut first_err = None;
+        for ((shard, chunk), result) in self.shards.iter_mut().zip(chunks).zip(results) {
+            match result {
+                Ok(()) => shard.unabsorb_validated(chunk),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(first_err.expect("at least one shard failed"))
+    }
+
+    /// The frozen pre-batching reference path: one validation sweep over the whole batch,
+    /// then contiguous AoS chunks replayed per shard with scalar `f64` adds on scoped
+    /// worker threads. Kept verbatim as the bit-identity reference and the baseline the
+    /// release perf gate (`tests/perf_smoke.rs`) measures the batched pipeline against.
+    ///
+    /// # Errors
+    /// Returns [`Error::ReportOutOfRange`] for the first report that does not fit the sketch.
+    pub fn ingest_reference(&mut self, reports: &[ClientReport]) -> Result<()> {
         self.shards[0].validate_batch(reports)?;
         if reports.is_empty() {
             return Ok(());
@@ -120,6 +189,50 @@ impl ShardedAggregator {
         std::thread::scope(|scope| {
             for (shard, chunk) in self.shards.iter_mut().zip(reports.chunks(chunk_len)) {
                 scope.spawn(move || shard.accumulate_validated(chunk));
+            }
+        });
+        Ok(())
+    }
+
+    /// Absorb an already-packed sign-split report batch in parallel.
+    ///
+    /// This is the zero-copy ingest entry point for pipelines carrying reports in packed SoA
+    /// form end to end: each scoped worker thread scatters its contiguous shard of the batch
+    /// through the interleaved histogram kernel into its own counters, reusing a per-shard
+    /// scratch buffer so steady-state ingestion allocates nothing. Index validity is a
+    /// construction invariant of [`ReportBatch`], so the only check here is the shape check.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if the batch shape does not match the sketch;
+    /// the engine is untouched in that case.
+    pub fn ingest_batch(&mut self, batch: &ReportBatch) -> Result<()> {
+        let (k, m) = (self.params().rows(), self.params().columns());
+        if batch.rows() != k || batch.columns() != m {
+            return Err(Error::IncompatibleSketches(format!(
+                "report batch is {}x{} but the engine's sketch is {k}x{m}",
+                batch.rows(),
+                batch.columns(),
+            )));
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let shards = self.shards.len();
+        if !self.parallel {
+            // One CPU: run the shard kernels back to back on the caller thread — same
+            // counters (exact-integer merge), none of the spawn/join latency.
+            let (shard, scratch) = (&mut self.shards[0], &mut self.scratches[0]);
+            shard.accumulate_batch_shard(batch, 0, 1, scratch);
+            return Ok(());
+        }
+        std::thread::scope(|scope| {
+            for (i, (shard, scratch)) in self
+                .shards
+                .iter_mut()
+                .zip(self.scratches.iter_mut())
+                .enumerate()
+            {
+                scope.spawn(move || shard.accumulate_batch_shard(batch, i, shards, scratch));
             }
         });
         Ok(())
@@ -165,6 +278,7 @@ impl ShardedAggregator {
 mod tests {
     use super::*;
     use crate::client::LdpJoinSketchClient;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -301,5 +415,98 @@ mod tests {
             engine.finalize().restored_counters(),
             single.finalize().restored_counters()
         );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tentpole property: the batched bucket-wise ingest (packed `ReportBatch`,
+        /// sharded fan-out, SIMD drain) is bit-identical to absorbing the same reports
+        /// one `absorb()` call at a time — across batch sizes, shard counts, and report
+        /// orders. Order invariance is real, not approximate: counters are exact integer
+        /// sums in f64, so ±1 additions commute bitwise.
+        #[test]
+        fn prop_batched_ingest_is_bit_identical_to_report_by_report(
+            n in 1usize..2500,
+            shard_pick in 0usize..4,
+            seed in any::<u64>(),
+        ) {
+            let shards = [1usize, 2, 4, 7][shard_pick];
+            let p = params(6, 128);
+            let e = eps(3.0);
+            let mut reports = reports_for(n, p, e, seed);
+
+            // Reference: one report at a time through the frozen scalar path.
+            let mut reference = SketchBuilder::new(p, e, 77);
+            for &r in &reports {
+                reference.absorb(r).unwrap();
+            }
+            let reference = reference.finalize();
+
+            // Batched single-builder path.
+            let mut batched = SketchBuilder::new(p, e, 77);
+            batched.absorb_all(&reports).unwrap();
+            let batched = batched.finalize();
+            prop_assert_eq!(batched.restored_counters(), reference.restored_counters());
+            prop_assert_eq!(batched.reports(), reference.reports());
+
+            // Sharded batched path, on a shuffled order of the same reports.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            use rand::seq::SliceRandom;
+            reports.shuffle(&mut rng);
+            let mut engine = ShardedAggregator::new(p, e, 77, shards).unwrap();
+            engine.ingest(&reports).unwrap();
+            let sharded = engine.finalize();
+            prop_assert_eq!(sharded.restored_counters(), reference.restored_counters());
+            prop_assert_eq!(sharded.reports(), reference.reports());
+        }
+
+        /// A batch containing one out-of-range report must be rejected atomically by both
+        /// the batched builder path and the sharded engine: no counter moves, no report
+        /// counted, and the builder keeps absorbing cleanly afterwards.
+        #[test]
+        fn prop_rejected_batch_rolls_back_completely(
+            n in 2usize..600,
+            bad_pos in any::<u64>(),
+            shard_pick in 0usize..4,
+            seed in any::<u64>(),
+        ) {
+            let shards = [1usize, 2, 4, 7][shard_pick];
+            let p = params(4, 64);
+            let e = eps(2.0);
+            let prefix = reports_for(37, p, e, seed ^ 1);
+            let mut reports = reports_for(n, p, e, seed);
+            let bad_at = (bad_pos % reports.len() as u64) as usize;
+            reports[bad_at].col = p.columns() + bad_at;
+
+            let mut builder = SketchBuilder::new(p, e, 9);
+            builder.absorb_all(&prefix).unwrap();
+            let rejected = matches!(
+                builder.absorb_all(&reports),
+                Err(Error::ReportOutOfRange { .. })
+            );
+            prop_assert!(rejected);
+            prop_assert_eq!(builder.reports(), prefix.len() as u64);
+
+            let mut engine = ShardedAggregator::new(p, e, 9, shards).unwrap();
+            engine.ingest(&prefix).unwrap();
+            prop_assert!(engine.ingest(&reports).is_err());
+            prop_assert_eq!(engine.reports(), prefix.len() as u64);
+
+            // Both must match a clean absorption of just the prefix, bitwise.
+            let mut clean = SketchBuilder::new(p, e, 9);
+            clean.absorb_all(&prefix).unwrap();
+            let clean = clean.finalize();
+            let builder_final = builder.finalize();
+            let engine_final = engine.finalize();
+            prop_assert_eq!(
+                builder_final.restored_counters(),
+                clean.restored_counters()
+            );
+            prop_assert_eq!(
+                engine_final.restored_counters(),
+                clean.restored_counters()
+            );
+        }
     }
 }

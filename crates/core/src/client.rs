@@ -13,6 +13,8 @@
 //! LDPJoinSketch encodes the fast-AGMS sign `ξ_j(d)` so that sketch *products* estimate join
 //! sizes (Theorem 1 proves the output distribution still satisfies ε-LDP).
 
+use ldpjs_common::batch::ReportBatch;
+use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hadamard::hadamard_entry_f64;
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
@@ -44,23 +46,45 @@ pub(crate) fn chunk_stream_seed(base_seed: u64, chunk_index: u64) -> u64 {
 /// Fan a value slice out over `threads` scoped workers, perturbing each fixed-size chunk
 /// with its own deterministic RNG stream. Shared by [`LdpJoinSketchClient::perturb_all_parallel`]
 /// and [`crate::fap::FapClient::perturb_all_parallel`].
+///
+/// `fill` perturbs one whole chunk at a time into its output slot (same length as the
+/// chunk), so clients can run their batched two-phase kernels per chunk instead of paying a
+/// dynamic per-value call.
 pub(crate) fn perturb_chunks_parallel<F>(
     values: &[u64],
     base_seed: u64,
     threads: usize,
-    perturb: F,
+    fill: F,
 ) -> Vec<ClientReport>
 where
-    F: Fn(u64, &mut dyn RngCore) -> ClientReport + Sync,
+    F: Fn(&[u64], &mut StdRng, &mut [ClientReport]) + Sync,
 {
-    let mut reports = vec![
+    let mut reports = Vec::new();
+    perturb_chunks_parallel_into(values, base_seed, threads, &mut reports, fill);
+    reports
+}
+
+/// [`perturb_chunks_parallel`] into a caller-owned, reusable report buffer (cleared and
+/// resized to `values.len()`), so chunked streaming drivers stop allocating a fresh report
+/// vector per stream chunk.
+pub(crate) fn perturb_chunks_parallel_into<F>(
+    values: &[u64],
+    base_seed: u64,
+    threads: usize,
+    reports: &mut Vec<ClientReport>,
+    fill: F,
+) where
+    F: Fn(&[u64], &mut StdRng, &mut [ClientReport]) + Sync,
+{
+    reports.clear();
+    reports.resize(
+        values.len(),
         ClientReport {
             y: 0.0,
             row: 0,
             col: 0,
-        };
-        values.len()
-    ];
+        },
+    );
     // Requesting more workers than the machine has cores only adds scheduling overhead
     // (the chunk→stream mapping below makes the output identical either way), so clamp to
     // the actual parallelism, and to the number of chunks there are to hand out.
@@ -79,11 +103,9 @@ where
             .enumerate()
         {
             let mut rng = StdRng::seed_from_u64(chunk_stream_seed(base_seed, c as u64));
-            for (v, slot) in vals.iter().zip(out.iter_mut()) {
-                *slot = perturb(*v, &mut rng);
-            }
+            fill(vals, &mut rng, out);
         }
-        return reports;
+        return;
     }
     // Round-robin the fixed-size chunks over the workers: chunk c's RNG stream depends only
     // on (base_seed, c), so the thread count never changes the output.
@@ -96,20 +118,17 @@ where
     {
         worker_tasks[c % threads].push((c as u64, vals, out));
     }
-    let perturb = &perturb;
+    let fill = &fill;
     std::thread::scope(|scope| {
         for tasks in worker_tasks {
             scope.spawn(move || {
                 for (c, vals, out) in tasks {
                     let mut rng = StdRng::seed_from_u64(chunk_stream_seed(base_seed, c));
-                    for (v, slot) in vals.iter().zip(out.iter_mut()) {
-                        *slot = perturb(*v, &mut rng);
-                    }
+                    fill(vals, &mut rng, out);
                 }
             });
         }
     });
-    reports
 }
 
 /// One perturbed client report `(y, j, l)`.
@@ -237,23 +256,177 @@ impl LdpJoinSketchClient {
     }
 
     /// Perturb a whole slice of values (one simulated client per element).
-    pub fn perturb_all(&self, values: &[u64], rng: &mut dyn RngCore) -> Vec<ClientReport> {
-        values.iter().map(|&v| self.perturb(v, rng)).collect()
+    ///
+    /// Runs the batched two-phase pipeline of [`LdpJoinSketchClient::perturb_all_into`];
+    /// the reports are bit-identical to calling [`LdpJoinSketchClient::perturb`] per value
+    /// with the same RNG.
+    pub fn perturb_all<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Vec<ClientReport> {
+        let mut out = Vec::new();
+        self.perturb_all_into(values, rng, &mut out);
+        out
+    }
+
+    /// Perturb a whole slice of values into a caller-owned, reusable report buffer.
+    ///
+    /// `out` is cleared and refilled; chunked streaming drivers reuse one buffer across
+    /// chunks instead of allocating a fresh `Vec<ClientReport>` per chunk.
+    ///
+    /// The pipeline is split in two phases so the hot math runs in a branch-light batched
+    /// lane without perturbing the RNG stream:
+    ///
+    /// 1. **Scalar RNG phase** — for each value, draw `(j, l, flip)` in exactly the order
+    ///    the scalar [`LdpJoinSketchClient::perturb`] draws them, parking the randomized-
+    ///    response sign in the report's `y` slot. The RNG therefore consumes the identical
+    ///    stream, keeping every pinned-seed experiment bit-for-bit reproducible.
+    /// 2. **Batched hash phase** — one RNG-free pass computing, per lane, the fused
+    ///    bucket/sign hash (a single Mersenne reduction via
+    ///    [`ldpjs_common::hash::HashPair::bucket_and_sign_neg`]), the Hadamard entry as a
+    ///    popcount parity, and the final sign as an XOR on the `f64` sign bit — exact,
+    ///    because multiplying by `±1.0` is precisely a sign-bit flip.
+    pub fn perturb_all_into<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        out: &mut Vec<ClientReport>,
+    ) {
+        out.clear();
+        out.resize(
+            values.len(),
+            ClientReport {
+                y: 0.0,
+                row: 0,
+                col: 0,
+            },
+        );
+        self.fill_reports(values, rng, out);
+    }
+
+    /// The two-phase batched kernel behind [`LdpJoinSketchClient::perturb_all_into`] and the
+    /// parallel fan-out: fill `out` (same length as `values`) with perturbed reports.
+    pub(crate) fn fill_reports<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        out: &mut [ClientReport],
+    ) {
+        debug_assert_eq!(values.len(), out.len());
+        let k = self.params.rows();
+        let m = self.params.columns();
+        let flip_p = self.eps.flip_probability();
+        // Phase 1: every RNG draw, in the scalar path's per-value order (row, column, flip).
+        for slot in out.iter_mut() {
+            let row = rng.gen_range(0..k);
+            let col = rng.gen_range(0..m);
+            let flip = rng.gen_bool(flip_p);
+            *slot = ClientReport {
+                y: if flip { -1.0 } else { 1.0 },
+                row,
+                col,
+            };
+        }
+        // Phase 2: RNG-free batched hash/sign/Hadamard lane. `y` currently holds the
+        // randomized-response sign B; the true coefficient is B·ξ_j(d)·H_m[h_j(d), l], and
+        // both extra factors are ±1, so applying them is an XOR on the sign bit — exact.
+        for (slot, &v) in out.iter_mut().zip(values) {
+            let (bucket, neg_sign) = self.hashes.pair(slot.row).bucket_and_sign_neg(v);
+            let neg_hadamard = u64::from((bucket & slot.col).count_ones()) & 1;
+            slot.y = f64::from_bits(slot.y.to_bits() ^ ((neg_sign ^ neg_hadamard) << 63));
+        }
+    }
+
+    /// Perturb a whole slice of values directly into a packed sign-split [`ReportBatch`],
+    /// the zero-copy form the batched server ingest path consumes.
+    ///
+    /// The produced batch carries exactly the reports [`LdpJoinSketchClient::perturb_all`]
+    /// would emit for the same `(values, rng)` — same RNG consumption, same `(j, l)` pairs,
+    /// same signs — just without materialising per-report structs.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidSketchParameter`] if the sketch's counter space cannot be
+    /// packed into 32-bit flat indices (outside the supported parameter range in practice).
+    pub fn perturb_batch<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Result<ReportBatch> {
+        let mut batch =
+            ReportBatch::with_capacity(self.params.rows(), self.params.columns(), values.len())?;
+        self.perturb_batch_into(values, rng, &mut batch)?;
+        Ok(batch)
+    }
+
+    /// [`LdpJoinSketchClient::perturb_batch`] into a caller-owned, reusable batch.
+    ///
+    /// `batch` is cleared and refilled, so a chunked driver can keep one packed buffer alive
+    /// across its whole stream.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if `batch` was built for a different sketch
+    /// shape.
+    pub fn perturb_batch_into<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        batch: &mut ReportBatch,
+    ) -> Result<()> {
+        let k = self.params.rows();
+        let m = self.params.columns();
+        if batch.rows() != k || batch.columns() != m {
+            return Err(Error::IncompatibleSketches(format!(
+                "report batch is {}x{} but the client's sketch is {k}x{m}",
+                batch.rows(),
+                batch.columns(),
+            )));
+        }
+        batch.clear();
+        let flip_p = self.eps.flip_probability();
+        for &v in values {
+            let row = rng.gen_range(0..k);
+            let col = rng.gen_range(0..m);
+            let flip = rng.gen_bool(flip_p);
+            let (bucket, neg_sign) = self.hashes.pair(row).bucket_and_sign_neg(v);
+            let neg_hadamard = u64::from((bucket & col).count_ones()) & 1;
+            let negative = (u64::from(flip) ^ neg_sign ^ neg_hadamard) == 1;
+            batch.push(row, col, negative)?;
+        }
+        Ok(())
     }
 
     /// Perturb a whole slice of values on `threads` scoped worker threads.
     ///
     /// The slice is cut into fixed [`PARALLEL_PERTURB_CHUNK`]-value chunks, each perturbed
-    /// with its own `StdRng` stream derived from `base_seed` and the chunk index. The output
-    /// therefore depends only on `(values, base_seed)`: any thread count — including 1 —
-    /// produces the identical report vector, so parallel simulation stays reproducible.
+    /// with its own `StdRng` stream derived from `base_seed` and the chunk index (and run
+    /// through the batched two-phase kernel). The output therefore depends only on
+    /// `(values, base_seed)`: any thread count — including 1 — produces the identical
+    /// report vector, so parallel simulation stays reproducible.
     pub fn perturb_all_parallel(
         &self,
         values: &[u64],
         base_seed: u64,
         threads: usize,
     ) -> Vec<ClientReport> {
-        perturb_chunks_parallel(values, base_seed, threads, |v, rng| self.perturb(v, rng))
+        perturb_chunks_parallel(values, base_seed, threads, |vals, rng, out| {
+            self.fill_reports(vals, rng, out);
+        })
+    }
+
+    /// [`LdpJoinSketchClient::perturb_all_parallel`] into a caller-owned, reusable report
+    /// buffer (cleared and refilled) — the allocation-free form the chunked streaming
+    /// drivers run per stream chunk.
+    pub fn perturb_all_parallel_into(
+        &self,
+        values: &[u64],
+        base_seed: u64,
+        threads: usize,
+        out: &mut Vec<ClientReport>,
+    ) {
+        perturb_chunks_parallel_into(values, base_seed, threads, out, |vals, rng, slot| {
+            self.fill_reports(vals, rng, slot);
+        });
     }
 
     /// Communication cost of one report in bits: the perturbed bit plus the `(j, l)` indices.
@@ -419,6 +592,86 @@ mod tests {
             assert!(r.y == 1.0 || r.y == -1.0);
             assert!(r.row < 8 && r.col < 256);
         }
+    }
+
+    #[test]
+    fn batched_perturb_is_bit_identical_to_scalar_reference() {
+        // The two-phase batched kernel must consume the RNG stream exactly like the scalar
+        // per-value path and produce bit-identical reports.
+        for (k, m, eps_v) in [(18, 1024, 4.0), (4, 8, 0.5), (7, 128, 2.0)] {
+            let c = client(k, m, eps_v, 21);
+            let values: Vec<u64> = (0..3_000u64)
+                .map(|v| v.wrapping_mul(0x9E37) % 977)
+                .collect();
+            let mut scalar_rng = StdRng::seed_from_u64(314);
+            let scalar: Vec<ClientReport> = values
+                .iter()
+                .map(|&v| c.perturb(v, &mut scalar_rng as &mut dyn rand::RngCore))
+                .collect();
+            let mut batched_rng = StdRng::seed_from_u64(314);
+            let batched = c.perturb_all(&values, &mut batched_rng);
+            assert_eq!(scalar.len(), batched.len());
+            for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+                assert_eq!(s.row, b.row, "row diverged at {i} (k={k} m={m})");
+                assert_eq!(s.col, b.col, "col diverged at {i} (k={k} m={m})");
+                assert_eq!(
+                    s.y.to_bits(),
+                    b.y.to_bits(),
+                    "y diverged at {i} (k={k} m={m}): {} vs {}",
+                    s.y,
+                    b.y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perturb_all_into_reuses_the_buffer() {
+        let c = client(8, 256, 4.0, 9);
+        let values: Vec<u64> = (0..500u64).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let expected = c.perturb_all(&values, &mut StdRng::seed_from_u64(1));
+        let mut buf = Vec::new();
+        c.perturb_all_into(&values, &mut rng, &mut buf);
+        assert_eq!(buf, expected);
+        // Refill with a shorter slice: buffer shrinks to the new length, no stale tail.
+        c.perturb_all_into(&values[..10], &mut rng, &mut buf);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn packed_perturb_matches_the_report_stream() {
+        // perturb_batch must emit, in packed form, exactly the reports perturb_all produces
+        // for the same RNG stream: same flat indices, same signs, in order within each lane.
+        let c = client(6, 64, 3.0, 17);
+        let values: Vec<u64> = (0..2_000u64).map(|v| v % 333).collect();
+        let reports = c.perturb_all(&values, &mut StdRng::seed_from_u64(5));
+        let batch = c
+            .perturb_batch(&values, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(batch.len(), reports.len());
+        let mut plus = Vec::new();
+        let mut minus = Vec::new();
+        for r in &reports {
+            let flat = (r.row * 64 + r.col) as u32;
+            if r.y == 1.0 {
+                plus.push(flat);
+            } else {
+                minus.push(flat);
+            }
+        }
+        assert_eq!(batch.plus_indices(), plus.as_slice());
+        assert_eq!(batch.minus_indices(), minus.as_slice());
+    }
+
+    #[test]
+    fn perturb_batch_into_rejects_mismatched_shapes() {
+        let c = client(6, 64, 3.0, 17);
+        let mut wrong = ldpjs_common::ReportBatch::new(6, 128).unwrap();
+        let err = c
+            .perturb_batch_into(&[1, 2, 3], &mut StdRng::seed_from_u64(0), &mut wrong)
+            .unwrap_err();
+        assert!(matches!(err, ldpjs_common::Error::IncompatibleSketches(_)));
     }
 
     #[test]

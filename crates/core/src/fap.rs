@@ -12,6 +12,8 @@
 //! Both branches finish with the same Hadamard sampling and randomized response, so the server
 //! cannot distinguish a target report from a non-target one (Theorem 6: FAP satisfies ε-LDP).
 
+use ldpjs_common::batch::ReportBatch;
+use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hadamard::hadamard_entry_f64;
 use ldpjs_common::privacy::Epsilon;
 use ldpjs_common::rr::sample_sign_bit;
@@ -123,8 +125,148 @@ impl FapClient {
     }
 
     /// Perturb a whole group of values.
-    pub fn perturb_all(&self, values: &[u64], rng: &mut dyn RngCore) -> Vec<ClientReport> {
-        values.iter().map(|&v| self.perturb(v, rng)).collect()
+    ///
+    /// Runs the batched two-phase pipeline of [`FapClient::perturb_all_into`]; the reports
+    /// are bit-identical to calling [`FapClient::perturb`] per value with the same RNG.
+    pub fn perturb_all<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Vec<ClientReport> {
+        let mut out = Vec::new();
+        self.perturb_all_into(values, rng, &mut out);
+        out
+    }
+
+    /// Perturb a whole group of values into a caller-owned, reusable report buffer
+    /// (cleared and refilled), mirroring
+    /// [`LdpJoinSketchClient::perturb_all_into`](crate::client::LdpJoinSketchClient::perturb_all_into).
+    pub fn perturb_all_into<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        out: &mut Vec<ClientReport>,
+    ) {
+        out.clear();
+        out.resize(
+            values.len(),
+            ClientReport {
+                y: 0.0,
+                row: 0,
+                col: 0,
+            },
+        );
+        self.fill_reports(values, rng, out);
+    }
+
+    /// The two-phase batched kernel behind [`FapClient::perturb_all_into`] and the parallel
+    /// fan-out. Phase 1 draws every random quantity in the scalar per-value order (so pinned
+    /// RNG streams are untouched) and *finishes* the non-target reports — their Hadamard
+    /// parity `popcount(r & l)` needs no value hashing. Phase 2 is the RNG-free batched
+    /// hash/sign/Hadamard lane over the target reports, identical to the plain client's.
+    pub(crate) fn fill_reports<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        out: &mut [ClientReport],
+    ) {
+        debug_assert_eq!(values.len(), out.len());
+        let params = self.inner.params();
+        let (k, m) = (params.rows(), params.columns());
+        let flip_p = self.inner.epsilon().flip_probability();
+        for (slot, &v) in out.iter_mut().zip(values) {
+            if self.is_non_target(v) {
+                // Algorithm 4 lines 2–8: the scalar branch draws (j, l, r, flip) in this
+                // order; y = flip·H_m[r, l], an XOR of two sign parities.
+                let row = rng.gen_range(0..k);
+                let col = rng.gen_range(0..m);
+                let r = rng.gen_range(0..m);
+                let flip = rng.gen_bool(flip_p);
+                let neg = u64::from(flip) ^ (u64::from((r & col).count_ones()) & 1);
+                *slot = ClientReport {
+                    y: if neg == 1 { -1.0 } else { 1.0 },
+                    row,
+                    col,
+                };
+            } else {
+                let row = rng.gen_range(0..k);
+                let col = rng.gen_range(0..m);
+                let flip = rng.gen_bool(flip_p);
+                *slot = ClientReport {
+                    y: if flip { -1.0 } else { 1.0 },
+                    row,
+                    col,
+                };
+            }
+        }
+        // Phase 2: fused bucket/sign hash + Hadamard parity over the target lanes only.
+        for (slot, &v) in out.iter_mut().zip(values) {
+            if self.is_non_target(v) {
+                continue;
+            }
+            let (bucket, neg_sign) = self.inner.hashes().pair(slot.row).bucket_and_sign_neg(v);
+            let neg_hadamard = u64::from((bucket & slot.col).count_ones()) & 1;
+            slot.y = f64::from_bits(slot.y.to_bits() ^ ((neg_sign ^ neg_hadamard) << 63));
+        }
+    }
+
+    /// Perturb a whole group of values directly into a packed sign-split [`ReportBatch`],
+    /// carrying exactly the reports [`FapClient::perturb_all`] would emit for the same
+    /// `(values, rng)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidSketchParameter`] if the sketch's counter space cannot be
+    /// packed into 32-bit flat indices.
+    pub fn perturb_batch<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+    ) -> Result<ReportBatch> {
+        let params = self.inner.params();
+        let mut batch = ReportBatch::with_capacity(params.rows(), params.columns(), values.len())?;
+        self.perturb_batch_into(values, rng, &mut batch)?;
+        Ok(batch)
+    }
+
+    /// [`FapClient::perturb_batch`] into a caller-owned, reusable batch (cleared and
+    /// refilled).
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if `batch` was built for a different sketch
+    /// shape.
+    pub fn perturb_batch_into<R: RngCore + ?Sized>(
+        &self,
+        values: &[u64],
+        rng: &mut R,
+        batch: &mut ReportBatch,
+    ) -> Result<()> {
+        let params = self.inner.params();
+        let (k, m) = (params.rows(), params.columns());
+        if batch.rows() != k || batch.columns() != m {
+            return Err(Error::IncompatibleSketches(format!(
+                "report batch is {}x{} but the client's sketch is {k}x{m}",
+                batch.rows(),
+                batch.columns(),
+            )));
+        }
+        batch.clear();
+        let flip_p = self.inner.epsilon().flip_probability();
+        for &v in values {
+            let row = rng.gen_range(0..k);
+            let col = rng.gen_range(0..m);
+            let negative = if self.is_non_target(v) {
+                let r = rng.gen_range(0..m);
+                let flip = rng.gen_bool(flip_p);
+                (u64::from(flip) ^ (u64::from((r & col).count_ones()) & 1)) == 1
+            } else {
+                let flip = rng.gen_bool(flip_p);
+                let (bucket, neg_sign) = self.inner.hashes().pair(row).bucket_and_sign_neg(v);
+                let neg_hadamard = u64::from((bucket & col).count_ones()) & 1;
+                (u64::from(flip) ^ neg_sign ^ neg_hadamard) == 1
+            };
+            batch.push(row, col, negative)?;
+        }
+        Ok(())
     }
 
     /// Perturb a whole group of values on `threads` scoped worker threads, with the same
@@ -137,9 +279,30 @@ impl FapClient {
         base_seed: u64,
         threads: usize,
     ) -> Vec<ClientReport> {
-        crate::client::perturb_chunks_parallel(values, base_seed, threads, |v, rng| {
-            self.perturb(v, rng)
+        crate::client::perturb_chunks_parallel(values, base_seed, threads, |vals, rng, out| {
+            self.fill_reports(vals, rng, out);
         })
+    }
+
+    /// [`FapClient::perturb_all_parallel`] into a caller-owned, reusable report buffer
+    /// (cleared and refilled), mirroring
+    /// [`LdpJoinSketchClient::perturb_all_parallel_into`](crate::client::LdpJoinSketchClient::perturb_all_parallel_into).
+    pub fn perturb_all_parallel_into(
+        &self,
+        values: &[u64],
+        base_seed: u64,
+        threads: usize,
+        out: &mut Vec<ClientReport>,
+    ) {
+        crate::client::perturb_chunks_parallel_into(
+            values,
+            base_seed,
+            threads,
+            out,
+            |vals, rng, slot| {
+                self.fill_reports(vals, rng, slot);
+            },
+        );
     }
 
     /// The non-target branch (Algorithm 4, lines 2–8): encode `v[r] = 1` at a random position
@@ -269,6 +432,45 @@ mod tests {
             (overall_mean - expected).abs() < 0.15 * expected,
             "mean counter {overall_mean}, expected ≈ {expected}"
         );
+    }
+
+    #[test]
+    fn batched_fap_perturb_is_bit_identical_to_scalar_reference() {
+        // Mixed target/non-target stream: the batched two-phase kernel must consume the RNG
+        // exactly like the scalar per-value path and produce bit-identical reports, and the
+        // packed form must carry the same stream.
+        for mode in [FapMode::HighFrequency, FapMode::LowFrequency] {
+            let client = setup(mode, &[1, 2, 3, 50, 51], 2.0);
+            let values: Vec<u64> = (0..4_000u64).map(|v| v % 100).collect();
+            let mut scalar_rng = StdRng::seed_from_u64(99);
+            let scalar: Vec<ClientReport> = values
+                .iter()
+                .map(|&v| client.perturb(v, &mut scalar_rng as &mut dyn rand::RngCore))
+                .collect();
+            let batched = client.perturb_all(&values, &mut StdRng::seed_from_u64(99));
+            assert_eq!(scalar.len(), batched.len());
+            for (i, (s, b)) in scalar.iter().zip(&batched).enumerate() {
+                assert_eq!((s.row, s.col), (b.row, b.col), "indices diverged at {i}");
+                assert_eq!(s.y.to_bits(), b.y.to_bits(), "y diverged at {i} ({mode:?})");
+            }
+            let batch = client
+                .perturb_batch(&values, &mut StdRng::seed_from_u64(99))
+                .unwrap();
+            assert_eq!(batch.len(), scalar.len());
+            let m = client.params().columns();
+            let mut plus = Vec::new();
+            let mut minus = Vec::new();
+            for r in &scalar {
+                let flat = (r.row * m + r.col) as u32;
+                if r.y == 1.0 {
+                    plus.push(flat);
+                } else {
+                    minus.push(flat);
+                }
+            }
+            assert_eq!(batch.plus_indices(), plus.as_slice());
+            assert_eq!(batch.minus_indices(), minus.as_slice());
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! estimated by contracting the sketches along shared attributes and taking the median over
 //! replicas (Eq. 27).
 
+use ldpjs_common::batch::ReportBatch;
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hadamard::{fwht_in_place, fwht_scaled_in_place, hadamard_entry_f64};
 use ldpjs_common::privacy::Epsilon;
@@ -85,11 +86,128 @@ impl LdpEdgeSketchClient {
     }
 
     /// Perturb a whole table of tuples.
-    pub fn perturb_all(&self, tuples: &[(u64, u64)], rng: &mut dyn RngCore) -> Vec<EdgeReport> {
-        tuples
-            .iter()
-            .map(|&(a, b)| self.perturb(a, b, rng))
-            .collect()
+    ///
+    /// Runs the batched two-phase pipeline of [`LdpEdgeSketchClient::perturb_all_into`];
+    /// the reports are bit-identical to calling [`LdpEdgeSketchClient::perturb`] per tuple
+    /// with the same RNG.
+    pub fn perturb_all<R: RngCore + ?Sized>(
+        &self,
+        tuples: &[(u64, u64)],
+        rng: &mut R,
+    ) -> Vec<EdgeReport> {
+        let mut out = Vec::new();
+        self.perturb_all_into(tuples, rng, &mut out);
+        out
+    }
+
+    /// Perturb a whole table of tuples into a caller-owned, reusable report buffer
+    /// (cleared and refilled). Two phases, like the one-dimensional client: all RNG draws
+    /// first in the scalar per-tuple order `(j, l_1, l_2, flip)`, then one RNG-free batched
+    /// lane applying the four sign parities (`ξ_A`, `ξ_B` and the two Hadamard entries) as
+    /// XORs on the `f64` sign bit.
+    pub fn perturb_all_into<R: RngCore + ?Sized>(
+        &self,
+        tuples: &[(u64, u64)],
+        rng: &mut R,
+        out: &mut Vec<EdgeReport>,
+    ) {
+        out.clear();
+        out.resize(
+            tuples.len(),
+            EdgeReport {
+                y: 0.0,
+                replica: 0,
+                col_a: 0,
+                col_b: 0,
+            },
+        );
+        let k = self.attr_a.replicas();
+        let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
+        let flip_p = self.eps.flip_probability();
+        for slot in out.iter_mut() {
+            let replica = rng.gen_range(0..k);
+            let col_a = rng.gen_range(0..ma);
+            let col_b = rng.gen_range(0..mb);
+            let flip = rng.gen_bool(flip_p);
+            *slot = EdgeReport {
+                y: if flip { -1.0 } else { 1.0 },
+                replica,
+                col_a,
+                col_b,
+            };
+        }
+        for (slot, &(a, b)) in out.iter_mut().zip(tuples) {
+            let neg = self.encoded_neg(slot.replica, slot.col_a, slot.col_b, a, b);
+            slot.y = f64::from_bits(slot.y.to_bits() ^ (neg << 63));
+        }
+    }
+
+    /// The sign parity (1 = negative) of the *unperturbed* encoded coefficient
+    /// `H_{m_A}[h_A(a), l_1]·ξ_A(a)·ξ_B(b)·H_{m_B}[l_2, h_B(b)]` — four ±1 factors, each an
+    /// XOR-able bit: two fused bucket/sign hashes and two Hadamard popcount parities.
+    #[inline]
+    fn encoded_neg(&self, replica: usize, col_a: usize, col_b: usize, a: u64, b: u64) -> u64 {
+        let (ha, neg_a) = self.attr_a.hashes().pair(replica).bucket_and_sign_neg(a);
+        let (hb, neg_b) = self.attr_b.hashes().pair(replica).bucket_and_sign_neg(b);
+        let neg_had_a = u64::from((ha & col_a).count_ones()) & 1;
+        let neg_had_b = u64::from((col_b & hb).count_ones()) & 1;
+        neg_a ^ neg_b ^ neg_had_a ^ neg_had_b
+    }
+
+    /// Perturb a whole table of tuples directly into a packed sign-split [`ReportBatch`]
+    /// (rows = replicas, columns = `m_A·m_B` flattened coordinates), the zero-copy form
+    /// [`EdgeSketchBuilder::absorb_batch`] consumes. Carries exactly the reports
+    /// [`LdpEdgeSketchClient::perturb_all`] would emit for the same `(tuples, rng)`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidSketchParameter`] if the sketch's counter space cannot be
+    /// packed into 32-bit flat indices.
+    pub fn perturb_batch<R: RngCore + ?Sized>(
+        &self,
+        tuples: &[(u64, u64)],
+        rng: &mut R,
+    ) -> Result<ReportBatch> {
+        let mut batch = ReportBatch::with_capacity(
+            self.attr_a.replicas(),
+            self.attr_a.buckets() * self.attr_b.buckets(),
+            tuples.len(),
+        )?;
+        self.perturb_batch_into(tuples, rng, &mut batch)?;
+        Ok(batch)
+    }
+
+    /// [`LdpEdgeSketchClient::perturb_batch`] into a caller-owned, reusable batch (cleared
+    /// and refilled).
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] if `batch` was built for a different shape.
+    pub fn perturb_batch_into<R: RngCore + ?Sized>(
+        &self,
+        tuples: &[(u64, u64)],
+        rng: &mut R,
+        batch: &mut ReportBatch,
+    ) -> Result<()> {
+        let k = self.attr_a.replicas();
+        let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
+        if batch.rows() != k || batch.columns() != ma * mb {
+            return Err(Error::IncompatibleSketches(format!(
+                "report batch is {}x{} but the edge sketch is {k}x{}",
+                batch.rows(),
+                batch.columns(),
+                ma * mb,
+            )));
+        }
+        batch.clear();
+        let flip_p = self.eps.flip_probability();
+        for &(a, b) in tuples {
+            let replica = rng.gen_range(0..k);
+            let col_a = rng.gen_range(0..ma);
+            let col_b = rng.gen_range(0..mb);
+            let flip = rng.gen_bool(flip_p);
+            let negative = (u64::from(flip) ^ self.encoded_neg(replica, col_a, col_b, a, b)) == 1;
+            batch.push(replica, col_a * mb + col_b, negative)?;
+        }
+        Ok(())
     }
 }
 
@@ -169,9 +287,19 @@ impl EdgeSketchBuilder {
         Ok(())
     }
 
-    /// Absorb a batch of reports in one fused pass; the cold error path rolls the applied
-    /// prefix back (exact, because the counters are integer report sums), so a rejected
-    /// batch leaves the builder untouched.
+    /// Absorb a batch of array-of-structs reports: one fused validate-and-apply pass with
+    /// prefix rollback on the cold error path, so a rejected batch leaves the builder
+    /// untouched.
+    ///
+    /// As with [`SketchBuilder::absorb_all`](crate::server::SketchBuilder::absorb_all),
+    /// converting the 32-byte AoS wire shape to the packed SoA form costs a full extra
+    /// sweep that the batched kernel cannot win back; the packed path pays only when the
+    /// reports are born packed via [`LdpEdgeSketchClient::perturb_batch`] and absorbed
+    /// through [`EdgeSketchBuilder::absorb_batch`].
+    ///
+    /// # Errors
+    /// Returns [`Error::ReportOutOfRange`] for the first offending report, if any; the
+    /// builder is untouched on error.
     pub fn absorb_all(&mut self, reports: &[EdgeReport]) -> Result<()> {
         let k = self.attr_a.replicas();
         let (ma, mb) = (self.attr_a.buckets(), self.attr_b.buckets());
@@ -191,6 +319,38 @@ impl EdgeSketchBuilder {
             self.raw[(r.replica * ma + r.col_a) * mb + r.col_b] += r.y;
         }
         self.reports += reports.len() as u64;
+        Ok(())
+    }
+
+    /// Absorb an already-packed sign-split report batch (rows = replicas, columns =
+    /// `m_A·m_B` flattened coordinates) — the zero-copy companion of
+    /// [`LdpEdgeSketchClient::perturb_batch`].
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] on a shape mismatch; the builder is untouched
+    /// in that case.
+    pub fn absorb_batch(&mut self, batch: &ReportBatch) -> Result<()> {
+        let mut scratch = Vec::new();
+        self.absorb_batch_with(batch, &mut scratch)
+    }
+
+    /// [`EdgeSketchBuilder::absorb_batch`] with a caller-owned scratch buffer, for chunked
+    /// drivers that ingest many batches back to back.
+    ///
+    /// # Errors
+    /// Returns [`Error::IncompatibleSketches`] on a shape mismatch.
+    pub fn absorb_batch_with(&mut self, batch: &ReportBatch, scratch: &mut Vec<i32>) -> Result<()> {
+        let k = self.attr_a.replicas();
+        let per = self.attr_a.buckets() * self.attr_b.buckets();
+        if batch.rows() != k || batch.columns() != per {
+            return Err(Error::IncompatibleSketches(format!(
+                "report batch is {}x{} but the edge sketch is {k}x{per}",
+                batch.rows(),
+                batch.columns(),
+            )));
+        }
+        batch.accumulate_into_with(&mut self.raw, scratch);
+        self.reports += batch.len() as u64;
         Ok(())
     }
 
@@ -447,9 +607,13 @@ pub fn build_edge_sketch(
     rng: &mut dyn RngCore,
 ) -> Result<FinalizedEdgeSketch> {
     let client = LdpEdgeSketchClient::new(attr_a.clone(), attr_b.clone(), eps)?;
-    let reports = client.perturb_all(tuples, rng);
     let mut builder = EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), eps)?;
-    builder.absorb_all(&reports)?;
+    match client.perturb_batch(tuples, rng) {
+        // Packed end-to-end pipeline; bit-identical to the materialized report path.
+        Ok(batch) => builder.absorb_batch(&batch)?,
+        // Counter space not u32-packable: materialize reports and replay.
+        Err(_) => builder.absorb_all(&client.perturb_all(tuples, rng))?,
+    }
     Ok(builder.finalize())
 }
 
@@ -475,6 +639,11 @@ pub fn build_edge_sketch_chunked(
 
     let client = LdpEdgeSketchClient::new(attr_a.clone(), attr_b.clone(), eps)?;
     let mut builder = EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), eps)?;
+    // One packed batch + one scatter scratch + (on the fallback path) one report buffer,
+    // reused across every chunk: steady-state streaming ingestion allocates nothing.
+    let mut batch = ReportBatch::new(attr_a.replicas(), attr_a.buckets() * attr_b.buckets()).ok();
+    let mut scratch = Vec::new();
+    let mut reports = Vec::new();
     // Pass-local chunk ordinal, like the one-dimensional runners: `chunk_len()` is only an
     // upper bound, so deriving the ordinal from the start index could collide seeds (and
     // replay a noise stream) on streams emitting non-full mid-stream chunks.
@@ -486,8 +655,17 @@ pub fn build_edge_sketch_chunked(
         }
         let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed, ordinal));
         ordinal += 1;
-        let reports = client.perturb_all(chunk, &mut rng);
-        if let Err(e) = builder.absorb_all(&reports) {
+        let result = match batch.as_mut() {
+            Some(batch) => client
+                .perturb_batch_into(chunk, &mut rng, batch)
+                .and_then(|()| builder.absorb_batch_with(batch, &mut scratch)),
+            // Counter space not u32-packable: materialize reports into the reused buffer.
+            None => {
+                client.perturb_all_into(chunk, &mut rng, &mut reports);
+                builder.absorb_all(&reports)
+            }
+        };
+        if let Err(e) = result {
             err = Some(e);
         }
     });

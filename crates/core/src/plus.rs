@@ -467,9 +467,9 @@ impl LdpJoinSketchPlus {
                     }
                 }
                 let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ p1_tag, ordinal));
-                for &v in &sampled {
-                    batch.phase1.push(client_p1.perturb(v, &mut rng));
-                }
+                // Batched two-phase kernel into the reused lane buffer — bit-identical to
+                // perturbing the sampled values one by one.
+                client_p1.perturb_all_into(&sampled, &mut rng, &mut batch.phase1);
             }
             let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ p2_tag, ordinal));
             ordinal += 1;
@@ -528,10 +528,9 @@ impl LdpJoinSketchPlus {
             }
             let mut rng = StdRng::seed_from_u64(chunk_stream_seed(rng_seed ^ tag, ordinal));
             ordinal += 1;
-            reports.clear();
-            for &v in &sampled {
-                reports.push(client_p1.perturb(v, &mut rng));
-            }
+            // Batched two-phase kernel into the reused buffer — bit-identical to perturbing
+            // the sampled values one by one.
+            client_p1.perturb_all_into(&sampled, &mut rng, &mut reports);
             if let Err(e) = builder.absorb_all(&reports) {
                 err = Some(e);
             }
@@ -726,9 +725,13 @@ fn build_sketch(
     seed: u64,
     rng: &mut dyn RngCore,
 ) -> Result<FinalizedSketch> {
-    let reports = client.perturb_all(values, rng);
     let mut builder = SketchBuilder::new(params, eps, seed);
-    builder.absorb_all(&reports)?;
+    match client.perturb_batch(values, rng) {
+        // Packed end-to-end pipeline; bit-identical to the materialized report path.
+        Ok(batch) => builder.absorb_batch(&batch)?,
+        // Counter space not u32-packable: materialize reports and replay.
+        Err(_) => builder.absorb_all(&client.perturb_all(values, rng))?,
+    }
     Ok(builder.finalize())
 }
 
@@ -740,9 +743,11 @@ fn build_fap_sketch(
     seed: u64,
     rng: &mut dyn RngCore,
 ) -> Result<FinalizedSketch> {
-    let reports = client.perturb_all(values, rng);
     let mut builder = SketchBuilder::new(params, eps, seed);
-    builder.absorb_all(&reports)?;
+    match client.perturb_batch(values, rng) {
+        Ok(batch) => builder.absorb_batch(&batch)?,
+        Err(_) => builder.absorb_all(&client.perturb_all(values, rng))?,
+    }
     Ok(builder.finalize())
 }
 

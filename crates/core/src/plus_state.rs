@@ -217,6 +217,11 @@ impl PlusStateBuilder {
     /// Absorb one labeled batch atomically: every lane is validated against its sketch
     /// before any counter moves, so a rejected batch leaves all three lanes untouched.
     ///
+    /// The lanes arrive as array-of-structs report vectors, where a fused replay is the
+    /// fastest honest path (see [`SketchBuilder::absorb_all`] for the measurement); the
+    /// cross-lane atomicity requirement forces the validate sweep ahead of the first
+    /// counter move here.
+    ///
     /// # Errors
     /// [`Error::ReportOutOfRange`] for the first report that does not fit the sketch.
     pub fn absorb_batch(&mut self, batch: &PlusReportBatch) -> Result<()> {

@@ -116,12 +116,19 @@ pub fn stream_reports_chunked(
     // ordinal equals `start / chunk_len`, so existing pinned seeds are unchanged.
     let mut ordinal = 0u64;
     let mut err = None;
+    // One report buffer reused across every chunk: steady-state streaming perturbs without
+    // allocating a fresh report vector per chunk.
+    let mut reports = Vec::new();
     values.for_each_chunk(&mut |_start, chunk| {
         if err.is_some() {
             return;
         }
-        let reports =
-            client.perturb_all_parallel(chunk, chunk_stream_seed(rng_seed, ordinal), threads);
+        client.perturb_all_parallel_into(
+            chunk,
+            chunk_stream_seed(rng_seed, ordinal),
+            threads,
+            &mut reports,
+        );
         ordinal += 1;
         if let Err(e) = sink(&reports) {
             err = Some(e);

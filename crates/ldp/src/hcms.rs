@@ -16,6 +16,7 @@
 //! collisions; the paper therefore estimates join sizes for HCMS (and the other frequency
 //! oracles) by summing `f̃_A(d)·f̃_B(d)` over the domain — see [`crate::join`].
 
+use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hadamard::{fwht_in_place, hadamard_entry_f64};
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
@@ -83,12 +84,26 @@ impl HcmsOracle {
     }
 
     /// Server-side aggregation of one report.
-    pub fn absorb(&mut self, report: HcmsReport) {
+    ///
+    /// Rejects reports whose `(row, col)` falls outside the sketch before touching any
+    /// counter, mirroring `SketchBuilder::absorb`: an attacker-supplied index must not
+    /// panic the aggregator or (worse, with a permissive indexing scheme) land in a
+    /// neighbouring row.
+    pub fn absorb(&mut self, report: HcmsReport) -> Result<()> {
+        if report.row >= self.params.rows() || report.col >= self.params.columns() {
+            return Err(Error::ReportOutOfRange {
+                row: report.row,
+                col: report.col,
+                rows: self.params.rows(),
+                cols: self.params.columns(),
+            });
+        }
         let k = self.params.rows() as f64;
         let idx = report.row * self.params.columns() + report.col;
         self.raw[idx] += k * self.eps.c_eps() * report.y;
         self.transformed = None;
         self.n += 1;
+        Ok(())
     }
 
     /// The de-transformed sketch (rows restored from the Hadamard domain).
@@ -121,7 +136,8 @@ impl FrequencyOracle for HcmsOracle {
     fn collect(&mut self, values: &[u64], rng: &mut dyn RngCore) {
         for &v in values {
             let report = self.perturb(v, rng);
-            self.absorb(report);
+            self.absorb(report)
+                .expect("perturb only emits in-range indices");
         }
         self.finalize();
     }
@@ -208,6 +224,45 @@ mod tests {
             e_absent.abs() < 0.06 * n as f64,
             "estimate of absent value: {e_absent}"
         );
+    }
+
+    #[test]
+    fn absorb_rejects_out_of_range_reports() {
+        let eps = Epsilon::new(2.0).unwrap();
+        let mut oracle = HcmsOracle::new(params(4, 64), eps, 7);
+        let bad_row = HcmsReport {
+            y: 1.0,
+            row: 4,
+            col: 0,
+        };
+        let bad_col = HcmsReport {
+            y: -1.0,
+            row: 0,
+            col: 64,
+        };
+        for bad in [bad_row, bad_col] {
+            let err = oracle.absorb(bad).unwrap_err();
+            assert!(matches!(
+                err,
+                Error::ReportOutOfRange {
+                    rows: 4,
+                    cols: 64,
+                    ..
+                }
+            ));
+        }
+        // Rejected reports must leave the oracle untouched.
+        assert_eq!(oracle.total_reports(), 0);
+        assert_eq!(oracle.estimate(1), 0.0);
+        // A valid report still lands.
+        oracle
+            .absorb(HcmsReport {
+                y: 1.0,
+                row: 3,
+                col: 63,
+            })
+            .unwrap();
+        assert_eq!(oracle.total_reports(), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::cache::{CachedAnswer, QueryCache, QueryKey};
 use crate::window::{SealedWindow, WindowRange, WindowSnapshot};
+use ldpjs_common::batch::ReportBatch;
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
@@ -799,6 +800,48 @@ impl SketchService {
         Ok(self.after_ingest(idx, reports.len() as u64, now))
     }
 
+    /// Absorb an already-packed sign-split report batch into a plain attribute — the
+    /// zero-copy ingest entry point for clients emitting packed SoA batches
+    /// ([`LdpJoinSketchClient::perturb_batch`]-style pipelines), auto-rotating if an epoch
+    /// trigger fires. Bit-identical to [`SketchService::ingest`] over the same reports.
+    ///
+    /// # Errors
+    /// [`Error::UnknownAttribute`] for a bad handle; [`Error::ModeMismatch`] if the
+    /// attribute is not plain; [`Error::IncompatibleSketches`] if the batch shape does not
+    /// match the service's sketch (the batch is rejected atomically).
+    pub fn ingest_batch(
+        &mut self,
+        attr: AttributeId,
+        batch: &ReportBatch,
+    ) -> Result<IngestSummary> {
+        self.ingest_batch_at(attr, batch, Instant::now())
+    }
+
+    /// [`SketchService::ingest_batch`] with an explicit clock reading.
+    pub fn ingest_batch_at(
+        &mut self,
+        attr: AttributeId,
+        batch: &ReportBatch,
+        now: Instant,
+    ) -> Result<IngestSummary> {
+        let idx = attr.index();
+        let a = self
+            .attributes
+            .get_mut(idx)
+            .ok_or_else(|| unknown_attribute(idx))?;
+        match &mut a.live {
+            LiveEngine::Plain(engine) => engine.ingest_batch(batch)?,
+            _ => {
+                return Err(mode_mismatch(
+                    &a.name,
+                    a.kind.mode_name(),
+                    "packed report-batch ingestion",
+                ))
+            }
+        }
+        Ok(self.after_ingest(idx, batch.len() as u64, now))
+    }
+
     /// Absorb one labeled LDPJoinSketch+ report batch (three lanes) into a plus attribute,
     /// auto-rotating if an epoch trigger fires.
     ///
@@ -1533,6 +1576,47 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let values = gen.sample_many(n, &mut rng);
         service.client(attr).unwrap().perturb_all(&values, &mut rng)
+    }
+
+    #[test]
+    fn packed_batch_ingestion_matches_report_ingestion_bitwise() {
+        // The zero-copy packed entry point must land on exactly the sketch the AoS report
+        // entry point produces for the same underlying values, and count reports the same.
+        let gen = ZipfGenerator::new(1.5, 500);
+        let mut service_a = manual_service(6, 64, 4);
+        let mut service_b = manual_service(6, 64, 4);
+        let a = service_a.register_attribute("x", 7).unwrap();
+        let b = service_b.register_attribute("x", 7).unwrap();
+        for round in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(40 + round);
+            let values = gen.sample_many(2_000, &mut rng);
+            let client = service_a.client(a).unwrap();
+            let reports = client.perturb_all(&values, &mut StdRng::seed_from_u64(round));
+            let batch = client
+                .perturb_batch(&values, &mut StdRng::seed_from_u64(round))
+                .unwrap();
+            service_a.ingest(a, &reports).unwrap();
+            service_b.ingest_batch(b, &batch).unwrap();
+        }
+        service_a.rotate(a).unwrap();
+        service_b.rotate(b).unwrap();
+        let via_reports = service_a.merged_view(a, WindowRange::All).unwrap();
+        let via_batches = service_b.merged_view(b, WindowRange::All).unwrap();
+        assert_eq!(via_reports.reports(), via_batches.reports());
+        assert_eq!(
+            via_reports.restored_counters(),
+            via_batches.restored_counters()
+        );
+        // Mode mismatch is rejected.
+        let mut plus_service = manual_service(6, 64, 4);
+        let p = plus_service
+            .register_plus_attribute("p", 7, PlusAttributeConfig::new((0..10).collect()))
+            .unwrap();
+        let empty = ReportBatch::new(6, 64).unwrap();
+        assert!(matches!(
+            plus_service.ingest_batch(p, &empty),
+            Err(Error::ModeMismatch(_))
+        ));
     }
 
     #[test]

@@ -126,6 +126,57 @@ fn plus_service() -> (SketchService, AttributeId, AttributeId) {
 }
 
 #[test]
+fn batched_sharded_ingest_is_at_least_4x_scalar_absorb() {
+    if cfg!(debug_assertions) {
+        eprintln!("perf smoke gate skipped: meaningful only under --release");
+        return;
+    }
+
+    // Pinned 400k-report workload on the same smoke shape as the query gate. The packed
+    // batch is what the batched client hands over natively (`perturb_batch`), so the two
+    // measured sides see the same reports in the two wire shapes the engine accepts.
+    let n = 400_000usize;
+    let p = pinned_params();
+    let e = pinned_eps();
+    let client = LdpJoinSketchClient::new(p, e, 31);
+    let gen = ZipfGenerator::new(2.0, 4_096);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+    let values = gen.sample_many(n, &mut rng);
+    let reports = client.perturb_all(&values, &mut rng);
+    let batch = client.perturb_batch(&values, &mut rng).unwrap();
+
+    // Frozen scalar baseline: the engine's pre-batching ingest implementation (one
+    // validation sweep, then per-report f64 replay on the shard workers), preserved
+    // verbatim as `ingest_reference`. Reusing one engine across reps is fine —
+    // absorbing into non-zero counters costs the same as into zeros.
+    let mut reference = ShardedAggregator::new(p, e, 31, 4).unwrap();
+    let scalar_ns = median_ns(|| {
+        reference.ingest_reference(&reports).unwrap();
+        std::hint::black_box(reference.reports());
+    });
+
+    // Batched sharded ingest: sign-split packed lanes through the interleaved
+    // histogram scatter and the SIMD drain kernels.
+    let mut engine = ShardedAggregator::new(p, e, 31, 4).unwrap();
+    let batched_ns = median_ns(|| {
+        engine.ingest_batch(&batch).unwrap();
+        std::hint::black_box(engine.reports());
+    });
+
+    let speedup = scalar_ns as f64 / batched_ns as f64;
+    eprintln!(
+        "ingest 400k reports: scalar reference {scalar_ns} ns, batched sharded \
+         {batched_ns} ns, speedup {speedup:.2}x (gate: 4x)"
+    );
+    assert!(
+        speedup >= 4.0,
+        "batched ingest regressed to {speedup:.2}x the scalar baseline \
+         (batched {batched_ns} ns vs scalar {scalar_ns} ns; gate is 4x) — \
+         check the packed ReportBatch scatter and the SIMD drain kernels"
+    );
+}
+
+#[test]
 fn cold_plus_join_is_at_most_4x_cold_plain_join() {
     if cfg!(debug_assertions) {
         eprintln!("perf smoke gate skipped: meaningful only under --release");
