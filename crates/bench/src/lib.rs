@@ -1,2 +1,4 @@
 //! Benchmark-only crate: see the `benches/` directory. This library target exists only so the
 //! package has a compilation unit; all content lives in the Criterion benches.
+
+#![forbid(unsafe_code)]

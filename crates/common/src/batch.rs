@@ -268,6 +268,7 @@ fn accumulate(plus: &[u32], minus: &[u32], counters: &mut [f64], scratch: &mut V
         scratch.clear();
         scratch.resize(counters.len(), 0);
     }
+    debug_assert_eq!(scratch.len(), counters.len());
     scatter_lane(scratch, plus, 1);
     scatter_lane(scratch, minus, -1);
     drain_dispatch(counters, scratch);
@@ -282,11 +283,14 @@ fn scatter_lane(scratch: &mut [i32], lane: &[u32], delta: i32) {
     let (b, rest) = rest.split_at(q);
     let (c, rest) = rest.split_at(q);
     let (d, tail) = rest.split_at(q);
-    #[allow(unsafe_code)]
-    // SAFETY: every index stored in a `ReportBatch` lane is `< rows·cols` by construction
-    // (all constructors validate), and `scratch.len() == rows·cols` is asserted by every
-    // public accumulate entry point before reaching this kernel.
     for i in 0..q {
+        #[allow(unsafe_code)]
+        // SAFETY: `i < q` and the four streams each have exactly `q` elements by the
+        // `split_at` arithmetic above, so every `get_unchecked(i)` is in bounds. Every
+        // index stored in a `ReportBatch` lane is `< rows·cols` by construction (all
+        // constructors validate), and `scratch.len() == rows·cols` is asserted by every
+        // accumulate entry point before reaching this kernel, so every
+        // `get_unchecked_mut` is in bounds too.
         unsafe {
             *scratch.get_unchecked_mut(*a.get_unchecked(i) as usize) += delta;
             *scratch.get_unchecked_mut(*b.get_unchecked(i) as usize) += delta;
@@ -311,14 +315,24 @@ fn drain_dispatch(counters: &mut [f64], scratch: &mut [i32]) {
     debug_assert_eq!(counters.len(), scratch.len());
     #[cfg(target_arch = "x86_64")]
     {
-        #[allow(unsafe_code)]
-        // SAFETY: each call is guarded by a runtime CPU-feature check for exactly the
-        // feature set the callee was compiled with.
         if counters.len() >= 16 && std::arch::is_x86_feature_detected!("avx512f") {
-            unsafe { simd::drain_avx512(counters, scratch) };
+            #[allow(unsafe_code)]
+            // SAFETY: the runtime guard above proves `avx512f` — the exact feature set
+            // `drain_avx512` is compiled with — is available on this CPU, and the
+            // `counters.len() == scratch.len()` precondition is asserted at fn entry.
+            unsafe {
+                simd::drain_avx512(counters, scratch)
+            };
             return;
-        } else if counters.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
-            unsafe { simd::drain_avx2(counters, scratch) };
+        }
+        if counters.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
+            #[allow(unsafe_code)]
+            // SAFETY: the runtime guard above proves `avx2` — the exact feature set
+            // `drain_avx2` is compiled with — is available on this CPU, and the
+            // `counters.len() == scratch.len()` precondition is asserted at fn entry.
+            unsafe {
+                simd::drain_avx2(counters, scratch)
+            };
             return;
         }
     }
@@ -335,8 +349,14 @@ mod simd {
     use std::arch::x86_64::*;
 
     /// 8 counters per step: exact `i32 → f64` convert, one add, zero the scratch.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `avx512f` (callers check via `is_x86_feature_detected!`),
+    /// and `counters` and `scratch` must have equal lengths.
     #[target_feature(enable = "avx512f")]
-    pub(super) fn drain_avx512(counters: &mut [f64], scratch: &mut [i32]) {
+    pub(super) unsafe fn drain_avx512(counters: &mut [f64], scratch: &mut [i32]) {
+        debug_assert_eq!(counters.len(), scratch.len());
         let n = counters.len();
         let mut i = 0;
         while i + 8 <= n {
@@ -360,8 +380,14 @@ mod simd {
     }
 
     /// 4 counters per step, AVX2.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support `avx2` (callers check via `is_x86_feature_detected!`),
+    /// and `counters` and `scratch` must have equal lengths.
     #[target_feature(enable = "avx2")]
-    pub(super) fn drain_avx2(counters: &mut [f64], scratch: &mut [i32]) {
+    pub(super) unsafe fn drain_avx2(counters: &mut [f64], scratch: &mut [i32]) {
+        debug_assert_eq!(counters.len(), scratch.len());
         let n = counters.len();
         let mut i = 0;
         while i + 4 <= n {

@@ -99,14 +99,24 @@ fn fwht_dispatch(data: &mut [f64], scale: Option<f64>) {
         // operand sits in, never which operands meet or in what order — so all kernels are
         // bit-identical (pinned by `prop_fwht_bit_identical_*` against the radix-2
         // reference, which exercises whichever kernel this machine dispatches to).
-        #[allow(unsafe_code)]
-        // SAFETY: each call is guarded by a runtime CPU-feature check for exactly the
-        // feature set the callee was compiled with.
         if n >= 32 && std::arch::is_x86_feature_detected!("avx512f") {
-            unsafe { simd::fwht_kernel_avx512(data, scale) };
+            #[allow(unsafe_code)]
+            // SAFETY: the `is_x86_feature_detected!("avx512f")` guard above proves the
+            // kernel's required CPU feature, and `n` was just validated as a power of two
+            // and is ≥ 32 — exactly the kernel's documented contract.
+            unsafe {
+                simd::fwht_kernel_avx512(data, scale)
+            };
             return;
-        } else if n >= 32 && std::arch::is_x86_feature_detected!("avx2") {
-            unsafe { simd::fwht_kernel_avx2(data, scale) };
+        }
+        if n >= 32 && std::arch::is_x86_feature_detected!("avx2") {
+            #[allow(unsafe_code)]
+            // SAFETY: the `is_x86_feature_detected!("avx2")` guard above proves the
+            // kernel's required CPU feature, and `n` was just validated as a power of two
+            // and is ≥ 32 — exactly the kernel's documented contract.
+            unsafe {
+                simd::fwht_kernel_avx2(data, scale)
+            };
             return;
         }
     }
@@ -131,9 +141,13 @@ mod simd {
     /// Levels `1/2/4` on one 8-lane vector: per level, partner lane `i ^ X` is brought in
     /// by a shuffle, the sum lands in the lower partner and the difference in the upper
     /// (`v[i∧¬X] ± v[i∨X]`), selected by a blend mask — two arithmetic ops per level.
+    ///
+    /// # Safety
+    /// The CPU must support `avx512f`. Callers are same-feature kernels, which the
+    /// dispatcher only enters behind a runtime `is_x86_feature_detected!` check.
     #[target_feature(enable = "avx512f")]
     #[inline]
-    fn inlane512(v: __m512d) -> __m512d {
+    unsafe fn inlane512(v: __m512d) -> __m512d {
         // X = 1: swap adjacent pair within each 128-bit lane.
         let sh = _mm512_permute_pd::<0x55>(v);
         let v = _mm512_mask_blend_pd(0xAA, _mm512_add_pd(v, sh), _mm512_sub_pd(sh, v));
@@ -146,12 +160,19 @@ mod simd {
     }
 
     /// Radix-16 head pass (levels 1/2/4/8) over contiguous 16-element chunks.
+    ///
+    /// # Safety
+    /// The CPU must support `avx512f` (guaranteed by the dispatcher's runtime check);
+    /// `data.len()` must be a multiple of 16 (the plan only routes here for n ≥ 32 powers
+    /// of two).
     #[target_feature(enable = "avx512f")]
-    fn hex_pass_avx512<const SCALED: bool>(data: &mut [f64], s: f64) {
+    unsafe fn hex_pass_avx512<const SCALED: bool>(data: &mut [f64], s: f64) {
+        debug_assert_eq!(data.len() % 16, 0);
         let sv = _mm512_set1_pd(s);
         for hex in data.chunks_exact_mut(16) {
             let p = hex.as_mut_ptr();
-            // SAFETY: `hex` is exactly 16 f64s; unaligned loads/stores within it.
+            // SAFETY: `hex` is exactly 16 f64s, so the unaligned loads/stores at offsets
+            // 0 and 8 stay in bounds; `inlane512` shares this kernel's CPU feature.
             unsafe {
                 let a = inlane512(_mm512_loadu_pd(p));
                 let b = inlane512(_mm512_loadu_pd(p.add(8)));
@@ -168,14 +189,21 @@ mod simd {
 
     /// Strided radix-8 pass (levels `h/2h/4h`, `h` a multiple of 8): eight unit-stride
     /// streams, pure vertical adds/subs — no shuffles at all.
+    ///
+    /// # Safety
+    /// The CPU must support `avx512f` (guaranteed by the dispatcher's runtime check);
+    /// `h` must be a multiple of 8 and `data.len()` a multiple of `8h`.
     #[target_feature(enable = "avx512f")]
-    fn radix8_pass_avx512<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
+    unsafe fn radix8_pass_avx512<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
         debug_assert_eq!(h % 8, 0);
+        debug_assert_eq!(data.len() % (8 * h), 0);
         let sv = _mm512_set1_pd(s);
         for block in data.chunks_exact_mut(8 * h) {
             let p = block.as_mut_ptr();
             for i in (0..h).step_by(8) {
-                // SAFETY: offsets `i + q·h` for q < 8 stay within the 8h-element block.
+                // SAFETY: `i + 7 ≤ h − 1` (the loop bound, `h` a multiple of 8), so every
+                // 8-lane access at offset `i + q·h`, q < 8, ends at or before `8h − 1` —
+                // inside the 8h-element block.
                 unsafe {
                     let x0 = _mm512_loadu_pd(p.add(i));
                     let x1 = _mm512_loadu_pd(p.add(i + h));
@@ -215,14 +243,21 @@ mod simd {
     }
 
     /// Strided radix-4 pass (levels `h/2h`, `h` a multiple of 8), vertical like radix-8.
+    ///
+    /// # Safety
+    /// The CPU must support `avx512f` (guaranteed by the dispatcher's runtime check);
+    /// `h` must be a multiple of 8 and `data.len()` a multiple of `4h`.
     #[target_feature(enable = "avx512f")]
-    fn radix4_pass_avx512<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
+    unsafe fn radix4_pass_avx512<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
         debug_assert_eq!(h % 8, 0);
+        debug_assert_eq!(data.len() % (4 * h), 0);
         let sv = _mm512_set1_pd(s);
         for block in data.chunks_exact_mut(4 * h) {
             let p = block.as_mut_ptr();
             for i in (0..h).step_by(8) {
-                // SAFETY: offsets `i + q·h` for q < 4 stay within the 4h-element block.
+                // SAFETY: `i + 7 ≤ h − 1` (the loop bound, `h` a multiple of 8), so every
+                // 8-lane access at offset `i + q·h`, q < 4, ends at or before `4h − 1` —
+                // inside the 4h-element block.
                 unsafe {
                     let x0 = _mm512_loadu_pd(p.add(i));
                     let x1 = _mm512_loadu_pd(p.add(i + h));
@@ -249,9 +284,13 @@ mod simd {
 
     /// Levels `1/2` on one 4-lane vector (level 4 crosses 256-bit vectors and is done
     /// vertically by the caller).
+    ///
+    /// # Safety
+    /// The CPU must support `avx2`. Callers are same-feature kernels, which the
+    /// dispatcher only enters behind a runtime `is_x86_feature_detected!` check.
     #[target_feature(enable = "avx2")]
     #[inline]
-    fn inlane256(v: __m256d) -> __m256d {
+    unsafe fn inlane256(v: __m256d) -> __m256d {
         // X = 1: swap adjacent pair within each 128-bit lane.
         let sh = _mm256_permute_pd::<0x5>(v);
         let v = _mm256_blend_pd::<0xA>(_mm256_add_pd(v, sh), _mm256_sub_pd(sh, v));
@@ -261,12 +300,19 @@ mod simd {
     }
 
     /// Radix-16 head pass (levels 1/2/4/8) over contiguous 16-element chunks, AVX2.
+    ///
+    /// # Safety
+    /// The CPU must support `avx2` (guaranteed by the dispatcher's runtime check);
+    /// `data.len()` must be a multiple of 16 (the plan only routes here for n ≥ 32 powers
+    /// of two).
     #[target_feature(enable = "avx2")]
-    fn hex_pass_avx2<const SCALED: bool>(data: &mut [f64], s: f64) {
+    unsafe fn hex_pass_avx2<const SCALED: bool>(data: &mut [f64], s: f64) {
+        debug_assert_eq!(data.len() % 16, 0);
         let sv = _mm256_set1_pd(s);
         for hex in data.chunks_exact_mut(16) {
             let p = hex.as_mut_ptr();
-            // SAFETY: `hex` is exactly 16 f64s; unaligned loads/stores within it.
+            // SAFETY: `hex` is exactly 16 f64s, so the unaligned loads/stores at offsets
+            // 0/4/8/12 stay in bounds; `inlane256` shares this kernel's CPU feature.
             unsafe {
                 let a0 = inlane256(_mm256_loadu_pd(p));
                 let a1 = inlane256(_mm256_loadu_pd(p.add(4)));
@@ -293,14 +339,21 @@ mod simd {
     }
 
     /// Strided radix-8 pass, AVX2 (4-lane steps; `h` is a multiple of 8 ≥ 8).
+    ///
+    /// # Safety
+    /// The CPU must support `avx2` (guaranteed by the dispatcher's runtime check);
+    /// `h` must be a multiple of 4 and `data.len()` a multiple of `8h`.
     #[target_feature(enable = "avx2")]
-    fn radix8_pass_avx2<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
+    unsafe fn radix8_pass_avx2<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
         debug_assert_eq!(h % 4, 0);
+        debug_assert_eq!(data.len() % (8 * h), 0);
         let sv = _mm256_set1_pd(s);
         for block in data.chunks_exact_mut(8 * h) {
             let p = block.as_mut_ptr();
             for i in (0..h).step_by(4) {
-                // SAFETY: offsets `i + q·h` for q < 8 stay within the 8h-element block.
+                // SAFETY: `i + 3 ≤ h − 1` (the loop bound, `h` a multiple of 4), so every
+                // 4-lane access at offset `i + q·h`, q < 8, ends at or before `8h − 1` —
+                // inside the 8h-element block.
                 unsafe {
                     let x0 = _mm256_loadu_pd(p.add(i));
                     let x1 = _mm256_loadu_pd(p.add(i + h));
@@ -340,14 +393,21 @@ mod simd {
     }
 
     /// Strided radix-4 pass, AVX2.
+    ///
+    /// # Safety
+    /// The CPU must support `avx2` (guaranteed by the dispatcher's runtime check);
+    /// `h` must be a multiple of 4 and `data.len()` a multiple of `4h`.
     #[target_feature(enable = "avx2")]
-    fn radix4_pass_avx2<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
+    unsafe fn radix4_pass_avx2<const SCALED: bool>(data: &mut [f64], h: usize, s: f64) {
         debug_assert_eq!(h % 4, 0);
+        debug_assert_eq!(data.len() % (4 * h), 0);
         let sv = _mm256_set1_pd(s);
         for block in data.chunks_exact_mut(4 * h) {
             let p = block.as_mut_ptr();
             for i in (0..h).step_by(4) {
-                // SAFETY: offsets `i + q·h` for q < 4 stay within the 4h-element block.
+                // SAFETY: `i + 3 ≤ h − 1` (the loop bound, `h` a multiple of 4), so every
+                // 4-lane access at offset `i + q·h`, q < 4, ends at or before `4h − 1` —
+                // inside the 4h-element block.
                 unsafe {
                     let x0 = _mm256_loadu_pd(p.add(i));
                     let x1 = _mm256_loadu_pd(p.add(i + h));
@@ -373,65 +433,92 @@ mod simd {
     }
 
     /// The shared pass plan (head + greedy radix-8/radix-4 tail, scale folded into the
-    /// final pass), instantiated per ISA so every pass call is a direct same-feature call.
-    macro_rules! simd_kernel {
-        ($name:ident, $feature:literal, $hex:ident, $r8:ident, $r4:ident) => {
-            #[target_feature(enable = $feature)]
-            pub(super) fn $name(data: &mut [f64], scale: Option<f64>) {
-                let n = data.len();
-                debug_assert!(n >= 32);
-                let s = scale.unwrap_or(1.0);
-                let levels = n.trailing_zeros();
-                let mut h;
-                let mut remaining;
-                if levels == 5 {
-                    // n == 32: radix-8 head so the tail level count is 2, not 1.
-                    radix8_oct_pass::<false>(data, 1.0);
-                    h = 8;
-                    remaining = 2;
-                } else {
-                    $hex::<false>(data, 1.0);
-                    h = 16;
-                    remaining = levels - 4;
-                }
-                while remaining > 0 {
-                    if remaining == 3 || remaining > 4 {
-                        if scale.is_some() && remaining == 3 {
-                            $r8::<true>(data, h, s);
-                        } else {
-                            $r8::<false>(data, h, 1.0);
-                        }
-                        h *= 8;
-                        remaining -= 3;
-                    } else {
-                        if scale.is_some() && remaining == 2 {
-                            $r4::<true>(data, h, s);
-                        } else {
-                            $r4::<false>(data, h, 1.0);
-                        }
-                        h *= 4;
-                        remaining -= 2;
-                    }
-                }
-                debug_assert_eq!(h, n);
+    /// final pass), expanded into the body of each explicitly-declared per-ISA kernel —
+    /// every pass call is a direct same-feature call, and the kernel declarations stay
+    /// visible to `ldpjs-xtask lint`'s `#[target_feature]` dispatch registry (an earlier
+    /// form of this macro generated the whole `fn`, hiding it from line-level tooling).
+    macro_rules! simd_plan {
+        ($data:ident, $scale:ident, $hex:ident, $r8:ident, $r4:ident) => {{
+            let n = $data.len();
+            debug_assert!(n.is_power_of_two() && n >= 32);
+            let s = $scale.unwrap_or(1.0);
+            let levels = n.trailing_zeros();
+            let mut h;
+            let mut remaining;
+            if levels == 5 {
+                // n == 32: radix-8 head so the tail level count is 2, not 1.
+                radix8_oct_pass::<false>($data, 1.0);
+                h = 8;
+                remaining = 2;
+            } else {
+                // SAFETY: the head pass shares this kernel's CPU feature, and `n` is a
+                // power of two ≥ 64 here, hence a multiple of 16.
+                unsafe { $hex::<false>($data, 1.0) };
+                h = 16;
+                remaining = levels - 4;
             }
-        };
+            while remaining > 0 {
+                if remaining == 3 || remaining > 4 {
+                    if $scale.is_some() && remaining == 3 {
+                        // SAFETY: same CPU feature as this kernel; `h` is a multiple of 8
+                        // and `n = h · 2^remaining` is a multiple of 8h.
+                        unsafe { $r8::<true>($data, h, s) };
+                    } else {
+                        // SAFETY: same CPU feature as this kernel; `h` is a multiple of 8
+                        // and `n = h · 2^remaining` is a multiple of 8h.
+                        unsafe { $r8::<false>($data, h, 1.0) };
+                    }
+                    h *= 8;
+                    remaining -= 3;
+                } else {
+                    if $scale.is_some() && remaining == 2 {
+                        // SAFETY: same CPU feature as this kernel; `h` is a multiple of 8
+                        // and `n = h · 2^remaining` is a multiple of 4h.
+                        unsafe { $r4::<true>($data, h, s) };
+                    } else {
+                        // SAFETY: same CPU feature as this kernel; `h` is a multiple of 8
+                        // and `n = h · 2^remaining` is a multiple of 4h.
+                        unsafe { $r4::<false>($data, h, 1.0) };
+                    }
+                    h *= 4;
+                    remaining -= 2;
+                }
+            }
+            debug_assert_eq!(h, n);
+        }};
     }
 
-    simd_kernel!(
-        fwht_kernel_avx512,
-        "avx512f",
-        hex_pass_avx512,
-        radix8_pass_avx512,
-        radix4_pass_avx512
-    );
-    simd_kernel!(
-        fwht_kernel_avx2,
-        "avx2",
-        hex_pass_avx2,
-        radix8_pass_avx2,
-        radix4_pass_avx2
-    );
+    /// Runtime-dispatched AVX-512 FWHT kernel: radix-16 head + strided radix-8/4 tail.
+    ///
+    /// # Safety
+    /// The caller must prove `avx512f` is available (an `is_x86_feature_detected!`
+    /// runtime check) and pass a `data` whose length is a power of two ≥ 32.
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn fwht_kernel_avx512(data: &mut [f64], scale: Option<f64>) {
+        simd_plan!(
+            data,
+            scale,
+            hex_pass_avx512,
+            radix8_pass_avx512,
+            radix4_pass_avx512
+        );
+    }
+
+    /// Runtime-dispatched AVX2 FWHT kernel: radix-16 head + strided radix-8/4 tail.
+    ///
+    /// # Safety
+    /// The caller must prove `avx2` is available (an `is_x86_feature_detected!` runtime
+    /// check) and pass a `data` whose length is a power of two ≥ 32.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn fwht_kernel_avx2(data: &mut [f64], scale: Option<f64>) {
+        simd_plan!(
+            data,
+            scale,
+            hex_pass_avx2,
+            radix8_pass_avx2,
+            radix4_pass_avx2
+        );
+    }
 }
 
 /// One radix-4 pass at stride `h` over contiguous quads (`h == 1`), optionally scaling the
@@ -552,8 +639,8 @@ fn inlane_level<const X: usize>(v: [f64; 8]) -> [f64; 8] {
 #[inline(always)]
 fn radix16_hex_pass<const SCALED: bool>(data: &mut [f64], s: f64) {
     for hex in data.chunks_exact_mut(16) {
-        let mut a: [f64; 8] = hex[..8].try_into().expect("chunk half");
-        let mut b: [f64; 8] = hex[8..].try_into().expect("chunk half");
+        let mut a: [f64; 8] = std::array::from_fn(|i| hex[i]);
+        let mut b: [f64; 8] = std::array::from_fn(|i| hex[i + 8]);
         a = inlane_level::<4>(inlane_level::<2>(inlane_level::<1>(a)));
         b = inlane_level::<4>(inlane_level::<2>(inlane_level::<1>(b)));
         for i in 0..8 {

@@ -22,7 +22,11 @@
 //! experiments and property tests are reproducible.
 
 #![warn(missing_docs)]
+// The only crate in the workspace allowed to contain `unsafe` (the SIMD kernels in
+// `hadamard` and `batch`); every block is opted in with `#[allow(unsafe_code)]` plus a
+// `// SAFETY:` contract, and `ldpjs-xtask lint` machine-checks both.
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod batch;
 pub mod error;

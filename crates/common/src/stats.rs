@@ -5,7 +5,7 @@
 //! in terms of the frequency moments `F1` and `F2` (Definition 3). These helpers implement
 //! those aggregations once, with care around empty inputs and NaNs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Median of a slice of `f64` values.
 ///
@@ -49,8 +49,13 @@ pub fn variance(values: &[f64]) -> Option<f64> {
 }
 
 /// Exact frequency table of a stream of values.
-pub fn frequency_table(values: &[u64]) -> HashMap<u64, u64> {
-    let mut table = HashMap::new();
+///
+/// Returns a `BTreeMap` so iterating the table (e.g. collecting the distinct domain for a
+/// figure run) visits keys in sorted order — callers that sum float estimates over the
+/// table get bit-identical totals run to run, which `HashMap`'s seeded iteration order
+/// does not guarantee.
+pub fn frequency_table(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut table = BTreeMap::new();
     for &v in values {
         *table.entry(v).or_insert(0) += 1;
     }
@@ -99,7 +104,7 @@ pub fn exact_chain_join_3(t1: &[u64], t2: &[(u64, u64)], t3: &[u64]) -> u64 {
 pub fn exact_chain_join_4(t1: &[u64], t2: &[(u64, u64)], t3: &[(u64, u64)], t4: &[u64]) -> u64 {
     let f1 = frequency_table(t1);
     let f4 = frequency_table(t4);
-    let mut w3: HashMap<u64, u64> = HashMap::new();
+    let mut w3: BTreeMap<u64, u64> = BTreeMap::new();
     for &(b, c) in t3 {
         *w3.entry(b).or_insert(0) += f4.get(&c).copied().unwrap_or(0);
     }
@@ -144,6 +149,16 @@ mod tests {
         assert_eq!(table[&2], 2);
         assert_eq!(table[&9], 1);
         assert_eq!(table.get(&5), None);
+    }
+
+    #[test]
+    fn frequency_table_iterates_in_sorted_key_order() {
+        // Regression: fig14 collects `table.keys()` as the evaluation domain and sums
+        // float MSE terms over it; with a hash map the visit order (and thus the float
+        // sums) varied run to run. The table must yield sorted keys.
+        let data = [9u64, 3, 3, 7, 1, 9, 9];
+        let keys: Vec<u64> = frequency_table(&data).keys().copied().collect();
+        assert_eq!(keys, vec![1, 3, 7, 9]);
     }
 
     #[test]

@@ -150,7 +150,11 @@ impl ShardedAggregator {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard ingest worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    // Propagate a worker panic verbatim instead of minting a new one.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         if results.iter().all(Result::is_ok) {
@@ -170,6 +174,8 @@ impl ShardedAggregator {
                 }
             }
         }
+        // lint:allow(panic-freedom) — invariant: this branch is only reached when
+        // `results` contained at least one `Err`, which the loop above captured.
         Err(first_err.expect("at least one shard failed"))
     }
 
@@ -258,10 +264,14 @@ impl ShardedAggregator {
         let mut shards = self.shards.into_iter();
         let mut merged = shards
             .next()
+            // lint:allow(panic-freedom) — invariant: `with_hashes` rejects zero shards,
+            // so the engine always holds at least one.
             .expect("engine always holds at least one shard");
         for shard in shards {
             merged
                 .merge(&shard)
+                // lint:allow(panic-freedom) — invariant: every shard is cloned from one
+                // template builder, so parameters, hashes and ε match by construction.
                 .expect("shards share parameters, hashes and ε by construction");
         }
         merged

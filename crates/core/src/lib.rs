@@ -30,7 +30,7 @@
 //! evaluation is run.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod aggregator;
 pub mod bounds;

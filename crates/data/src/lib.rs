@@ -21,7 +21,7 @@
 //!   in laptop RAM.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod gaussian;
 pub mod realworld;

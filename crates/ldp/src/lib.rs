@@ -13,7 +13,7 @@
 //! them uniformly; each also reports its per-user communication cost for Fig. 7.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod hcms;
 pub mod join;

@@ -9,7 +9,7 @@
 //!   binary prints the same rows/series the corresponding paper figure plots.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod error;
 pub mod report;

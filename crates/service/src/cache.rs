@@ -17,7 +17,7 @@
 
 use ldpjs_core::multiway::FinalizedEdgeSketch;
 use ldpjs_core::FinalizedSketch;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// A query answer as stored in (and served from) the cache.
@@ -33,7 +33,7 @@ pub(crate) struct CachedAnswer {
 
 /// Cache key: the query kind plus the participating attributes and the resolved epoch spans
 /// the query covered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub(crate) enum QueryKey {
     /// Plain join-size query over two attributes' spans (normalized so `a <= b`).
     Join {
@@ -155,15 +155,18 @@ struct Entry {
 #[derive(Debug)]
 pub(crate) struct QueryCache {
     capacity: usize,
-    results: HashMap<QueryKey, Entry>,
+    /// Ordered maps, not hash maps: `invalidate_attribute` and `prune_order` *iterate*
+    /// these stores, and `BTreeMap` makes the visit order (hence eviction/invalidation
+    /// bookkeeping and any future iteration) deterministic run to run.
+    results: BTreeMap<QueryKey, Entry>,
     /// Recency queue of `(key, stamp)` pairs, oldest first. A pair is live only while the
     /// entry's stamp matches; promotions and invalidations leave stale pairs that pop (or
     /// are pruned) for free.
     order: VecDeque<(QueryKey, u64)>,
     /// Monotonic recency clock.
     clock: u64,
-    views: HashMap<(usize, u64, u64), Arc<FinalizedSketch>>,
-    edge_views: HashMap<(usize, u64, u64), Arc<FinalizedEdgeSketch>>,
+    views: BTreeMap<(usize, u64, u64), Arc<FinalizedSketch>>,
+    edge_views: BTreeMap<(usize, u64, u64), Arc<FinalizedEdgeSketch>>,
     hits: u64,
     misses: u64,
     invalidations: u64,
@@ -175,11 +178,11 @@ impl QueryCache {
     pub(crate) fn with_capacity(capacity: usize) -> Self {
         QueryCache {
             capacity,
-            results: HashMap::new(),
+            results: BTreeMap::new(),
             order: VecDeque::new(),
             clock: 0,
-            views: HashMap::new(),
-            edge_views: HashMap::new(),
+            views: BTreeMap::new(),
+            edge_views: BTreeMap::new(),
             hits: 0,
             misses: 0,
             invalidations: 0,

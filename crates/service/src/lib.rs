@@ -43,7 +43,7 @@
 //! layer owns windowing, retention, merging and query serving.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod service;

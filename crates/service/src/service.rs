@@ -362,6 +362,8 @@ impl SpanLedger {
             (SpanLedger::Edge { origin, prefix }, SealedWindow::Edge { sealed, .. }) => {
                 let mut next = prefix.back().unwrap_or(origin).clone();
                 next.merge(sealed)
+                    // lint:allow(panic-freedom) — invariant: every window of one attribute
+                    // is built from the same registration, so attributes and ε always match.
                     .expect("windows of one attribute share attributes and ε");
                 prefix.push_back(next);
             }
@@ -374,12 +376,18 @@ impl SpanLedger {
     fn evict(&mut self) {
         match self {
             SpanLedger::Plain { origin, prefix, .. } => {
+                // lint:allow(panic-freedom) — invariant: evict only runs when the window
+                // ring overflows, and push kept one ledger entry per ring window.
                 *origin = prefix.pop_front().expect("ledger aligned with windows");
             }
             SpanLedger::Plus { origin, prefix, .. } => {
+                // lint:allow(panic-freedom) — invariant: evict only runs when the window
+                // ring overflows, and push kept one ledger entry per ring window.
                 *origin = prefix.pop_front().expect("ledger aligned with windows");
             }
             SpanLedger::Edge { origin, prefix } => {
+                // lint:allow(panic-freedom) — invariant: evict only runs when the window
+                // ring overflows, and push kept one ledger entry per ring window.
                 *origin = prefix.pop_front().expect("ledger aligned with windows");
             }
         }
@@ -398,6 +406,8 @@ impl SpanLedger {
         else {
             unreachable!("mode checked by the query layer");
         };
+        // lint:allow(panic-freedom) — invariant: span resolution rejects empty rings, so
+        // a resolved span implies at least one ledger prefix entry.
         let last = prefix.back().expect("span resolution rejects empty rings");
         let base = if start == 0 {
             origin
@@ -447,6 +457,8 @@ impl SpanLedger {
             unreachable!("mode checked by the rotation hook");
         };
         let len = prefix.len();
+        // lint:allow(panic-freedom) — invariant: the rotation hook calls refresh right
+        // after push, so the prefix is never empty here.
         let last = prefix.back().expect("refresh runs right after a push");
         spans.clear();
         for start in 0..len - 1 {
@@ -455,7 +467,7 @@ impl SpanLedger {
             } else {
                 &prefix[start - 1]
             };
-            let mut lane = (0..3).map(|l| {
+            let mk = |l: usize| {
                 FinalizedSketch::from_spectrum_diff(
                     *params,
                     *eps,
@@ -464,12 +476,8 @@ impl SpanLedger {
                     &last.lanes[l],
                     &base.lanes[l],
                 )
-            });
-            let (phase1, low, high) = (
-                lane.next().expect("plus ledger entries hold three lanes"),
-                lane.next().expect("plus ledger entries hold three lanes"),
-                lane.next().expect("plus ledger entries hold three lanes"),
-            );
+            };
+            let (phase1, low, high) = (mk(0), mk(1), mk(2));
             spans.push(Arc::new(FinalizedPlusState::new_indexed(
                 phase1, low, high, policy, index,
             )));
@@ -482,6 +490,8 @@ impl SpanLedger {
         let SpanLedger::Edge { origin, prefix } = self else {
             unreachable!("mode checked by the query layer");
         };
+        // lint:allow(panic-freedom) — invariant: span resolution rejects empty rings, so
+        // a resolved span implies at least one ledger prefix entry.
         let last = prefix.back().expect("span resolution rejects empty rings");
         let base = if start == 0 {
             origin
@@ -489,6 +499,8 @@ impl SpanLedger {
             &prefix[start - 1]
         };
         last.difference(base)
+            // lint:allow(panic-freedom) — invariant: each prefix entry is the previous
+            // entry plus one window, so `last` always dominates `base` counter-wise.
             .expect("every ledger prefix is a superset of its predecessors")
     }
 }
@@ -672,10 +684,14 @@ impl SketchService {
         );
         let live = LiveEngine::Edge(
             EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), self.config.eps)
+                // lint:allow(panic-freedom) — invariant: both attributes were just derived
+                // from the service's single (k, m), so the replica counts match.
                 .expect("attributes derived at equal (k, m) always share the replica count"),
         );
         let ledger = SpanLedger::Edge {
             origin: EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), self.config.eps)
+                // lint:allow(panic-freedom) — invariant: both attributes were just derived
+                // from the service's single (k, m), so the replica counts match.
                 .expect("attributes derived at equal (k, m) always share the replica count"),
             prefix: VecDeque::new(),
         };
@@ -756,6 +772,8 @@ impl SketchService {
             AttributeKind::Edge { attr_a, attr_b } => {
                 Ok(
                     LdpEdgeSketchClient::new(attr_a.clone(), attr_b.clone(), self.config.eps)
+                        // lint:allow(panic-freedom) — invariant: registration derived both
+                        // attributes from the service's single (k, m), so replicas match.
                         .expect("registered edge attributes share the replica count"),
                 )
             }
@@ -771,6 +789,8 @@ impl SketchService {
     /// attribute is not plain; [`Error::ReportOutOfRange`] if a report does not fit the
     /// sketch (the batch is rejected atomically).
     pub fn ingest(&mut self, attr: AttributeId, reports: &[ClientReport]) -> Result<IngestSummary> {
+        // lint:allow(determinism) — wall-clock convenience wrapper by design; replayable
+        // callers (and all tests) inject the clock through `ingest_at`.
         self.ingest_at(attr, reports, Instant::now())
     }
 
@@ -814,6 +834,8 @@ impl SketchService {
         attr: AttributeId,
         batch: &ReportBatch,
     ) -> Result<IngestSummary> {
+        // lint:allow(determinism) — wall-clock convenience wrapper by design; replayable
+        // callers (and all tests) inject the clock through `ingest_batch_at`.
         self.ingest_batch_at(attr, batch, Instant::now())
     }
 
@@ -853,6 +875,8 @@ impl SketchService {
         attr: AttributeId,
         batch: &PlusReportBatch,
     ) -> Result<IngestSummary> {
+        // lint:allow(determinism) — wall-clock convenience wrapper by design; replayable
+        // callers (and all tests) inject the clock through `ingest_plus_at`.
         self.ingest_plus_at(attr, batch, Instant::now())
     }
 
@@ -892,6 +916,8 @@ impl SketchService {
         attr: AttributeId,
         reports: &[EdgeReport],
     ) -> Result<IngestSummary> {
+        // lint:allow(determinism) — wall-clock convenience wrapper by design; replayable
+        // callers (and all tests) inject the clock through `ingest_edge_at`.
         self.ingest_edge_at(attr, reports, Instant::now())
     }
 
@@ -1370,6 +1396,8 @@ fn require_plain(attr: &Attribute) -> Result<()> {
 
 fn fresh_plain_engine(config: &ServiceConfig, hashes: &Arc<RowHashes>) -> ShardedAggregator {
     ShardedAggregator::with_hashes(config.params, config.eps, Arc::clone(hashes), config.shards)
+        // lint:allow(panic-freedom) — invariant: `ServiceConfig` validated a non-zero
+        // shard count at service construction, the only way this is reached.
         .expect("shard count validated at service construction")
 }
 
@@ -1407,6 +1435,8 @@ fn rotate_attribute(
         }
         (AttributeKind::Edge { attr_a, attr_b }, LiveEngine::Edge(builder)) => {
             let fresh = EdgeSketchBuilder::new(attr_a.clone(), attr_b.clone(), config.eps)
+                // lint:allow(panic-freedom) — invariant: registration derived both
+                // attributes from the service's single (k, m), so replica counts match.
                 .expect("registered edge attributes share the replica count");
             let sealed = std::mem::replace(builder, fresh);
             WindowSnapshot::seal_edge(epoch, sealed)
@@ -1433,6 +1463,8 @@ fn rotate_attribute(
         ..
     } = &attr.kind
     {
+        // lint:allow(panic-freedom) — invariant: a window was pushed onto the ring a few
+        // lines above, so `back()` is always populated here.
         let newest = match attr.windows.back().expect("window pushed above").state() {
             SealedWindow::Plus { view, .. } => Arc::clone(view),
             _ => unreachable!("attribute kind and windows are constructed together"),

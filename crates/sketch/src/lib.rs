@@ -14,7 +14,7 @@
 //! non-private sketch built from the same seed are directly comparable.
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub mod agms;
 pub mod compass;

@@ -1,0 +1,105 @@
+//! CLI for the workspace maintenance tasks: `cargo run -p ldpjs-xtask -- lint`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo run -p ldpjs-xtask -- lint [--root <dir>] [<file.rs>...]");
+    eprintln!();
+    eprintln!("subcommands:");
+    eprintln!("  lint    run the repo-specific static-analysis rules (unsafe-contract,");
+    eprintln!("          simd-dispatch, determinism, panic-freedom); exits non-zero on");
+    eprintln!("          findings. With no file arguments, lints every workspace .rs");
+    eprintln!("          file under the root; with file arguments, lints exactly those");
+    eprintln!("          files (honoring a leading `//@path:` pretend-path directive,");
+    eprintln!("          the fixture convention).");
+    ExitCode::from(2)
+}
+
+/// Lint explicit files. A leading `//@path: <rel>` line (the fixture convention) overrides
+/// the workspace-relative path used for rule scoping, so known-bad fixtures reproduce
+/// their diagnostics from the CLI exactly as the self-tests see them.
+fn lint_files(files: &[PathBuf]) -> ExitCode {
+    let mut sources = Vec::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = text
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@path:"))
+            .map(|p| p.trim().to_string())
+            .unwrap_or_else(|| path.to_string_lossy().replace('\\', "/"));
+        sources.push((rel, text));
+    }
+    let diags = ldpjs_xtask::lint_sources(&sources);
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    if diags.is_empty() {
+        println!("lint: clean ({} files checked)", sources.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        _ => return usage(),
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            f if !f.starts_with('-') => files.push(PathBuf::from(f)),
+            _ => return usage(),
+        }
+    }
+    if !files.is_empty() {
+        return lint_files(&files);
+    }
+    // Default root: the workspace directory two levels above this crate's manifest.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("..")
+    });
+
+    match ldpjs_xtask::lint_workspace(&root) {
+        Ok((diags, checked)) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            if diags.is_empty() {
+                println!("lint: workspace clean ({checked} files checked)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "lint: {} finding(s) across {checked} files — fix or justify with \
+                     `// lint:allow(<rule>)` (see README \"Static analysis & unsafe policy\")",
+                    diags.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("lint: cannot walk workspace at {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

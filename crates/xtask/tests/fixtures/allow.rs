@@ -1,0 +1,10 @@
+//@path: crates/core/src/allowed.rs
+//@expect: panic-freedom@8
+
+pub fn both(a: Option<u32>, b: Option<u32>) -> u32 {
+    // lint:allow(panic-freedom) — fixture: the first unwrap carries a justification,
+    // so only the second (line 8) may be reported.
+    let x = a.unwrap();
+    let y = b.unwrap();
+    x + y
+}

@@ -1,0 +1,20 @@
+//@path: crates/ldp/src/jitter.rs
+//@expect: determinism@9
+//@expect: determinism@14
+//@expect: determinism@18
+
+use std::collections::HashMap;
+
+pub fn stamp() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+/// Sums in hash-iteration order — nondeterministic float totals run to run.
+pub fn total(scores: &HashMap<u64, f64>) -> f64 {
+    scores.values().sum()
+}
+
+pub fn noisy() -> u64 {
+    let mut r = rand::thread_rng();
+    r.next_u64()
+}

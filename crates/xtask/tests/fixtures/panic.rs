@@ -1,0 +1,11 @@
+//@path: crates/service/src/oops.rs
+//@expect: panic-freedom@6
+//@expect: panic-freedom@10
+
+pub fn head(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn explode() {
+    panic!("boom");
+}

@@ -1,0 +1,11 @@
+//@path: crates/core/src/fast.rs
+//@expect: simd-dispatch@6
+//@expect: simd-dispatch@8
+//@expect: simd-dispatch@9
+
+use std::arch::x86_64::__m256d;
+
+#[target_feature(enable = "avx2")]
+pub fn widen(x: &mut [f64]) {
+    let _ = x;
+}

@@ -1,0 +1,8 @@
+//@path: crates/common/src/scratch.rs
+//@expect: unsafe-contract@7
+
+/// Reads the first element without a bounds check — but states no contract.
+pub fn first(x: &[f64]) -> f64 {
+    #[allow(unsafe_code)]
+    unsafe { *x.as_ptr() }
+}

@@ -38,7 +38,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![deny(unsafe_code)]
+#![forbid(unsafe_code)]
 
 pub use ldpjs_common as common;
 pub use ldpjs_core as core;

@@ -11,6 +11,8 @@
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -17,6 +17,8 @@
 //!
 //! [`proptest`]: https://crates.io/crates/proptest
 
+#![forbid(unsafe_code)]
+
 /// Test-runner configuration.
 pub mod test_runner {
     /// Configuration for a `proptest!` block.

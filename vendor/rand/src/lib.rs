@@ -13,6 +13,8 @@
 //!
 //! [`rand`]: https://crates.io/crates/rand
 
+#![forbid(unsafe_code)]
+
 /// The core of a random number generator: a source of uniform random words.
 pub trait RngCore {
     /// Return the next random `u32`.
