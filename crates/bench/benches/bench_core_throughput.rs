@@ -14,7 +14,7 @@
 //! compiling and the JSON schema exercised).
 
 use criterion::{BatchSize, Bencher, Criterion};
-use ldpjs_core::aggregator::ShardedAggregator;
+use ldpjs_core::aggregator::{AggregatorInstruments, ShardedAggregator};
 use ldpjs_core::client::LdpJoinSketchClient;
 use ldpjs_core::protocol::{
     build_private_sketch, ldp_join_estimate_chunked, ldp_join_plus_estimate_chunked,
@@ -24,6 +24,7 @@ use ldpjs_core::{
     Epsilon, LdpJoinSketchPlus, PlusConfig, PlusReportBatch, PlusTableRole, SketchParams,
 };
 use ldpjs_data::{StreamingJoinWorkload, ValueGenerator, ZipfGenerator};
+use ldpjs_metrics::telemetry::{Stability, Telemetry};
 use ldpjs_service::{PlusAttributeConfig, ServiceConfig, SketchService, WindowRange};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -217,6 +218,53 @@ fn bench_server_ingest(c: &mut Criterion, rec: &mut Recorder) {
             |b| {
                 b.iter_batched(
                     || ShardedAggregator::new(params(), eps(), 7, shards).unwrap(),
+                    |mut engine| {
+                        engine.ingest_batch(black_box(&packed)).unwrap();
+                        black_box(engine)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    // The telemetry-overhead pair: the exact same packed ingest with and without an
+    // attached `AggregatorInstruments` bundle (shared-atomic counter bumps + per-shard
+    // gauge refresh on the hot path). The CI perf gate (`tests/perf_smoke.rs`) holds the
+    // instrumented lane within 3% of the uninstrumented one.
+    let shards = 4usize;
+    let telemetry = Telemetry::new();
+    let instruments = AggregatorInstruments {
+        shard_reports: (0..shards)
+            .map(|s| {
+                telemetry.gauge(
+                    &format!("bench_shard_reports{{shard=\"{s}\"}}"),
+                    Stability::Environment,
+                )
+            })
+            .collect(),
+        parallel_batches: telemetry.counter("bench_parallel_batches", Stability::Environment),
+        inline_batches: telemetry.counter("bench_inline_batches", Stability::Environment),
+        rollbacks: telemetry.counter("bench_rollbacks", Stability::Environment),
+    };
+    for (label, instruments) in [
+        ("uninstrumented", None),
+        ("instrumented", Some(instruments)),
+    ] {
+        rec.bench(
+            c,
+            &format!("core/telemetry_overhead_ingest_batched_{n_big}_reports_{label}"),
+            "telemetry_overhead",
+            n_big,
+            params(),
+            |b| {
+                b.iter_batched(
+                    || {
+                        let mut engine =
+                            ShardedAggregator::new(params(), eps(), 7, shards).unwrap();
+                        engine.set_instruments(instruments.clone());
+                        engine
+                    },
                     |mut engine| {
                         engine.ingest_batch(black_box(&packed)).unwrap();
                         black_box(engine)

@@ -323,6 +323,7 @@ fn drain_dispatch(counters: &mut [f64], scratch: &mut [i32]) {
             unsafe {
                 simd::drain_avx512(counters, scratch)
             };
+            crate::dispatch::bump(&crate::dispatch::DRAIN_AVX512);
             return;
         }
         if counters.len() >= 8 && std::arch::is_x86_feature_detected!("avx2") {
@@ -333,9 +334,11 @@ fn drain_dispatch(counters: &mut [f64], scratch: &mut [i32]) {
             unsafe {
                 simd::drain_avx2(counters, scratch)
             };
+            crate::dispatch::bump(&crate::dispatch::DRAIN_AVX2);
             return;
         }
     }
+    crate::dispatch::bump(&crate::dispatch::DRAIN_PORTABLE);
     for (c, s) in counters.iter_mut().zip(scratch.iter_mut()) {
         *c += *s as f64;
         *s = 0;

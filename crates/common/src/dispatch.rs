@@ -1,0 +1,111 @@
+//! Process-wide SIMD kernel dispatch accounting.
+//!
+//! The FWHT restore ([`crate::hadamard`]) and histogram drain ([`crate::batch`]) kernels
+//! pick the widest vector ISA the CPU offers at runtime. Which tier actually ran is
+//! invisible from the outside — all tiers are bit-identical by contract — yet it is
+//! exactly what an operator needs when a deployment's restore throughput regresses on new
+//! hardware. This module keeps one process-wide relaxed atomic per `(kernel, tier)` pair;
+//! the dispatchers bump them and [`kernel_dispatch_snapshot`] reads them.
+//!
+//! The counters are *environment* telemetry: their split across tiers is a property of
+//! the machine, never of the workload seed, so the service exports them outside its
+//! deterministic snapshot. Consumers that want per-component attribution (several
+//! services in one process share these statics) subtract a baseline snapshot taken at
+//! construction time via [`KernelDispatchSnapshot::delta_since`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub(crate) static FWHT_AVX512: AtomicU64 = AtomicU64::new(0);
+pub(crate) static FWHT_AVX2: AtomicU64 = AtomicU64::new(0);
+pub(crate) static FWHT_PORTABLE: AtomicU64 = AtomicU64::new(0);
+pub(crate) static DRAIN_AVX512: AtomicU64 = AtomicU64::new(0);
+pub(crate) static DRAIN_AVX2: AtomicU64 = AtomicU64::new(0);
+pub(crate) static DRAIN_PORTABLE: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn bump(cell: &AtomicU64) {
+    cell.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Cumulative per-tier dispatch counts since process start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelDispatchSnapshot {
+    /// FWHT restores executed by the AVX-512 kernel.
+    pub fwht_avx512: u64,
+    /// FWHT restores executed by the AVX2 kernel.
+    pub fwht_avx2: u64,
+    /// FWHT restores executed by the portable radix-2 kernel.
+    pub fwht_portable: u64,
+    /// Histogram drains executed by the AVX-512 kernel.
+    pub drain_avx512: u64,
+    /// Histogram drains executed by the AVX2 kernel.
+    pub drain_avx2: u64,
+    /// Histogram drains executed by the portable scalar loop.
+    pub drain_portable: u64,
+}
+
+impl KernelDispatchSnapshot {
+    /// Counts accumulated since `baseline` (saturating, so a stale baseline from another
+    /// epoch of the process can never underflow).
+    pub fn delta_since(&self, baseline: &KernelDispatchSnapshot) -> KernelDispatchSnapshot {
+        KernelDispatchSnapshot {
+            fwht_avx512: self.fwht_avx512.saturating_sub(baseline.fwht_avx512),
+            fwht_avx2: self.fwht_avx2.saturating_sub(baseline.fwht_avx2),
+            fwht_portable: self.fwht_portable.saturating_sub(baseline.fwht_portable),
+            drain_avx512: self.drain_avx512.saturating_sub(baseline.drain_avx512),
+            drain_avx2: self.drain_avx2.saturating_sub(baseline.drain_avx2),
+            drain_portable: self.drain_portable.saturating_sub(baseline.drain_portable),
+        }
+    }
+
+    /// `(series suffix, count)` pairs in a fixed order, for exporters.
+    pub fn series(&self) -> [(&'static str, u64); 6] {
+        [
+            ("fwht_avx512", self.fwht_avx512),
+            ("fwht_avx2", self.fwht_avx2),
+            ("fwht_portable", self.fwht_portable),
+            ("drain_avx512", self.drain_avx512),
+            ("drain_avx2", self.drain_avx2),
+            ("drain_portable", self.drain_portable),
+        ]
+    }
+}
+
+/// Read the process-wide dispatch counters.
+pub fn kernel_dispatch_snapshot() -> KernelDispatchSnapshot {
+    KernelDispatchSnapshot {
+        fwht_avx512: FWHT_AVX512.load(Ordering::Relaxed),
+        fwht_avx2: FWHT_AVX2.load(Ordering::Relaxed),
+        fwht_portable: FWHT_PORTABLE.load(Ordering::Relaxed),
+        drain_avx512: DRAIN_AVX512.load(Ordering::Relaxed),
+        drain_avx2: DRAIN_AVX2.load(Ordering::Relaxed),
+        drain_portable: DRAIN_PORTABLE.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fwht_dispatch_is_counted_on_exactly_one_tier() {
+        let before = kernel_dispatch_snapshot();
+        let mut data = vec![1.0f64; 64];
+        crate::hadamard::fwht_in_place(&mut data);
+        let delta = kernel_dispatch_snapshot().delta_since(&before);
+        let fwht_total = delta.fwht_avx512 + delta.fwht_avx2 + delta.fwht_portable;
+        // Parallel tests may add more, but at least this call must have landed once.
+        assert!(fwht_total >= 1, "no FWHT tier counted: {delta:?}");
+    }
+
+    #[test]
+    fn delta_since_saturates_instead_of_underflowing() {
+        let big = KernelDispatchSnapshot {
+            fwht_portable: 10,
+            ..Default::default()
+        };
+        let small = KernelDispatchSnapshot::default();
+        assert_eq!(small.delta_since(&big), KernelDispatchSnapshot::default());
+        assert_eq!(big.delta_since(&small).fwht_portable, 10);
+    }
+}

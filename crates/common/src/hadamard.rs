@@ -107,6 +107,7 @@ fn fwht_dispatch(data: &mut [f64], scale: Option<f64>) {
             unsafe {
                 simd::fwht_kernel_avx512(data, scale)
             };
+            crate::dispatch::bump(&crate::dispatch::FWHT_AVX512);
             return;
         }
         if n >= 32 && std::arch::is_x86_feature_detected!("avx2") {
@@ -117,9 +118,11 @@ fn fwht_dispatch(data: &mut [f64], scale: Option<f64>) {
             unsafe {
                 simd::fwht_kernel_avx2(data, scale)
             };
+            crate::dispatch::bump(&crate::dispatch::FWHT_AVX2);
             return;
         }
     }
+    crate::dispatch::bump(&crate::dispatch::FWHT_PORTABLE);
     fwht_kernel(data, scale);
 }
 

@@ -29,6 +29,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod batch;
+pub mod dispatch;
 pub mod error;
 pub mod hadamard;
 pub mod hash;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod stream;
 
 pub use batch::ReportBatch;
+pub use dispatch::{kernel_dispatch_snapshot, KernelDispatchSnapshot};
 pub use error::{Error, Result};
 pub use hash::{BucketHash, HashPair, RowHashes, SignHash};
 pub use privacy::Epsilon;

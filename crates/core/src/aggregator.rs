@@ -19,11 +19,42 @@ use ldpjs_common::batch::ReportBatch;
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
+use ldpjs_metrics::telemetry::{Counter, Gauge};
 use ldpjs_sketch::SketchParams;
 use std::sync::Arc;
 
 use crate::client::ClientReport;
 use crate::server::{FinalizedSketch, SketchBuilder};
+
+/// Telemetry handles an owner (typically the online service) attaches to a live engine.
+///
+/// Every handle is a pre-registered shared cell, so the hot path records with a couple of
+/// relaxed atomic ops and no lock. All of these are *environment* metrics by nature — how
+/// work splits across shards and whether the fan-out path runs at all depend on the
+/// machine, not the workload seed — so owners should register them with
+/// `Stability::Environment`.
+#[derive(Debug, Clone, Default)]
+pub struct AggregatorInstruments {
+    /// Cumulative reports resident in each shard, updated after every successful ingest.
+    /// Indexed by shard; extra shards beyond the vector's length go uncounted.
+    pub shard_reports: Vec<Gauge>,
+    /// Batches absorbed via the scoped-thread fan-out path.
+    pub parallel_batches: Counter,
+    /// Batches absorbed inline on the caller thread (single shard or single CPU).
+    pub inline_batches: Counter,
+    /// Rejected multi-shard batches whose already-applied chunks were subtracted back out
+    /// (the cross-shard rollback cold path).
+    pub rollbacks: Counter,
+}
+
+impl AggregatorInstruments {
+    /// Refresh the per-shard residency gauges from the engine's shards.
+    fn observe_shards(&self, shards: &[SketchBuilder]) {
+        for (gauge, shard) in self.shard_reports.iter().zip(shards) {
+            gauge.set(shard.reports());
+        }
+    }
+}
 
 /// A parallel, sharded report-ingestion engine producing a [`FinalizedSketch`].
 ///
@@ -57,6 +88,10 @@ pub struct ShardedAggregator {
     /// engine runs its shards on the caller thread instead; the result is bit-identical
     /// either way because shard counters are merged by exact integer addition.
     parallel: bool,
+    /// Attached telemetry handles; `None` (the default) keeps every ingest path free of
+    /// even the relaxed-atomic accounting, which is what the `telemetry_overhead` bench
+    /// lane measures the instrumented path against.
+    instruments: Option<AggregatorInstruments>,
 }
 
 impl ShardedAggregator {
@@ -94,7 +129,21 @@ impl ShardedAggregator {
             shards,
             scratches,
             parallel,
+            instruments: None,
         })
+    }
+
+    /// Attach (or with `None`, detach) telemetry handles. Uninstrumented engines pay
+    /// nothing; instrumented ones pay a few relaxed atomic ops per ingest call.
+    pub fn set_instruments(&mut self, instruments: Option<AggregatorInstruments>) {
+        self.instruments = instruments;
+    }
+
+    /// Whether this engine absorbs multi-shard batches on worker threads (`true`) or
+    /// inline on the caller thread (`false`: single shard, or a single-CPU host).
+    #[inline]
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// Number of shards.
@@ -137,7 +186,12 @@ impl ShardedAggregator {
         }
         if !self.parallel {
             // Single lane anyway: one fused sweep on the caller thread, no spawn/join tax.
-            return self.shards[0].absorb_all(reports);
+            self.shards[0].absorb_all(reports)?;
+            if let Some(inst) = &self.instruments {
+                inst.inline_batches.inc();
+                inst.observe_shards(&self.shards);
+            }
+            return Ok(());
         }
         let chunk_len = reports.len().div_ceil(self.shards.len());
         let chunks: Vec<&[ClientReport]> = reports.chunks(chunk_len).collect();
@@ -158,6 +212,10 @@ impl ShardedAggregator {
                 .collect()
         });
         if results.iter().all(Result::is_ok) {
+            if let Some(inst) = &self.instruments {
+                inst.parallel_batches.inc();
+                inst.observe_shards(&self.shards);
+            }
             return Ok(());
         }
         // Cold path: some chunk was rejected. Chunks are contiguous and in order, so the
@@ -173,6 +231,10 @@ impl ShardedAggregator {
                     }
                 }
             }
+        }
+        if let Some(inst) = &self.instruments {
+            inst.rollbacks.inc();
+            inst.observe_shards(&self.shards);
         }
         // lint:allow(panic-freedom) — invariant: this branch is only reached when
         // `results` contained at least one `Err`, which the loop above captured.
@@ -229,6 +291,10 @@ impl ShardedAggregator {
             // counters (exact-integer merge), none of the spawn/join latency.
             let (shard, scratch) = (&mut self.shards[0], &mut self.scratches[0]);
             shard.accumulate_batch_shard(batch, 0, 1, scratch);
+            if let Some(inst) = &self.instruments {
+                inst.inline_batches.inc();
+                inst.observe_shards(&self.shards);
+            }
             return Ok(());
         }
         std::thread::scope(|scope| {
@@ -241,6 +307,10 @@ impl ShardedAggregator {
                 scope.spawn(move || shard.accumulate_batch_shard(batch, i, shards, scratch));
             }
         });
+        if let Some(inst) = &self.instruments {
+            inst.parallel_batches.inc();
+            inst.observe_shards(&self.shards);
+        }
         Ok(())
     }
 
@@ -250,7 +320,12 @@ impl ShardedAggregator {
     /// # Errors
     /// Returns [`Error::ReportOutOfRange`] for the first report that does not fit the sketch.
     pub fn ingest_sequential(&mut self, reports: &[ClientReport]) -> Result<()> {
-        self.shards[0].absorb_all(reports)
+        self.shards[0].absorb_all(reports)?;
+        if let Some(inst) = &self.instruments {
+            inst.inline_batches.inc();
+            inst.observe_shards(&self.shards);
+        }
+        Ok(())
     }
 
     /// Seal the engine into a single merged [`SketchBuilder`] via the public
@@ -401,6 +476,66 @@ mod tests {
         reports[57].col = 64;
         assert!(engine.ingest(&reports).is_err());
         assert_eq!(engine.reports(), 0, "rejected batch must not be absorbed");
+    }
+
+    #[test]
+    fn instruments_count_batches_and_rollbacks_without_changing_results() {
+        use ldpjs_metrics::telemetry::{Stability, Telemetry};
+        let p = params(6, 64);
+        let e = eps(2.0);
+        let telemetry = Telemetry::new();
+        let shards = 3usize;
+        let inst = AggregatorInstruments {
+            shard_reports: (0..shards)
+                .map(|i| {
+                    telemetry.gauge(
+                        &format!("agg_shard_reports{{shard=\"{i}\"}}"),
+                        Stability::Environment,
+                    )
+                })
+                .collect(),
+            parallel_batches: telemetry
+                .counter("agg_parallel_batches_total", Stability::Environment),
+            inline_batches: telemetry.counter("agg_inline_batches_total", Stability::Environment),
+            rollbacks: telemetry.counter("agg_rollbacks_total", Stability::Environment),
+        };
+        let reports = reports_for(500, p, e, 21);
+        let mut engine = ShardedAggregator::new(p, e, 21, shards).unwrap();
+        engine.set_instruments(Some(inst.clone()));
+        engine.ingest(&reports).unwrap();
+        assert_eq!(
+            inst.parallel_batches.get() + inst.inline_batches.get(),
+            1,
+            "one batch lands on exactly one path"
+        );
+        let resident: u64 = inst.shard_reports.iter().map(Gauge::get).sum();
+        assert_eq!(
+            resident, 500,
+            "shard residency gauges must sum to the batch"
+        );
+
+        // A rejected batch counts a rollback on the multi-shard path (or a plain
+        // rejection inline) and leaves both counters and engine untouched.
+        let mut bad = reports_for(100, p, e, 22);
+        bad[50].col = p.columns() + 1;
+        assert!(engine.ingest(&bad).is_err());
+        assert_eq!(engine.reports(), 500);
+        if engine.is_parallel() {
+            assert_eq!(inst.rollbacks.get(), 1);
+        }
+        let resident: u64 = inst.shard_reports.iter().map(Gauge::get).sum();
+        assert_eq!(
+            resident, 500,
+            "rollback must restore shard residency gauges"
+        );
+
+        // The uninstrumented engine produces bit-identical results.
+        let mut plain = ShardedAggregator::new(p, e, 21, shards).unwrap();
+        plain.ingest(&reports).unwrap();
+        assert_eq!(
+            engine.finalize().restored_counters(),
+            plain.finalize().restored_counters()
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod plus_state;
 pub mod protocol;
 pub mod server;
 
-pub use aggregator::ShardedAggregator;
+pub use aggregator::{AggregatorInstruments, ShardedAggregator};
 pub use client::{ClientReport, LdpJoinSketchClient};
 pub use fap::{FapClient, FapMode};
 pub use kernel::{ChainKernel, JoinKernel, PlainKernel, PlusKernel, QueryInput};

@@ -25,4 +25,4 @@ pub mod runner;
 
 pub use config::ExpArgs;
 pub use methods::{estimate_join, Method, MethodOutcome, PlusKnobs};
-pub use runner::{run_trials, MethodSummary};
+pub use runner::{record_summary, run_trials, MethodSummary};

@@ -142,13 +142,13 @@ pub fn estimate_join(
             let mut sb = FastAgmsSketch::new(params, seed);
             sa.update_all(&workload.table_a);
             sb.update_all(&workload.table_b);
-            let offline = start.elapsed().as_secs_f64();
-            // lint:allow(determinism) — figure-table wall-clock timing of the method
-            // run itself; the reported estimates depend only on the seeded RNG.
+            let offline = start.elapsed().as_secs_f64(); // lint:allow(telemetry-clock) — figure timing.
+                                                         // lint:allow(determinism) — figure-table wall-clock timing of the method
+                                                         // run itself; the reported estimates depend only on the seeded RNG.
             let start = Instant::now();
             let estimate = sa.join_size(&sb)?;
-            let online = start.elapsed().as_secs_f64();
-            // No client→server perturbation protocol: count raw value transmission.
+            let online = start.elapsed().as_secs_f64(); // lint:allow(telemetry-clock) — figure timing.
+                                                        // No client→server perturbation protocol: count raw value transmission.
             let bits = 64 * (workload.table_a.len() + workload.table_b.len()) as u64;
             Ok(MethodOutcome {
                 estimate,
@@ -183,14 +183,14 @@ pub fn estimate_join(
                 seed ^ 0xB0B,
                 shards,
             )?;
-            let offline = start.elapsed().as_secs_f64();
-            // lint:allow(determinism) — figure-table wall-clock timing of the method
-            // run itself; the reported estimates depend only on the seeded RNG.
+            let offline = start.elapsed().as_secs_f64(); // lint:allow(telemetry-clock) — figure timing.
+                                                         // lint:allow(determinism) — figure-table wall-clock timing of the method
+                                                         // run itself; the reported estimates depend only on the seeded RNG.
             let start = Instant::now();
             // The online step is the shared plain kernel — dispatched through the same
             // `JoinKernel` front-end the unified query engine uses everywhere.
             let estimate = JoinKernel::Plain(PlainKernel).estimate(QueryInput::Plain(&sa, &sb))?;
-            let online = start.elapsed().as_secs_f64();
+            let online = start.elapsed().as_secs_f64(); // lint:allow(telemetry-clock) — figure timing.
             let bits =
                 report_bits(params) * (workload.table_a.len() + workload.table_b.len()) as u64;
             Ok(MethodOutcome {
@@ -217,7 +217,7 @@ pub fn estimate_join(
                 &domain,
                 &mut rng,
             )?;
-            let offline = start.elapsed().as_secs_f64();
+            let offline = start.elapsed().as_secs_f64(); // lint:allow(telemetry-clock) — figure timing.
             Ok(MethodOutcome {
                 estimate: result.join_size,
                 offline_seconds: offline,
@@ -257,12 +257,12 @@ pub fn estimate_join(
                     }
                     _ => unreachable!(),
                 };
-            let offline = start.elapsed().as_secs_f64();
-            // lint:allow(determinism) — figure-table wall-clock timing of the method
-            // run itself; the reported estimates depend only on the seeded RNG.
+            let offline = start.elapsed().as_secs_f64(); // lint:allow(telemetry-clock) — figure timing.
+                                                         // lint:allow(determinism) — figure-table wall-clock timing of the method
+                                                         // run itself; the reported estimates depend only on the seeded RNG.
             let start = Instant::now();
             let estimate = estimate_join_from_oracles(oracle_a.as_ref(), oracle_b.as_ref(), domain);
-            let online = start.elapsed().as_secs_f64();
+            let online = start.elapsed().as_secs_f64(); // lint:allow(telemetry-clock) — figure timing.
             let bits = oracle_a.report_bits() * workload.table_a.len() as u64
                 + oracle_b.report_bits() * workload.table_b.len() as u64;
             Ok(MethodOutcome {

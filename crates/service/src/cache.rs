@@ -17,8 +17,11 @@
 
 use ldpjs_core::multiway::FinalizedEdgeSketch;
 use ldpjs_core::FinalizedSketch;
+use ldpjs_metrics::telemetry::Counter;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+
+use crate::service::Explain;
 
 /// A query answer as stored in (and served from) the cache.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +32,37 @@ pub(crate) struct CachedAnswer {
     pub windows: usize,
     /// Reports covered by those windows (every participating attribute summed).
     pub reports: u64,
+    /// The provenance record captured when the answer was computed (its cache outcome is
+    /// rewritten to `Hit` when served from here).
+    pub explain: Explain,
+}
+
+/// The estimator mode a cached query was served under, for the per-mode stat breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum QueryMode {
+    Plain,
+    Plus,
+    Edge,
+}
+
+impl QueryMode {
+    fn index(self) -> usize {
+        match self {
+            QueryMode::Plain => 0,
+            QueryMode::Plus => 1,
+            QueryMode::Edge => 2,
+        }
+    }
+}
+
+/// Telemetry handles the owning service wires into the cache, so every hit/miss/eviction/
+/// invalidation lands in the exporter the moment it happens. Indexed like [`QueryMode`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CacheInstruments {
+    pub hits: [Counter; 3],
+    pub misses: [Counter; 3],
+    pub evictions: Counter,
+    pub invalidations: Counter,
 }
 
 /// Cache key: the query kind plus the participating attributes and the resolved epoch spans
@@ -118,7 +152,23 @@ impl QueryKey {
     }
 }
 
+/// Hit/miss counters for one estimator mode (one lane of the per-mode breakdown in
+/// [`CacheStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCacheStats {
+    /// Queries of this mode answered from the cache.
+    pub hits: u64,
+    /// Queries of this mode that had to be computed.
+    pub misses: u64,
+}
+
 /// Counters describing the cache's behaviour since service start.
+///
+/// Every counter here is **cumulative over the service lifetime**: neither rotation-driven
+/// invalidation nor an explicit `clear_cache` resets any of them (only the point-in-time
+/// sizes `entries`/`views` drop). That symmetry is pinned by a regression test — an earlier
+/// draft of the clear path zeroed the breakdowns but not the totals, which made the
+/// per-mode lanes disagree with `hits`/`misses` after a clear.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the cache.
@@ -133,6 +183,12 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Result entries evicted by the capacity bound (least-recently-used first).
     pub evictions: u64,
+    /// Plain-mode (LDPJoinSketch) hit/miss breakdown.
+    pub plain: ModeCacheStats,
+    /// Plus-mode (LDPJoinSketch+) hit/miss breakdown.
+    pub plus: ModeCacheStats,
+    /// Edge-mode (multi-way chain) hit/miss breakdown.
+    pub edge: ModeCacheStats,
 }
 
 /// One cached result together with its recency stamp (the lazy-LRU bookkeeping).
@@ -171,6 +227,9 @@ pub(crate) struct QueryCache {
     misses: u64,
     invalidations: u64,
     evictions: u64,
+    mode_hits: [u64; 3],
+    mode_misses: [u64; 3],
+    instruments: Option<CacheInstruments>,
 }
 
 impl QueryCache {
@@ -187,15 +246,28 @@ impl QueryCache {
             misses: 0,
             invalidations: 0,
             evictions: 0,
+            mode_hits: [0; 3],
+            mode_misses: [0; 3],
+            instruments: None,
         }
     }
 
-    /// Look a result up, counting the hit or miss. A hit **promotes** the entry to
-    /// most-recently-used, so hot entries survive churn from one-shot scans.
-    pub(crate) fn lookup(&mut self, key: &QueryKey) -> Option<CachedAnswer> {
+    /// Wire telemetry handles in (or detach them with `None`). Counting is additive from
+    /// this point on; the internal `u64` tallies are authoritative for [`CacheStats`].
+    pub(crate) fn set_instruments(&mut self, instruments: Option<CacheInstruments>) {
+        self.instruments = instruments;
+    }
+
+    /// Look a result up, counting the hit or miss under `mode`. A hit **promotes** the entry
+    /// to most-recently-used, so hot entries survive churn from one-shot scans.
+    pub(crate) fn lookup(&mut self, key: &QueryKey, mode: QueryMode) -> Option<CachedAnswer> {
         match self.results.get_mut(key) {
             Some(entry) => {
                 self.hits += 1;
+                self.mode_hits[mode.index()] += 1;
+                if let Some(ins) = &self.instruments {
+                    ins.hits[mode.index()].inc();
+                }
                 self.clock += 1;
                 entry.stamp = self.clock;
                 let answer = entry.answer;
@@ -205,6 +277,10 @@ impl QueryCache {
             }
             None => {
                 self.misses += 1;
+                self.mode_misses[mode.index()] += 1;
+                if let Some(ins) = &self.instruments {
+                    ins.misses[mode.index()].inc();
+                }
                 None
             }
         }
@@ -231,6 +307,9 @@ impl QueryCache {
             if self.results.get(&old).is_some_and(|e| e.stamp == stamp) {
                 self.results.remove(&old);
                 self.evictions += 1;
+                if let Some(ins) = &self.instruments {
+                    ins.evictions.inc();
+                }
             }
         }
         self.prune_order();
@@ -276,20 +355,32 @@ impl QueryCache {
         self.views.retain(|&(a, _, _), _| a != attr);
         self.edge_views.retain(|&(a, _, _), _| a != attr);
         self.invalidations += 1;
+        if let Some(ins) = &self.instruments {
+            ins.invalidations.inc();
+        }
     }
 
     /// Drop everything (the explicit `clear_cache` entry point; also counted as an
     /// invalidation).
     pub(crate) fn clear(&mut self) {
+        // Drop the stores only: every cumulative counter — the totals *and* the per-mode
+        // breakdowns — survives, so monitoring sees one uninterrupted series across clears.
         self.results.clear();
         self.order.clear();
         self.views.clear();
         self.edge_views.clear();
         self.invalidations += 1;
+        if let Some(ins) = &self.instruments {
+            ins.invalidations.inc();
+        }
     }
 
     /// Current counters.
     pub(crate) fn stats(&self) -> CacheStats {
+        let mode = |i: usize| ModeCacheStats {
+            hits: self.mode_hits[i],
+            misses: self.mode_misses[i],
+        };
         CacheStats {
             hits: self.hits,
             misses: self.misses,
@@ -297,6 +388,9 @@ impl QueryCache {
             views: self.views.len() + self.edge_views.len(),
             invalidations: self.invalidations,
             evictions: self.evictions,
+            plain: mode(QueryMode::Plain.index()),
+            plus: mode(QueryMode::Plus.index()),
+            edge: mode(QueryMode::Edge.index()),
         }
     }
 }
@@ -304,6 +398,15 @@ impl QueryCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn ans(value: f64, windows: usize, reports: u64) -> CachedAnswer {
+        CachedAnswer {
+            value,
+            windows,
+            reports,
+            explain: Explain::default(),
+        }
+    }
 
     #[test]
     fn join_keys_normalize_operand_order() {
@@ -339,11 +442,7 @@ mod tests {
             value: v,
             span: (0, 0),
         };
-        let ans = CachedAnswer {
-            value: 0.0,
-            windows: 1,
-            reports: 1,
-        };
+        let ans = ans(0.0, 1, 1);
         for v in 0..10 {
             cache.insert(key(v), ans);
         }
@@ -351,8 +450,8 @@ mod tests {
         assert_eq!(stats.entries, 3, "bounded to capacity");
         assert_eq!(stats.evictions, 7);
         // The newest entries survive, the oldest are gone.
-        assert!(cache.lookup(&key(9)).is_some());
-        assert!(cache.lookup(&key(0)).is_none());
+        assert!(cache.lookup(&key(9), QueryMode::Plain).is_some());
+        assert!(cache.lookup(&key(0), QueryMode::Plain).is_none());
         // Stale order entries left by invalidation do not count as evictions.
         cache.invalidate_attribute(0);
         for v in 0..3 {
@@ -370,17 +469,13 @@ mod tests {
         // evicted first despite being hit on every refresh.
         let mut cache = QueryCache::with_capacity(8);
         let hot = QueryKey::join(0, (0, 15), 1, (0, 15));
-        let ans = CachedAnswer {
-            value: 42.0,
-            windows: 32,
-            reports: 1_000,
-        };
+        let ans = ans(42.0, 32, 1_000);
         cache.insert(hot, ans);
         for v in 0..100u64 {
             // The dashboard refreshes (a hit promotes the hot entry) while the scan keeps
             // inserting fresh value-keyed entries.
             assert!(
-                cache.lookup(&hot).is_some(),
+                cache.lookup(&hot, QueryMode::Plain).is_some(),
                 "hot entry evicted during the scan at v={v}"
             );
             cache.insert(
@@ -393,7 +488,7 @@ mod tests {
             );
         }
         // Still cached at the end, and the churn is visible in the eviction counter.
-        assert_eq!(cache.lookup(&hot), Some(ans));
+        assert_eq!(cache.lookup(&hot, QueryMode::Plain), Some(ans));
         let stats = cache.stats();
         assert_eq!(stats.entries, 8);
         assert_eq!(
@@ -413,35 +508,66 @@ mod tests {
             value: 7,
             span: (0, 0),
         };
-        assert!(cache.lookup(&key_a).is_none());
-        cache.insert(
-            key_a,
-            CachedAnswer {
-                value: 1.0,
-                windows: 4,
-                reports: 100,
-            },
-        );
-        cache.insert(
-            key_b,
-            CachedAnswer {
-                value: 2.0,
-                windows: 1,
-                reports: 50,
-            },
-        );
-        assert!(cache.lookup(&key_a).is_some());
+        assert!(cache.lookup(&key_a, QueryMode::Plain).is_none());
+        cache.insert(key_a, ans(1.0, 4, 100));
+        cache.insert(key_b, ans(2.0, 1, 50));
+        assert!(cache.lookup(&key_a, QueryMode::Plain).is_some());
         // Rotating attribute 0 drops the join touching it but keeps attribute 2's entry.
         cache.invalidate_attribute(0);
-        assert!(cache.lookup(&key_a).is_none());
-        assert!(cache.lookup(&key_b).is_some());
+        assert!(cache.lookup(&key_a, QueryMode::Plain).is_none());
+        assert!(cache.lookup(&key_b, QueryMode::Plus).is_some());
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.invalidations, 1);
+        // The breakdowns partition the totals by mode.
+        assert_eq!(stats.plain.hits, 1);
+        assert_eq!(stats.plain.misses, 2);
+        assert_eq!(stats.plus.hits, 1);
+        assert_eq!(stats.plus.misses, 0);
+        assert_eq!(stats.edge, ModeCacheStats::default());
         cache.clear();
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn cumulative_counters_survive_clear() {
+        // The clear/stats symmetry regression: `clear` drops stored answers and views but
+        // must not reset any cumulative counter — totals AND per-mode breakdowns.
+        let mut cache = QueryCache::with_capacity(2);
+        let ins = CacheInstruments::default();
+        cache.set_instruments(Some(ins.clone()));
+        let key = |v: u64| QueryKey::Frequency {
+            attr: 0,
+            value: v,
+            span: (0, 0),
+        };
+        for v in 0..4 {
+            assert!(cache.lookup(&key(v), QueryMode::Plus).is_none());
+            cache.insert(key(v), ans(v as f64, 1, 10));
+        }
+        assert!(cache.lookup(&key(3), QueryMode::Plus).is_some());
+        let before = cache.stats();
+        assert_eq!(before.hits, 1);
+        assert_eq!(before.misses, 4);
+        assert_eq!(before.evictions, 2);
+        assert_eq!(before.plus, ModeCacheStats { hits: 1, misses: 4 });
+        cache.clear();
+        let after = cache.stats();
+        assert_eq!(after.entries, 0, "stores emptied");
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.evictions, before.evictions);
+        assert_eq!(after.plain, before.plain);
+        assert_eq!(after.plus, before.plus);
+        assert_eq!(after.edge, before.edge);
+        assert_eq!(after.invalidations, before.invalidations + 1);
+        // The wired telemetry handles track the same story.
+        assert_eq!(ins.hits[1].get(), 1);
+        assert_eq!(ins.misses[1].get(), 4);
+        assert_eq!(ins.evictions.get(), 2);
+        assert_eq!(ins.invalidations.get(), 1);
     }
 }

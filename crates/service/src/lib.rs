@@ -46,11 +46,13 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+mod observe;
 pub mod service;
 pub mod window;
 
-pub use cache::CacheStats;
+pub use cache::{CacheStats, ModeCacheStats};
 pub use service::{
-    AttributeId, IngestSummary, PlusAttributeConfig, QueryResult, ServiceConfig, SketchService,
+    AttributeId, Explain, ExplainKernel, IngestSummary, PlusAttributeConfig, QueryClock,
+    QueryResult, ServiceConfig, SketchService, SpanSource,
 };
 pub use window::{WindowRange, WindowSnapshot};

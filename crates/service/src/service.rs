@@ -2,20 +2,26 @@
 //! (plain, LDPJoinSketch+, edge), the epoch rotator with report-count *and* wall-clock
 //! triggers, and the cached window-range query layer driving the shared estimator kernels.
 
-use crate::cache::{CachedAnswer, QueryCache, QueryKey};
+use crate::cache::{CachedAnswer, QueryCache, QueryKey, QueryMode};
+use crate::observe::{
+    labeled, register_cache_instruments, AttributeInstruments, ServiceInstruments, K_CHAIN3,
+    K_FREQUENCY, K_JOIN, K_PLUS_JOIN,
+};
 use crate::window::{SealedWindow, WindowRange, WindowSnapshot};
 use ldpjs_common::batch::ReportBatch;
 use ldpjs_common::error::{Error, Result};
 use ldpjs_common::hash::RowHashes;
 use ldpjs_common::privacy::Epsilon;
+use ldpjs_common::{kernel_dispatch_snapshot, KernelDispatchSnapshot};
 use ldpjs_core::multiway::{
     EdgeReport, EdgeSketchBuilder, FinalizedEdgeSketch, LdpEdgeSketchClient,
 };
 use ldpjs_core::{
-    ChainKernel, ClientReport, DomainIndex, FiPolicy, FinalizedPlusState, FinalizedSketch,
+    bounds, ChainKernel, ClientReport, DomainIndex, FiPolicy, FinalizedPlusState, FinalizedSketch,
     LdpJoinSketchClient, PlainKernel, PlusConfig, PlusKernel, PlusReportBatch, PlusStateBuilder,
     ShardedAggregator,
 };
+use ldpjs_metrics::telemetry::{Snapshot, Stability, Telemetry};
 use ldpjs_sketch::compass::JoinAttribute;
 use ldpjs_sketch::SketchParams;
 use std::collections::VecDeque;
@@ -189,6 +195,87 @@ pub struct QueryResult {
     pub reports: u64,
     /// Whether the answer came from the memoization cache.
     pub cached: bool,
+    /// Query provenance: which kernel ran, how the spans were assembled, and the analytical
+    /// error prediction that seeds the error-aware planner.
+    pub explain: Explain,
+}
+
+/// The estimator kernel that computed a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainKernel {
+    /// [`PlainKernel`] — Eq. 5 join size / Theorem 7 frequency.
+    #[default]
+    Plain,
+    /// [`PlusKernel`] — the LDPJoinSketch+ `JoinEst` / phase-1 frequency estimator.
+    Plus,
+    /// [`ChainKernel`] — the 3-way chain estimator.
+    Chain,
+}
+
+impl ExplainKernel {
+    /// The kernel's exporter-facing name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExplainKernel::Plain => "plain",
+            ExplainKernel::Plus => "plus",
+            ExplainKernel::Chain => "chain",
+        }
+    }
+}
+
+/// How a query's merged span views were assembled. Ordered by cost, so a multi-operand
+/// query reports the most expensive assembly among its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum SpanSource {
+    /// Every operand resolved to a single sealed window, whose precomputed view was
+    /// borrowed outright.
+    #[default]
+    SingleWindow,
+    /// At least one multi-window operand was served from an already-materialized merged
+    /// view (the per-span memo store, or the plus ledger's rotation-time materialization).
+    MemoizedView,
+    /// At least one operand's merged view was assembled cold from the span ledger's
+    /// spectrum prefixes on this query.
+    LedgerAssembled,
+}
+
+impl SpanSource {
+    /// The source's exporter-facing name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanSource::SingleWindow => "single_window",
+            SpanSource::MemoizedView => "memoized_view",
+            SpanSource::LedgerAssembled => "ledger_assembled",
+        }
+    }
+}
+
+/// Per-query provenance, carried by every [`QueryResult`] (and stored with the cached
+/// answer, so hits replay the original record with only the cache outcome rewritten).
+///
+/// The predicted columns are the paper's analytical bounds evaluated on the spans actually
+/// queried — Theorem 5's error radius and the Theorem 4-derived estimator variance for join
+/// kinds, the Theorem 7 variance for frequency — using each span's exact report count as
+/// its F1. They are the seed of the error-aware query planner (ROADMAP item 5): a planner
+/// can compare the predicted error of candidate spans *before* running any kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Explain {
+    /// The kernel that computed the answer.
+    pub kernel: ExplainKernel,
+    /// How the merged span views were assembled (most expensive operand).
+    pub span_source: SpanSource,
+    /// Whether this record was served from the memoization cache.
+    pub cached: bool,
+    /// Sealed windows merged across every operand.
+    pub windows: usize,
+    /// Frequent items carried by the operands' reconciled FI sets (plus kernels; 0
+    /// otherwise).
+    pub frequent_items: usize,
+    /// Predicted estimator variance on the queried spans.
+    pub predicted_variance: f64,
+    /// Predicted error radius (Theorem 5 for joins; one standard deviation for frequency;
+    /// the heavier pairwise Theorem 5 radius as a planner heuristic for chains).
+    pub predicted_error: f64,
 }
 
 /// The estimator mode a registered attribute runs in (with its mode-specific static state).
@@ -371,6 +458,15 @@ impl SpanLedger {
         }
     }
 
+    /// Prefix entries currently held (always aligned with the window ring's length).
+    fn depth(&self) -> usize {
+        match self {
+            SpanLedger::Plain { prefix, .. } => prefix.len(),
+            SpanLedger::Plus { prefix, .. } => prefix.len(),
+            SpanLedger::Edge { prefix, .. } => prefix.len(),
+        }
+    }
+
     /// Absorb the evicted oldest window into the origin (the eviction hook): the popped
     /// prefix *is* the cumulative sum up to and including that window.
     fn evict(&mut self) {
@@ -520,6 +616,40 @@ struct Attribute {
     /// When the current epoch's first report arrived (the injected-clock stamp the time
     /// trigger measures from). `None` while the live engine is empty.
     epoch_opened_at: Option<Instant>,
+    /// The attribute's registered telemetry handles (see [`crate::observe`]).
+    instruments: AttributeInstruments,
+}
+
+/// An injected clock for per-query stage timings: the service never reads the wall clock
+/// on the query path itself (the workspace determinism/telemetry-clock lints forbid it in
+/// library code) — timings only flow when a clock is installed through
+/// [`SketchService::set_query_clock`], mirroring the epoch rotator's `*_at` entry points.
+#[derive(Clone)]
+pub struct QueryClock(Arc<dyn Fn() -> Instant + Send + Sync>);
+
+impl QueryClock {
+    /// Wrap a clock function (a fake for deterministic replays, `Instant::now` via
+    /// [`QueryClock::wall`] for deployments).
+    pub fn new(clock: impl Fn() -> Instant + Send + Sync + 'static) -> Self {
+        QueryClock(Arc::new(clock))
+    }
+
+    /// The process wall clock.
+    pub fn wall() -> Self {
+        // lint:allow(determinism) — the one wall-clock constructor, opt-in by design;
+        // deterministic runs build the clock from a fake via `QueryClock::new`.
+        QueryClock::new(Instant::now)
+    }
+
+    fn now(&self) -> Instant {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for QueryClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueryClock(..)")
+    }
 }
 
 /// The online sketch service: epoch-windowed continuous ingestion, mergeable snapshots, and
@@ -560,6 +690,13 @@ pub struct SketchService {
     config: ServiceConfig,
     attributes: Vec<Attribute>,
     cache: QueryCache,
+    telemetry: Telemetry,
+    instruments: ServiceInstruments,
+    query_clock: Option<QueryClock>,
+    /// The process-wide SIMD dispatch counters at construction: exported dispatch counts
+    /// are the delta against this, so each service reports its own kernel activity even
+    /// when several services (or tests) share the process.
+    dispatch_baseline: KernelDispatchSnapshot,
 }
 
 impl SketchService {
@@ -570,10 +707,18 @@ impl SketchService {
     /// size, duration, or retention).
     pub fn new(config: ServiceConfig) -> Result<Self> {
         config.validate()?;
+        let telemetry = Telemetry::new();
+        let instruments = ServiceInstruments::register(&telemetry);
+        let mut cache = QueryCache::with_capacity(config.cache_capacity);
+        cache.set_instruments(Some(register_cache_instruments(&telemetry)));
         Ok(SketchService {
             config,
             attributes: Vec::new(),
-            cache: QueryCache::with_capacity(config.cache_capacity),
+            cache,
+            telemetry,
+            instruments,
+            query_clock: None,
+            dispatch_baseline: kernel_dispatch_snapshot(),
         })
     }
 
@@ -702,13 +847,22 @@ impl SketchService {
         &mut self,
         name: &str,
         kind: AttributeKind,
-        live: LiveEngine,
+        mut live: LiveEngine,
         ledger: SpanLedger,
     ) -> Result<AttributeId> {
         if self.attributes.iter().any(|a| a.name == name) {
             return Err(Error::InvalidWorkload(format!(
                 "attribute '{name}' is already registered"
             )));
+        }
+        let shards = match &live {
+            LiveEngine::Plain(_) => Some(self.config.shards),
+            _ => None,
+        };
+        let instruments =
+            AttributeInstruments::register(&self.telemetry, name, kind.mode_name(), shards);
+        if let LiveEngine::Plain(engine) = &mut live {
+            engine.set_instruments(instruments.agg.clone());
         }
         self.attributes.push(Attribute {
             name: name.to_string(),
@@ -720,6 +874,7 @@ impl SketchService {
             evicted: 0,
             total_reports: 0,
             epoch_opened_at: None,
+            instruments,
         });
         Ok(AttributeId(self.attributes.len() - 1))
     }
@@ -808,7 +963,13 @@ impl SketchService {
             .get_mut(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
         match &mut a.live {
-            LiveEngine::Plain(engine) => engine.ingest(reports)?,
+            LiveEngine::Plain(engine) => {
+                if let Err(err) = engine.ingest(reports) {
+                    a.instruments.rejected_reports.add(reports.len() as u64);
+                    a.instruments.rollbacks.inc();
+                    return Err(err);
+                }
+            }
             _ => {
                 return Err(mode_mismatch(
                     &a.name,
@@ -817,6 +978,8 @@ impl SketchService {
                 ))
             }
         }
+        a.instruments.reports.add(reports.len() as u64);
+        a.instruments.batches.inc();
         Ok(self.after_ingest(idx, reports.len() as u64, now))
     }
 
@@ -852,7 +1015,13 @@ impl SketchService {
             .get_mut(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
         match &mut a.live {
-            LiveEngine::Plain(engine) => engine.ingest_batch(batch)?,
+            LiveEngine::Plain(engine) => {
+                if let Err(err) = engine.ingest_batch(batch) {
+                    a.instruments.rejected_reports.add(batch.len() as u64);
+                    a.instruments.rollbacks.inc();
+                    return Err(err);
+                }
+            }
             _ => {
                 return Err(mode_mismatch(
                     &a.name,
@@ -861,6 +1030,8 @@ impl SketchService {
                 ))
             }
         }
+        a.instruments.reports.add(batch.len() as u64);
+        a.instruments.batches.inc();
         Ok(self.after_ingest(idx, batch.len() as u64, now))
     }
 
@@ -893,7 +1064,13 @@ impl SketchService {
             .get_mut(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
         match &mut a.live {
-            LiveEngine::Plus(builder) => builder.absorb_batch(batch)?,
+            LiveEngine::Plus(builder) => {
+                if let Err(err) = builder.absorb_batch(batch) {
+                    a.instruments.rejected_reports.add(batch.len() as u64);
+                    a.instruments.rollbacks.inc();
+                    return Err(err);
+                }
+            }
             _ => {
                 return Err(mode_mismatch(
                     &a.name,
@@ -902,6 +1079,8 @@ impl SketchService {
                 ))
             }
         }
+        a.instruments.reports.add(batch.len() as u64);
+        a.instruments.batches.inc();
         Ok(self.after_ingest(idx, batch.len() as u64, now))
     }
 
@@ -934,7 +1113,13 @@ impl SketchService {
             .get_mut(idx)
             .ok_or_else(|| unknown_attribute(idx))?;
         match &mut a.live {
-            LiveEngine::Edge(builder) => builder.absorb_all(reports)?,
+            LiveEngine::Edge(builder) => {
+                if let Err(err) = builder.absorb_all(reports) {
+                    a.instruments.rejected_reports.add(reports.len() as u64);
+                    a.instruments.rollbacks.inc();
+                    return Err(err);
+                }
+            }
             _ => {
                 return Err(mode_mismatch(
                     &a.name,
@@ -943,6 +1128,8 @@ impl SketchService {
                 ))
             }
         }
+        a.instruments.reports.add(reports.len() as u64);
+        a.instruments.batches.inc();
         Ok(self.after_ingest(idx, reports.len() as u64, now))
     }
 
@@ -956,6 +1143,7 @@ impl SketchService {
             a.epoch_opened_at = Some(now);
         }
         let live = a.live.reports();
+        a.instruments.live_reports.set(live);
         let count_due = live >= config.epoch_reports;
         let time_due = config.epoch_duration.is_some_and(|d| {
             a.epoch_opened_at
@@ -1138,6 +1326,7 @@ impl SketchService {
         b: AttributeId,
         range: WindowRange,
     ) -> Result<QueryResult> {
+        let started = self.clock_now();
         let (ia, ib) = (a.index(), b.index());
         let attr_a = self
             .attributes
@@ -1152,18 +1341,42 @@ impl SketchService {
         let meta_a = resolve_span(attr_a, range)?;
         let meta_b = resolve_span(attr_b, range)?;
         let key = QueryKey::join(ia, meta_a.epochs, ib, meta_b.epochs);
-        if let Some(ans) = self.cache.lookup(&key) {
+        if let Some(ans) = self.cache.lookup(&key, QueryMode::Plain) {
+            self.finish_query(K_JOIN, started, None);
             return Ok(served(ans, true));
         }
+        let span_source = plain_span_source(&self.cache, ia, &meta_a).max(plain_span_source(
+            &self.cache,
+            ib,
+            &meta_b,
+        ));
         let va = plain_span_view(&mut self.cache, ia, attr_a, &meta_a);
         let vb = plain_span_view(&mut self.cache, ib, attr_b, &meta_b);
+        let assembled = self.clock_now();
         let value = PlainKernel.join_size(&va, &vb)?;
+        let (f1a, f1b) = (meta_a.reports as f64, meta_b.reports as f64);
         let ans = CachedAnswer {
             value,
             windows: meta_a.windows + meta_b.windows,
             reports: meta_a.reports + meta_b.reports,
+            explain: Explain {
+                kernel: ExplainKernel::Plain,
+                span_source,
+                cached: false,
+                windows: meta_a.windows + meta_b.windows,
+                frequent_items: 0,
+                predicted_variance: bounds::group_variance_bound(
+                    self.config.params,
+                    self.config.eps,
+                    f1a,
+                    f1b,
+                    1.0,
+                ),
+                predicted_error: bounds::error_bound(self.config.params, self.config.eps, f1a, f1b),
+            },
         };
         self.cache.insert(key, ans);
+        self.finish_query(K_JOIN, started, assembled);
         Ok(served(ans, false))
     }
 
@@ -1186,6 +1399,7 @@ impl SketchService {
         b: AttributeId,
         range: WindowRange,
     ) -> Result<QueryResult> {
+        let started = self.clock_now();
         let (ia, ib) = (a.index(), b.index());
         let attr_a = self
             .attributes
@@ -1223,18 +1437,41 @@ impl SketchService {
         let meta_a = resolve_span(attr_a, range)?;
         let meta_b = resolve_span(attr_b, range)?;
         let key = QueryKey::plus_join(ia, meta_a.epochs, ib, meta_b.epochs);
-        if let Some(ans) = self.cache.lookup(&key) {
+        if let Some(ans) = self.cache.lookup(&key, QueryMode::Plus) {
+            self.finish_query(K_PLUS_JOIN, started, None);
             return Ok(served(ans, true));
         }
+        let span_source = plus_span_source(&meta_a).max(plus_span_source(&meta_b));
         let sa = plus_span_view(attr_a, &meta_a);
         let sb = plus_span_view(attr_b, &meta_b);
+        let assembled = self.clock_now();
         let estimate = cfg_a.kernel().join_est(&sa, &sb)?;
+        // Theorems 4/5 bound the plain estimator at the spans' F1s; for the plus kernel
+        // they serve as the conservative envelope (its non-target separation only removes
+        // error terms), which is exactly what a cost-based planner wants to rank spans by.
+        let (f1a, f1b) = (meta_a.reports as f64, meta_b.reports as f64);
         let ans = CachedAnswer {
             value: estimate.join_size,
             windows: meta_a.windows + meta_b.windows,
             reports: meta_a.reports + meta_b.reports,
+            explain: Explain {
+                kernel: ExplainKernel::Plus,
+                span_source,
+                cached: false,
+                windows: meta_a.windows + meta_b.windows,
+                frequent_items: sa.frequent_items().len() + sb.frequent_items().len(),
+                predicted_variance: bounds::group_variance_bound(
+                    self.config.params,
+                    self.config.eps,
+                    f1a,
+                    f1b,
+                    1.0,
+                ),
+                predicted_error: bounds::error_bound(self.config.params, self.config.eps, f1a, f1b),
+            },
         };
         self.cache.insert(key, ans);
+        self.finish_query(K_PLUS_JOIN, started, assembled);
         Ok(served(ans, false))
     }
 
@@ -1251,6 +1488,7 @@ impl SketchService {
         value: u64,
         range: WindowRange,
     ) -> Result<QueryResult> {
+        let started = self.clock_now();
         let idx = attr.index();
         let a = self
             .attributes
@@ -1264,31 +1502,67 @@ impl SketchService {
             ));
         }
         let meta = resolve_span(a, range)?;
+        let mode = match &a.kind {
+            AttributeKind::Plus { .. } => QueryMode::Plus,
+            _ => QueryMode::Plain,
+        };
         let key = QueryKey::Frequency {
             attr: idx,
             value,
             span: meta.epochs,
         };
-        if let Some(ans) = self.cache.lookup(&key) {
+        if let Some(ans) = self.cache.lookup(&key, mode) {
+            self.finish_query(K_FREQUENCY, started, None);
             return Ok(served(ans, true));
         }
-        let estimate = match &a.kind {
+        let f1 = meta.reports as f64;
+        let (estimate, assembled, kernel, span_source, frequent_items, f2) = match &a.kind {
             AttributeKind::Plain { .. } => {
+                let span_source = plain_span_source(&self.cache, idx, &meta);
                 let v = plain_span_view(&mut self.cache, idx, a, &meta);
-                PlainKernel.frequency(&v, value)
+                let assembled = self.clock_now();
+                // The span's own self-join estimate is its F2 — the quantity Theorem 7's
+                // variance is stated in — clamped from below by F1 (F2 ≥ F1 always holds
+                // for integer counts; the noisy estimate can dip under it).
+                let f2 = PlainKernel.join_size(&v, &v).unwrap_or(f1).max(f1);
+                let est = PlainKernel.frequency(&v, value);
+                (est, assembled, ExplainKernel::Plain, span_source, 0, f2)
             }
             AttributeKind::Plus { config, .. } => {
+                let span_source = plus_span_source(&meta);
                 let s = plus_span_view(a, &meta);
-                config.kernel().frequency(&s, value)
+                let assembled = self.clock_now();
+                let est = config.kernel().frequency(&s, value);
+                // The merged phase-1 lane is not a full-stream sketch, so no cheap F2
+                // estimate exists here; F1 is its distinct-values floor.
+                (
+                    est,
+                    assembled,
+                    ExplainKernel::Plus,
+                    span_source,
+                    s.frequent_items().len(),
+                    f1,
+                )
             }
             AttributeKind::Edge { .. } => unreachable!("rejected above"),
         };
+        let variance = bounds::frequency_variance(self.config.params, self.config.eps, f1, f2);
         let ans = CachedAnswer {
             value: estimate,
             windows: meta.windows,
             reports: meta.reports,
+            explain: Explain {
+                kernel,
+                span_source,
+                cached: false,
+                windows: meta.windows,
+                frequent_items,
+                predicted_variance: variance,
+                predicted_error: variance.max(0.0).sqrt(),
+            },
         };
         self.cache.insert(key, ans);
+        self.finish_query(K_FREQUENCY, started, assembled);
         Ok(served(ans, false))
     }
 
@@ -1307,6 +1581,7 @@ impl SketchService {
         v3: AttributeId,
         range: WindowRange,
     ) -> Result<QueryResult> {
+        let started = self.clock_now();
         let (i1, ie, i3) = (v1.index(), edge.index(), v3.index());
         let attr_1 = self
             .attributes
@@ -1340,19 +1615,45 @@ impl SketchService {
             span_e: meta_e.epochs,
             span_v3: meta_3.epochs,
         };
-        if let Some(ans) = self.cache.lookup(&key) {
+        if let Some(ans) = self.cache.lookup(&key, QueryMode::Edge) {
+            self.finish_query(K_CHAIN3, started, None);
             return Ok(served(ans, true));
         }
+        let span_source = plain_span_source(&self.cache, i1, &meta_1)
+            .max(edge_span_source(&self.cache, ie, &meta_e))
+            .max(plain_span_source(&self.cache, i3, &meta_3));
         let s1 = plain_span_view(&mut self.cache, i1, attr_1, &meta_1);
         let se = edge_span_view(&mut self.cache, ie, attr_e, &meta_e);
         let s3 = plain_span_view(&mut self.cache, i3, attr_3, &meta_3);
+        let assembled = self.clock_now();
         let value = ChainKernel.chain_3(&s1, &se, &s3)?;
+        // No closed-form 3-way bound exists in the paper; as the planner-seeding heuristic,
+        // report the Theorem 5 radius of the heavier pairwise join (edge vs. the larger
+        // vertex span) — a true composed chain bound is ROADMAP item 5 territory.
+        let f1e = meta_e.reports as f64;
+        let f1v = meta_1.reports.max(meta_3.reports) as f64;
         let ans = CachedAnswer {
             value,
             windows: meta_1.windows + meta_e.windows + meta_3.windows,
             reports: meta_1.reports + meta_e.reports + meta_3.reports,
+            explain: Explain {
+                kernel: ExplainKernel::Chain,
+                span_source,
+                cached: false,
+                windows: meta_1.windows + meta_e.windows + meta_3.windows,
+                frequent_items: 0,
+                predicted_variance: bounds::group_variance_bound(
+                    self.config.params,
+                    self.config.eps,
+                    f1e,
+                    f1v,
+                    1.0,
+                ),
+                predicted_error: bounds::error_bound(self.config.params, self.config.eps, f1e, f1v),
+            },
         };
         self.cache.insert(key, ans);
+        self.finish_query(K_CHAIN3, started, assembled);
         Ok(served(ans, false))
     }
 
@@ -1361,9 +1662,99 @@ impl SketchService {
         self.cache.stats()
     }
 
-    /// Drop every memoized answer and merged view (counted as an invalidation).
+    /// Drop every memoized answer and merged view (counted as an invalidation). Cumulative
+    /// cache counters — totals and per-mode breakdowns alike — survive the clear.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// The service's telemetry registry — live handles shared with every instrumented
+    /// sub-component. Useful for registering caller-side metrics into the same exposition,
+    /// or for merging several services' snapshots.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Install (or with `None` remove) the injected clock that enables per-query stage
+    /// timing histograms. Without a clock the query path never reads time at all.
+    pub fn set_query_clock(&mut self, clock: Option<QueryClock>) {
+        self.query_clock = clock;
+    }
+
+    /// Full point-in-time telemetry snapshot: refreshes the pull-style gauges (cache sizes,
+    /// SIMD kernel dispatch deltas against this service's construction baseline), then
+    /// materializes every registered metric.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.refresh_pull_gauges();
+        self.telemetry.snapshot()
+    }
+
+    /// The deterministic slice of [`SketchService::telemetry_snapshot`]: only metrics that
+    /// are byte-stable across pinned-seed runs *and* shard counts (timings, shard splits
+    /// and SIMD tiers are filtered out). Two runs over the same report stream produce
+    /// byte-identical text/JSON renderings of this snapshot.
+    pub fn deterministic_telemetry_snapshot(&self) -> Snapshot {
+        self.refresh_pull_gauges();
+        self.telemetry.deterministic_snapshot()
+    }
+
+    /// The Prometheus-style text exposition of the full snapshot.
+    pub fn metrics_text(&self) -> String {
+        self.telemetry_snapshot().to_text()
+    }
+
+    /// The JSON exposition of the full snapshot (round-trips through
+    /// [`Snapshot::from_json`](ldpjs_metrics::telemetry::Snapshot::from_json)).
+    pub fn metrics_json(&self) -> String {
+        self.telemetry_snapshot().to_json()
+    }
+
+    /// Refresh the gauges that are *read* at export time instead of written on the hot
+    /// path: cache store sizes, and the SIMD kernel dispatch counters attributed to this
+    /// service (process-wide totals minus the construction-time baseline).
+    fn refresh_pull_gauges(&self) {
+        let det = Stability::Deterministic;
+        let stats = self.cache.stats();
+        self.telemetry
+            .gauge("ldpjs_cache_entries", det)
+            .set(stats.entries as u64);
+        self.telemetry
+            .gauge("ldpjs_cache_views", det)
+            .set(stats.views as u64);
+        let delta = kernel_dispatch_snapshot().delta_since(&self.dispatch_baseline);
+        for (series, calls) in delta.series() {
+            let (kernel, tier) = series.split_once('_').unwrap_or((series, "unknown"));
+            self.telemetry
+                .gauge(
+                    &labeled(
+                        "ldpjs_kernel_dispatch_total",
+                        &[("kernel", kernel), ("tier", tier)],
+                    ),
+                    Stability::Environment,
+                )
+                .set(calls);
+        }
+    }
+
+    /// The injected clock's reading, if one is installed.
+    fn clock_now(&self) -> Option<Instant> {
+        self.query_clock.as_ref().map(QueryClock::now)
+    }
+
+    /// Count an answered query and, when the injected clock is installed, record its stage
+    /// timings (`assemble` = span resolution + view assembly, `kernel` = estimator run;
+    /// cache hits record only `total`).
+    fn finish_query(&self, kind: usize, started: Option<Instant>, assembled: Option<Instant>) {
+        self.instruments.queries[kind].inc();
+        let (Some(t0), Some(clock)) = (started, self.query_clock.as_ref()) else {
+            return;
+        };
+        let end = clock.now();
+        if let Some(t1) = assembled {
+            self.instruments.assemble_ns[kind].record(saturating_ns(t1.duration_since(t0)));
+            self.instruments.kernel_ns[kind].record(saturating_ns(end.duration_since(t1)));
+        }
+        self.instruments.total_ns[kind].record(saturating_ns(end.duration_since(t0)));
     }
 
     fn attr(&self, attr: AttributeId) -> Result<&Attribute> {
@@ -1371,6 +1762,10 @@ impl SketchService {
             .get(attr.index())
             .ok_or_else(|| unknown_attribute(attr.index()))
     }
+}
+
+fn saturating_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn unknown_attribute(index: usize) -> Error {
@@ -1444,6 +1839,11 @@ fn rotate_attribute(
         _ => unreachable!("attribute kind and live engine are constructed together"),
     };
     attr.next_epoch += 1;
+    // A fresh plain engine replaced the sealed one above: re-attach the attribute's
+    // engine-level telemetry handles so the shard/path series keep accumulating.
+    if let LiveEngine::Plain(engine) = &mut attr.live {
+        engine.set_instruments(attr.instruments.agg.clone());
+    }
     // Keep the prefix-sum ledger aligned with the ring: sealing adds the new window's
     // lanes to a clone of the last cumulative builder, eviction folds the oldest prefix
     // into the origin.
@@ -1453,7 +1853,14 @@ fn rotate_attribute(
         attr.windows.pop_front();
         attr.ledger.evict();
         attr.evicted += 1;
+        attr.instruments.evictions.inc();
     }
+    attr.instruments.rotations.inc();
+    attr.instruments.windows.set(attr.windows.len() as u64);
+    attr.instruments
+        .ledger_depth
+        .set(attr.ledger.depth() as u64);
+    attr.instruments.live_reports.set(0);
     // Plus attributes additionally re-materialize every suffix span's merged state (and
     // its reconciled frequent-item set) here, at rotation, so cold span queries are Arc
     // clones instead of per-query assembly + domain scans.
@@ -1566,12 +1973,52 @@ fn edge_span_view(
     }
 }
 
+/// The assembly path `plain_span_view` will take for this span, observed *before* the view
+/// is built (so a cold assembly is not misreported as memoized).
+fn plain_span_source(cache: &QueryCache, idx: usize, meta: &SpanMeta) -> SpanSource {
+    if meta.windows == 1 {
+        SpanSource::SingleWindow
+    } else if cache.view((idx, meta.epochs.0, meta.epochs.1)).is_some() {
+        SpanSource::MemoizedView
+    } else {
+        SpanSource::LedgerAssembled
+    }
+}
+
+/// Plus spans are materialized by the ledger at rotation, so every multi-window plus span
+/// is served memoized (a cold query is an `Arc` clone).
+fn plus_span_source(meta: &SpanMeta) -> SpanSource {
+    if meta.windows == 1 {
+        SpanSource::SingleWindow
+    } else {
+        SpanSource::MemoizedView
+    }
+}
+
+/// The assembly path `edge_span_view` will take for this span (same contract as
+/// [`plain_span_source`]).
+fn edge_span_source(cache: &QueryCache, idx: usize, meta: &SpanMeta) -> SpanSource {
+    if meta.windows == 1 {
+        SpanSource::SingleWindow
+    } else if cache
+        .edge_view((idx, meta.epochs.0, meta.epochs.1))
+        .is_some()
+    {
+        SpanSource::MemoizedView
+    } else {
+        SpanSource::LedgerAssembled
+    }
+}
+
 fn served(ans: CachedAnswer, cached: bool) -> QueryResult {
+    let mut explain = ans.explain;
+    explain.cached = cached;
     QueryResult {
         value: ans.value,
         windows: ans.windows,
         reports: ans.reports,
         cached,
+        explain,
     }
 }
 
@@ -2585,6 +3032,244 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    // ---------------------------------------------------------------------------------
+    // Telemetry layer
+    // ---------------------------------------------------------------------------------
+
+    use crate::cache::ModeCacheStats;
+    use ldpjs_metrics::telemetry::Stability as TStability;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Read one deterministic counter back through the registry's idempotent registration.
+    fn counter_value(service: &SketchService, name: &str) -> u64 {
+        service
+            .telemetry()
+            .counter(name, TStability::Deterministic)
+            .get()
+    }
+
+    #[test]
+    fn rejected_batch_rolls_back_and_only_bumps_rejection_counters() {
+        let mut service = manual_service(6, 64, 4);
+        let id = service.register_attribute("t.a", 7).unwrap();
+        let client = service.client(id).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let values: Vec<u64> = (0..100).collect();
+        let good = client.perturb_all(&values, &mut rng);
+        service.ingest(id, &good).unwrap();
+        let name = |base: &str| format!("{base}{{attr=\"t.a\",mode=\"plain\"}}");
+        assert_eq!(
+            counter_value(&service, &name("ldpjs_ingest_reports_total")),
+            100
+        );
+        assert_eq!(
+            counter_value(&service, &name("ldpjs_ingest_batches_total")),
+            1
+        );
+
+        // One report of the batch is unabsorbable; the whole batch must reject atomically
+        // and land only in the rejection/rollback series.
+        let mut bad = good.clone();
+        bad[50].row = 999;
+        assert!(service.ingest(id, &bad).is_err());
+        assert_eq!(
+            counter_value(&service, &name("ldpjs_ingest_rollbacks_total")),
+            1
+        );
+        assert_eq!(
+            counter_value(&service, &name("ldpjs_ingest_rejected_reports_total")),
+            100
+        );
+        // Every other counter — and the live state itself — is untouched.
+        assert_eq!(
+            counter_value(&service, &name("ldpjs_ingest_reports_total")),
+            100
+        );
+        assert_eq!(
+            counter_value(&service, &name("ldpjs_ingest_batches_total")),
+            1
+        );
+        assert_eq!(counter_value(&service, &name("ldpjs_rotations_total")), 0);
+        assert_eq!(service.live_reports(id).unwrap(), 100);
+    }
+
+    #[test]
+    fn query_results_carry_provenance() {
+        let mut service = manual_service(6, 64, 8);
+        let a = service.register_attribute("t.a", 7).unwrap();
+        let b = service.register_attribute("t.b", 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<u64> = (0..300).map(|i| i % 23).collect();
+        for id in [a, b] {
+            let client = service.client(id).unwrap();
+            for _ in 0..2 {
+                let reports = client.perturb_all(&values, &mut rng);
+                service.ingest(id, &reports).unwrap();
+                service.rotate(id).unwrap();
+            }
+        }
+
+        // Cold multi-window join: assembled from the span ledger by the plain kernel, with
+        // the Theorem 4/5 predictions evaluated at the spans' exact report counts.
+        let cold = service.join_size(a, b, WindowRange::All).unwrap();
+        assert_eq!(cold.explain.kernel, ExplainKernel::Plain);
+        assert_eq!(cold.explain.span_source, SpanSource::LedgerAssembled);
+        assert!(!cold.explain.cached);
+        assert_eq!(cold.explain.windows, 4);
+        assert_eq!(cold.explain.frequent_items, 0);
+        let cfg = *service.config();
+        assert_eq!(
+            cold.explain.predicted_error.to_bits(),
+            bounds::error_bound(cfg.params, cfg.eps, 600.0, 600.0).to_bits()
+        );
+        assert_eq!(
+            cold.explain.predicted_variance.to_bits(),
+            bounds::group_variance_bound(cfg.params, cfg.eps, 600.0, 600.0, 1.0).to_bits()
+        );
+
+        // A hit replays the stored record with only the cache outcome rewritten.
+        let hit = service.join_size(a, b, WindowRange::All).unwrap();
+        assert!(hit.cached && hit.explain.cached);
+        assert_eq!(hit.explain.span_source, SpanSource::LedgerAssembled);
+        assert_eq!(hit.explain.predicted_error, cold.explain.predicted_error);
+
+        // The join memoized attribute a's merged span view, so a frequency query over the
+        // same span reports the memoized path; a Latest query borrows the single window.
+        let warm = service.frequency(a, 3, WindowRange::All).unwrap();
+        assert_eq!(warm.explain.span_source, SpanSource::MemoizedView);
+        assert!(warm.explain.predicted_variance > 0.0);
+        let single = service.frequency(a, 3, WindowRange::Latest).unwrap();
+        assert_eq!(single.explain.span_source, SpanSource::SingleWindow);
+    }
+
+    #[test]
+    fn cache_counters_survive_clear_cache() {
+        let mut service = manual_service(6, 64, 4);
+        let a = service.register_attribute("t.a", 7).unwrap();
+        let b = service.register_attribute("t.b", 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let values: Vec<u64> = (0..200).collect();
+        for id in [a, b] {
+            let client = service.client(id).unwrap();
+            let reports = client.perturb_all(&values, &mut rng);
+            service.ingest(id, &reports).unwrap();
+            service.rotate(id).unwrap();
+        }
+        service.join_size(a, b, WindowRange::All).unwrap();
+        service.join_size(a, b, WindowRange::All).unwrap();
+        let before = service.cache_stats();
+        assert_eq!((before.hits, before.misses), (1, 1));
+        assert_eq!(before.plain, ModeCacheStats { hits: 1, misses: 1 });
+
+        service.clear_cache();
+        let after = service.cache_stats();
+        assert_eq!(after.entries, 0);
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.plain, before.plain);
+        assert_eq!(after.invalidations, before.invalidations + 1);
+        // The exporter-side counters tell the same uninterrupted story.
+        assert_eq!(
+            counter_value(&service, "ldpjs_cache_hits_total{mode=\"plain\"}"),
+            1
+        );
+        assert_eq!(
+            counter_value(&service, "ldpjs_cache_misses_total{mode=\"plain\"}"),
+            1
+        );
+    }
+
+    #[test]
+    fn injected_query_clock_records_stage_timings() {
+        let mut service = manual_service(6, 64, 4);
+        let a = service.register_attribute("t.a", 7).unwrap();
+        let b = service.register_attribute("t.b", 7).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let values: Vec<u64> = (0..200).collect();
+        for id in [a, b] {
+            let client = service.client(id).unwrap();
+            let reports = client.perturb_all(&values, &mut rng);
+            service.ingest(id, &reports).unwrap();
+            service.rotate(id).unwrap();
+        }
+        // Without a clock, no timing is ever recorded (the query path reads no time).
+        service.join_size(a, b, WindowRange::All).unwrap();
+        fn hist(service: &SketchService, stage: &str) -> ldpjs_metrics::telemetry::Histogram {
+            service.telemetry().histogram(
+                &format!("ldpjs_query_ns{{kind=\"join\",stage=\"{stage}\"}}"),
+                TStability::Environment,
+                &[],
+            )
+        }
+        assert_eq!(hist(&service, "total").count(), 0);
+
+        // A deterministic fake clock: each reading advances by 3µs.
+        let base = Instant::now();
+        let ticks = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&ticks);
+        service.set_query_clock(Some(QueryClock::new(move || {
+            base + Duration::from_micros(3 * t.fetch_add(1, Ordering::Relaxed))
+        })));
+        service.clear_cache();
+        service.join_size(a, b, WindowRange::All).unwrap(); // miss: all three stages
+        service.join_size(a, b, WindowRange::All).unwrap(); // hit: total only
+        assert_eq!(hist(&service, "total").count(), 2);
+        assert_eq!(hist(&service, "assemble").count(), 1);
+        assert_eq!(hist(&service, "kernel").count(), 1);
+        assert_eq!(
+            counter_value(&service, "ldpjs_queries_total{kind=\"join\"}"),
+            3
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The observability determinism contract: the deterministic snapshot — and both of
+        /// its renderings — is byte-identical across repeated pinned-seed runs AND across
+        /// shard counts, because everything machine-shaped (shard residency, ingest path,
+        /// SIMD tier, timings) is classified `Environment` and filtered out.
+        #[test]
+        fn prop_deterministic_snapshot_stable_across_shards(seed in 0u64..1_000) {
+            let run = |shards: usize| -> (String, String) {
+                let mut cfg = config(6, 64);
+                cfg.shards = shards;
+                cfg.epoch_reports = 400;
+                cfg.retained_windows = 3;
+                let mut service = SketchService::new(cfg).unwrap();
+                let a = service.register_attribute("t.a", 7).unwrap();
+                let b = service.register_attribute("t.b", 7).unwrap();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let values: Vec<u64> = (0..2_000).map(|i| i % 37).collect();
+                for id in [a, b] {
+                    let client = service.client(id).unwrap();
+                    let reports = client.perturb_all(&values, &mut rng);
+                    for chunk in reports.chunks(250) {
+                        service.ingest(id, chunk).unwrap();
+                    }
+                }
+                for _ in 0..3 {
+                    service.join_size(a, b, WindowRange::All).unwrap();
+                    service.frequency(a, 5, WindowRange::LastK(2)).unwrap();
+                }
+                let snap = service.deterministic_telemetry_snapshot();
+                (snap.to_text(), snap.to_json())
+            };
+            let (text, json) = run(1);
+            // Repeated pinned-seed run: byte-identical.
+            prop_assert_eq!(run(1), (text.clone(), json.clone()));
+            // Shard-count sweep: byte-identical.
+            for shards in [2usize, 4, 7] {
+                let (t, j) = run(shards);
+                prop_assert!(t == text, "text diverged at shards={}", shards);
+                prop_assert!(j == json, "json diverged at shards={}", shards);
+            }
+            // And the JSON exposition round-trips losslessly.
+            let parsed = Snapshot::from_json(&json).unwrap();
+            prop_assert_eq!(parsed.to_json(), json);
         }
     }
 }

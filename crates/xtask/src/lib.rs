@@ -1,11 +1,12 @@
 //! `ldpjs-xtask` — workspace maintenance tasks, chiefly the repo-specific static-analysis
 //! lint engine behind `cargo run -p ldpjs-xtask -- lint`.
 //!
-//! The engine is deliberately dependency-free: a line-level lexer ([`lexer`]) feeds four
+//! The engine is deliberately dependency-free: a line-level lexer ([`lexer`]) feeds five
 //! rule families ([`rules`]) that encode this repository's contracts — `SAFETY:`-documented
 //! `unsafe`, SIMD kernels confined behind runtime feature dispatch, deterministic
-//! library code (no wall clocks, no hash-order iteration, no entropy-seeded RNGs), and
-//! panic-free estimator/service crates. See README.md, "Static analysis & unsafe policy".
+//! library code (no wall clocks, no hash-order iteration, no entropy-seeded RNGs),
+//! panic-free estimator/service crates, and injected-clock-only telemetry timings.
+//! See README.md, "Static analysis & unsafe policy".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,7 +17,7 @@ pub mod rules;
 use std::fmt;
 use std::path::Path;
 
-/// The four rule families the engine enforces.
+/// The five rule families the engine enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// Every `unsafe` site carries an adjacent `// SAFETY:` contract.
@@ -28,6 +29,9 @@ pub enum Rule {
     Determinism,
     /// No `unwrap()`/`expect()`/`panic!` in estimator/service library code.
     PanicFreedom,
+    /// No implicit wall-clock reads via `.elapsed()` in library code: telemetry timings
+    /// flow from injected `Instant`s (`duration_since`), never from the ambient clock.
+    TelemetryClock,
 }
 
 impl Rule {
@@ -38,6 +42,7 @@ impl Rule {
             Rule::SimdDispatch => "simd-dispatch",
             Rule::Determinism => "determinism",
             Rule::PanicFreedom => "panic-freedom",
+            Rule::TelemetryClock => "telemetry-clock",
         }
     }
 }

@@ -1,5 +1,5 @@
-//! The four repo-specific rule families: `unsafe-contract`, `simd-dispatch`,
-//! `determinism`, and `panic-freedom`.
+//! The five repo-specific rule families: `unsafe-contract`, `simd-dispatch`,
+//! `determinism`, `panic-freedom`, and `telemetry-clock`.
 //!
 //! Each rule is a token-level check over the [`crate::lexer::FileModel`] of a source file,
 //! scoped by the file's [`crate::FileClass`]. The rules are heuristics by design — they
@@ -74,6 +74,7 @@ pub fn check_file(class: &FileClass, model: &FileModel, kernels: &[KernelFn]) ->
     simd_confinement(class, model, kernels, &mut out);
     determinism(class, model, &mut out);
     panic_freedom(class, model, &mut out);
+    telemetry_clock(class, model, &mut out);
     out.retain(|d| !is_allowed(model, d.line - 1, d.rule));
     out
 }
@@ -435,6 +436,51 @@ fn panic_freedom(class: &FileClass, model: &FileModel, out: &mut Vec<Diagnostic>
                      justify with `lint:allow(panic-freedom)` naming the invariant",
                     class.crate_name
                 ),
+            ));
+        }
+    }
+}
+
+/// **telemetry-clock** — `.elapsed()` is an implicit wall-clock read (`Instant::now()`
+/// minus the stored instant) that the determinism rule's explicit-constructor check cannot
+/// see. In non-exempt library code, timings must be explicit arithmetic between injected
+/// `Instant`s (`later.duration_since(earlier)`), the pattern the service's epoch rotator
+/// and query clock use. Lines that construct the instant in place
+/// (`Instant::now().elapsed()`) are already the determinism rule's finding and are not
+/// double-reported here.
+fn telemetry_clock(class: &FileClass, model: &FileModel, out: &mut Vec<Diagnostic>) {
+    if class.kind != TargetKind::Lib || TIME_EXEMPT_CRATES.contains(&class.crate_name.as_str()) {
+        return;
+    }
+    for (i, line) in model.lines.iter().enumerate() {
+        if model.in_test[i] {
+            continue;
+        }
+        let code = &line.code;
+        let toks = idents(code);
+        let constructs_instant = toks.windows(2).any(|w| {
+            w[0].1 == "Instant"
+                && w[1].1 == "now"
+                && code[w[0].0 + w[0].1.len()..w[1].0].trim() == "::"
+        });
+        if constructs_instant {
+            continue;
+        }
+        let elapsed_call = toks.iter().any(|(off, id)| {
+            *id == "elapsed"
+                && code[..*off].trim_end().ends_with('.')
+                && matches!(
+                    code[off + id.len()..].trim_start().chars().next(),
+                    Some('(')
+                )
+        });
+        if elapsed_call {
+            out.push(class.diag(
+                Rule::TelemetryClock,
+                i + 1,
+                "`.elapsed()` reads the ambient wall clock — compute the duration from an \
+                 injected `Instant` (`now.duration_since(earlier)`) or justify with \
+                 `lint:allow(telemetry-clock)`",
             ));
         }
     }

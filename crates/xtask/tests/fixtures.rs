@@ -71,6 +71,11 @@ fn fixture_lint_allow_suppresses_exactly_one() {
 }
 
 #[test]
+fn fixture_implicit_wall_clock_in_lib_code() {
+    assert_fixture("telemetry_clock.rs");
+}
+
+#[test]
 fn workspace_is_lint_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let (diags, checked) = lint_workspace(&root).expect("workspace sources readable");

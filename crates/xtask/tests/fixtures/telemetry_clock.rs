@@ -1,0 +1,23 @@
+//@path: crates/service/src/timing.rs
+//@expect: telemetry-clock@12
+
+use std::time::Instant;
+
+pub struct Probe {
+    started: Instant,
+}
+
+impl Probe {
+    pub fn nanos(&self) -> u128 {
+        self.started.elapsed().as_nanos()
+    }
+
+    pub fn nanos_allowed(&self) -> u128 {
+        self.started.elapsed().as_nanos() // lint:allow(telemetry-clock) — fixture demo.
+    }
+
+    /// The approved pattern: explicit arithmetic between injected instants.
+    pub fn nanos_between(&self, now: Instant) -> u128 {
+        now.duration_since(self.started).as_nanos()
+    }
+}

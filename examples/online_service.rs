@@ -12,6 +12,7 @@ use ldp_join_sketch::service::WindowRange;
 fn main() {
     plain_service_demo();
     plus_service_demo();
+    telemetry_demo();
 }
 
 fn plain_service_demo() {
@@ -93,6 +94,96 @@ fn plain_service_demo() {
     println!(
         "cache: {} hits / {} misses ({} results, {} merged views, {} invalidations)",
         stats.hits, stats.misses, stats.entries, stats.views, stats.invalidations
+    );
+}
+
+/// The telemetry layer end to end: a pinned-seed service run twice, the Prometheus-style
+/// and JSON expositions, per-query provenance (kernel, span source, predicted Theorem 4/5
+/// error), and the determinism contract checked byte for byte.
+fn telemetry_demo() {
+    println!("\n=== telemetry: deterministic exposition + query provenance ===");
+
+    // One pinned-seed service run: ingest, rotate, evict, query (hits and misses), then
+    // render every exposition the service offers.
+    let run = || {
+        let params = SketchParams::new(10, 64).unwrap();
+        let eps = Epsilon::new(4.0).unwrap();
+        let mut config = ServiceConfig::new(params, eps);
+        config.shards = 2;
+        config.epoch_reports = 8_000;
+        config.retained_windows = 4;
+        let mut service = SketchService::new(config).unwrap();
+        let orders = service.register_attribute("orders.user_id", 7).unwrap();
+        let clicks = service.register_attribute("clicks.user_id", 7).unwrap();
+
+        let generator = ZipfGenerator::new(1.5, 5_000);
+        let workload =
+            StreamingJoinWorkload::generate("telemetry", &generator, 50_000, 4_096, 11).unwrap();
+        for (attr, table, rng_seed) in [
+            (orders, &workload.table_a, 3u64),
+            (clicks, &workload.table_b, 3 ^ 0xB),
+        ] {
+            let client = service.client(attr).unwrap();
+            stream_reports_chunked(table, &client, rng_seed, 2, &mut |reports| {
+                service.ingest(attr, reports).map(|_| ())
+            })
+            .unwrap();
+            service.rotate(attr).unwrap();
+        }
+        let cold = service.join_size(orders, clicks, WindowRange::All).unwrap();
+        let warm = service.join_size(orders, clicks, WindowRange::All).unwrap();
+        service.frequency(orders, 1, WindowRange::Latest).unwrap();
+        (service, cold, warm)
+    };
+
+    let (service, cold, warm) = run();
+    let ex = &cold.explain;
+    println!(
+        "cold all-windows join provenance: kernel={} spans={} windows={} cached={} \
+         predicted_err={:.3e} (Thm 5) variance={:.3e}",
+        ex.kernel.as_str(),
+        ex.span_source.as_str(),
+        ex.windows,
+        ex.cached,
+        ex.predicted_error,
+        ex.predicted_variance,
+    );
+    assert!(!cold.explain.cached && warm.explain.cached);
+    assert!(cold.explain.predicted_error > 0.0);
+
+    // The full exposition: ingest/rotation/cache/query counters plus the environment tier
+    // (shard residency, parallel-vs-inline path, SIMD kernel dispatch).
+    let text = service.metrics_text();
+    let json = service.metrics_json();
+    println!("\nmetrics exposition ({} lines):", text.lines().count());
+    for line in text.lines().filter(|l| {
+        l.starts_with("ldpjs_queries_total")
+            || l.starts_with("ldpjs_cache_hits_total")
+            || l.starts_with("ldpjs_kernel_dispatch_total")
+            || l.starts_with("ldpjs_ingest_reports_total")
+    }) {
+        println!("  {line}");
+    }
+
+    // CI contract 1: every sample line of the text exposition parses.
+    let parsed = parse_text_exposition(&text).expect("text exposition must parse");
+    let samples = text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .count();
+    assert_eq!(parsed.len(), samples, "every sample line must parse");
+    // CI contract 2: the JSON exposition round-trips losslessly.
+    let round = Snapshot::from_json(&json).expect("json exposition must parse");
+    assert_eq!(round.to_json(), json, "json exposition must round-trip");
+
+    // CI contract 3: the deterministic slice is byte-identical across pinned-seed runs.
+    let det_a = service.deterministic_telemetry_snapshot().to_text();
+    let (service_b, _, _) = run();
+    let det_b = service_b.deterministic_telemetry_snapshot().to_text();
+    assert_eq!(det_a, det_b, "deterministic exposition must be byte-stable");
+    println!(
+        "\ndeterministic exposition: {} series, byte-identical across two pinned-seed runs",
+        det_a.lines().filter(|l| !l.starts_with('#')).count()
     );
 }
 

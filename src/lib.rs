@@ -59,10 +59,11 @@ pub mod prelude {
         ldp_join_plus_estimate, ldp_join_plus_estimate_chunked, stream_reports_chunked,
     };
     pub use ldpjs_core::{
-        ChainKernel, ClientReport, FapClient, FapMode, FiPolicy, FinalizedPlusState,
-        FinalizedSketch, JoinKernel, LdpJoinSketchClient, LdpJoinSketchPlus, PlainKernel,
-        PlusConfig, PlusDiscovery, PlusEstimate, PlusKernel, PlusReportBatch, PlusStateBuilder,
-        PlusTableRole, QueryInput, ShardedAggregator, SketchBuilder, SketchParams,
+        AggregatorInstruments, ChainKernel, ClientReport, FapClient, FapMode, FiPolicy,
+        FinalizedPlusState, FinalizedSketch, JoinKernel, LdpJoinSketchClient, LdpJoinSketchPlus,
+        PlainKernel, PlusConfig, PlusDiscovery, PlusEstimate, PlusKernel, PlusReportBatch,
+        PlusStateBuilder, PlusTableRole, QueryInput, ShardedAggregator, SketchBuilder,
+        SketchParams,
     };
     pub use ldpjs_data::{
         ChainWorkload, JoinWorkload, PaperDataset, StreamingJoinWorkload, StreamingTable,
@@ -71,10 +72,12 @@ pub mod prelude {
     pub use ldpjs_ldp::{
         estimate_join_from_oracles, FlhOracle, FrequencyOracle, HcmsOracle, KrrOracle,
     };
+    pub use ldpjs_metrics::telemetry::{parse_text_exposition, Snapshot, Stability, Telemetry};
     pub use ldpjs_metrics::{absolute_error, relative_error, TrialErrors};
     pub use ldpjs_service::{
-        AttributeId, CacheStats, IngestSummary, PlusAttributeConfig, QueryResult, ServiceConfig,
-        SketchService, WindowRange, WindowSnapshot,
+        AttributeId, CacheStats, Explain, ExplainKernel, IngestSummary, ModeCacheStats,
+        PlusAttributeConfig, QueryClock, QueryResult, ServiceConfig, SketchService, SpanSource,
+        WindowRange, WindowSnapshot,
     };
     pub use ldpjs_sketch::FastAgmsSketch;
 }

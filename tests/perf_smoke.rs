@@ -177,6 +177,72 @@ fn batched_sharded_ingest_is_at_least_4x_scalar_absorb() {
 }
 
 #[test]
+fn telemetry_overhead_on_packed_ingest_is_at_most_3_percent() {
+    if cfg!(debug_assertions) {
+        eprintln!("perf smoke gate skipped: meaningful only under --release");
+        return;
+    }
+
+    // Same pinned 400k-report packed workload as the ingest gate, measured twice on the
+    // same engine shape: once bare, once with a full `AggregatorInstruments` bundle
+    // attached (shared-atomic counter bumps plus the per-shard gauge refresh after every
+    // batch). The instrumentation is a handful of relaxed atomic ops against ~1ms of
+    // ingest work, so it must stay within 3% — the budget that lets telemetry ship
+    // always-on in the service.
+    let n = 400_000usize;
+    let p = pinned_params();
+    let e = pinned_eps();
+    let shards = 4usize;
+    let client = LdpJoinSketchClient::new(p, e, 31);
+    let gen = ZipfGenerator::new(2.0, 4_096);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let values = gen.sample_many(n, &mut rng);
+    let batch = client.perturb_batch(&values, &mut rng).unwrap();
+
+    let telemetry = Telemetry::new();
+    let instruments = AggregatorInstruments {
+        shard_reports: (0..shards)
+            .map(|s| {
+                telemetry.gauge(
+                    &format!("smoke_shard_reports{{shard=\"{s}\"}}"),
+                    Stability::Environment,
+                )
+            })
+            .collect(),
+        parallel_batches: telemetry.counter("smoke_parallel_batches", Stability::Environment),
+        inline_batches: telemetry.counter("smoke_inline_batches", Stability::Environment),
+        rollbacks: telemetry.counter("smoke_rollbacks", Stability::Environment),
+    };
+
+    let mut bare = ShardedAggregator::new(p, e, 31, shards).unwrap();
+    let bare_ns = median_ns(|| {
+        bare.ingest_batch(&batch).unwrap();
+        std::hint::black_box(bare.reports());
+    });
+
+    let mut wired = ShardedAggregator::new(p, e, 31, shards).unwrap();
+    wired.set_instruments(Some(instruments));
+    let wired_ns = median_ns(|| {
+        wired.ingest_batch(&batch).unwrap();
+        std::hint::black_box(wired.reports());
+    });
+
+    let overhead = wired_ns as f64 / bare_ns as f64 - 1.0;
+    eprintln!(
+        "packed ingest 400k reports: bare {bare_ns} ns, instrumented {wired_ns} ns, \
+         overhead {:.2}% (gate: 3%)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.03,
+        "telemetry overhead regressed to {:.2}% on packed ingest \
+         (instrumented {wired_ns} ns vs bare {bare_ns} ns; gate is 3%) — \
+         instrumentation must stay off the per-report path",
+        overhead * 100.0
+    );
+}
+
+#[test]
 fn cold_plus_join_is_at_most_4x_cold_plain_join() {
     if cfg!(debug_assertions) {
         eprintln!("perf smoke gate skipped: meaningful only under --release");
